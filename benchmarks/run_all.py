@@ -1,0 +1,80 @@
+"""Regenerate every paper table/figure and emit the EXPERIMENTS.md body.
+
+Usage::
+
+    python benchmarks/run_all.py            # fast (laptop-scale) settings
+    python benchmarks/run_all.py --full     # paper-scale sweeps (slow)
+    python benchmarks/run_all.py --out FILE # also write markdown to FILE
+
+Each experiment module under benchmarks/ owns one paper artifact (see
+DESIGN.md §2); this script simply chains their ``run_experiment()``s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks import (  # noqa: E402
+    test_ablations,
+    test_fig6_rq1,
+    test_fig7_fd_proportion,
+    test_table2_capabilities,
+    test_table5_user_study,
+    test_table6_xlearner,
+    test_table7_claims,
+    test_table8_cardinality,
+    test_table8_rows,
+    test_table9_effect_size,
+    test_tightness,
+)
+
+EXPERIMENTS = [
+    ("E10", "Table 2", test_table2_capabilities),
+    ("E1", "Table 6", test_table6_xlearner),
+    ("E2", "Fig. 7", test_fig7_fd_proportion),
+    ("E3", "Table 8 (rows)", test_table8_rows),
+    ("E4", "Table 8 (cardinality)", test_table8_cardinality),
+    ("E5", "Table 9", test_table9_effect_size),
+    ("E6", "Tightness", test_tightness),
+    ("E7", "Fig. 6 / RQ1", test_fig6_rq1),
+    ("E8", "Table 5", test_table5_user_study),
+    ("E9", "Table 7", test_table7_claims),
+    ("EA", "Ablations", test_ablations),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale sweeps")
+    parser.add_argument("--out", type=Path, default=None, help="markdown output file")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids (e.g. E1 E6)"
+    )
+    args = parser.parse_args()
+
+    sections: list[str] = []
+    for exp_id, label, module in EXPERIMENTS:
+        if args.only and exp_id not in args.only:
+            continue
+        print(f"=== {exp_id}: {label} ===", flush=True)
+        start = time.perf_counter()
+        table = module.run_experiment(fast=not args.full)
+        elapsed = time.perf_counter() - start
+        table.note(f"Harness runtime: {elapsed:.1f}s ({'full' if args.full else 'fast'} mode).")
+        markdown = table.to_markdown()
+        print(markdown)
+        print()
+        sections.append(markdown)
+
+    if args.out:
+        args.out.write_text("\n\n".join(sections) + "\n")
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""E9 — Table 7: causal claim assessment on the WEB dataset.
+
+The paper collected eight edges connected to "IsBlocked" from XLearner's
+graph, rendered them as causal claims, and had six experts judge each as
+reasonable / not sure / not reasonable; result: 83.3% reasonable, 6.3% not
+reasonable.  Same protocol here with the simulated experts.
+"""
+
+import pytest
+
+from repro.bench import BenchTable
+from repro.datasets import web_truth_graph
+from repro.userstudy import claim_assessment, recruit_experts
+
+from benchmarks.test_table5_user_study import fitted_web_engine
+
+
+def collect_claims(max_claims: int = 8) -> list[tuple[str, str]]:
+    """Behaviours connected to IsBlocked in the *learned* graph (direct
+    neighbours first, then two-hop ones), as causal claims
+    'behaviour → IsBlocked' — the paper collected eight such edges."""
+    engine = fitted_web_engine()
+    graph = engine.graph
+    node = engine.node_of("IsBlocked")
+    direct = sorted(graph.neighbors(node))
+    two_hop = sorted(
+        {
+            n
+            for d in direct
+            for n in graph.neighbors(d)
+            if n != node and n not in direct
+        }
+    )
+    claims = [(behaviour, "IsBlocked") for behaviour in [*direct, *two_hop]]
+    return claims[:max_claims]
+
+
+def run_experiment(fast: bool = True) -> BenchTable:
+    claims = collect_claims()
+    experts = recruit_experts(web_truth_graph(), n_experts=6, seed=2)
+    assessment = claim_assessment(claims, experts)
+
+    table = BenchTable(
+        "Table 7 — causal claim assessment (simulated experts)",
+        ["", *assessment.claim_labels],
+    )
+    for row in assessment.to_rows()[1:]:
+        table.add_row(*row)
+    table.note(
+        f"{len(claims)} claims × 6 experts = {assessment.total_responses} "
+        f"responses; reasonable {assessment.reasonable_fraction:.1%}, "
+        f"not reasonable {assessment.not_reasonable_fraction:.1%}. "
+        "Paper: 83.3% reasonable, 6.3% not reasonable."
+    )
+    return table
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        claims = collect_claims()
+        experts = recruit_experts(web_truth_graph(), n_experts=6, seed=2)
+        return claim_assessment(claims, experts), claims
+
+    def test_claims_collected_from_learned_graph(self, result):
+        _, claims = result
+        assert 1 <= len(claims) <= 8
+        assert all(effect == "IsBlocked" for _, effect in claims)
+
+    def test_majority_reasonable(self, result):
+        assessment, _ = result
+        assert assessment.reasonable_fraction > 0.5
+
+    def test_few_not_reasonable(self, result):
+        assessment, _ = result
+        assert assessment.not_reasonable_fraction < 0.35
+
+
+def test_benchmark_claim_assessment(benchmark):
+    claims = [("SpamContent", "IsBlocked"), ("ConfigChanges", "IsBlocked")]
+    experts = recruit_experts(web_truth_graph(), n_experts=6, seed=3)
+    assessment = benchmark(lambda: claim_assessment(claims, experts))
+    assert assessment.total_responses == 12
+
+
+if __name__ == "__main__":
+    run_experiment(fast=False).show()

@@ -1,0 +1,98 @@
+"""E4 — Table 8 (bottom): accuracy/time vs cardinality (#rows fixed).
+
+Paper shape: XPlainer stays ✓ (or near) with sub-second latency up to
+cardinality 100; Scorpion/RSExplain blow past the time budget beyond
+cardinality ≈ 20–30 (N/A); BOExplain's fixed budget collapses (0.86 → 0.15).
+"""
+
+import pytest
+
+from repro.bench import BenchTable, fmt_f1, fmt_seconds
+from repro.bench.experiments import run_all_methods, run_xplainer
+from repro.data import Aggregate
+from repro.datasets import generate_syn_b
+
+
+METHODS = ("XPlainer", "Scorpion", "RSExplain", "BOExplain")
+
+
+def make_case(cardinality: int, agg, n_rows: int, seed: int = 11):
+    return generate_syn_b(
+        n_rows=n_rows, cardinality=cardinality, k_abnormal=3, agg=agg, seed=seed
+    )
+
+
+def run_experiment(fast: bool = True) -> BenchTable:
+    if fast:
+        cardinalities = [10, 20, 50]
+        n_rows = 20_000
+        budget = 10.0
+    else:
+        cardinalities = [10, 15, 20, 30, 50, 100]
+        n_rows = 100_000
+        budget = 60.0
+
+    table = BenchTable(
+        f"Table 8 (bottom) — accuracy/time vs cardinality (#rows={n_rows // 1000}K)",
+        ["Method (agg)", "Metric", *[str(c) for c in cardinalities]],
+    )
+    for agg in (Aggregate.SUM, Aggregate.AVG):
+        outcomes = {m: [] for m in METHODS}
+        for card in cardinalities:
+            case = make_case(card, agg, n_rows)
+            result = run_all_methods(case, time_budget=budget)
+            for method in METHODS:
+                outcomes[method].append(result[method])
+        for method in METHODS:
+            f1_cells = [
+                "N/A" if o.timed_out else fmt_f1(o.f1) for o in outcomes[method]
+            ]
+            time_cells = [
+                "N/A" if o.timed_out else fmt_seconds(o.seconds)
+                for o in outcomes[method]
+            ]
+            table.add_row(f"{method} ({agg.value})", "F1 Score", *f1_cells)
+            table.add_row(f"{method} ({agg.value})", "Time (sec.)", *time_cells)
+    table.note(
+        f"Baseline time budget {budget}s (paper used 1 hour). Paper shape: "
+        "XPlainer ✓ throughout; Scorpion/RSExplain N/A beyond cardinality 20–30; "
+        "BOExplain decays 0.86 → 0.15."
+    )
+    return table
+
+
+class TestTable8Cardinality:
+    def test_xplainer_accurate_at_high_cardinality(self):
+        case = make_case(50, Aggregate.AVG, 20_000)
+        outcome = run_xplainer(case)
+        assert outcome.f1 == 1.0
+
+    def test_xplainer_time_grows_mildly(self):
+        t10 = run_xplainer(make_case(10, Aggregate.AVG, 20_000)).seconds
+        t50 = run_xplainer(make_case(50, Aggregate.AVG, 20_000)).seconds
+        assert t50 < max(t10, 0.005) * 200
+
+    def test_boexplain_decays_with_cardinality(self):
+        from repro.baselines import BOExplain
+
+        low = make_case(10, Aggregate.AVG, 10_000)
+        high = make_case(60, Aggregate.AVG, 10_000)
+        bo = BOExplain(budget=40, seed=5)
+        f1_low = low.f1_against_truth(bo.explain(low.table, low.query, "Y").predicate)
+        f1_high = high.f1_against_truth(
+            bo.explain(high.table, high.query, "Y").predicate
+        )
+        assert f1_low >= f1_high
+
+
+@pytest.mark.parametrize("cardinality", [10, 50, 100])
+def test_benchmark_xplainer_cardinality(benchmark, cardinality):
+    from repro.core import explain_attribute
+
+    case = make_case(cardinality, Aggregate.AVG, 50_000)
+    found = benchmark(lambda: explain_attribute(case.table, case.query, "Y"))
+    assert found is not None
+
+
+if __name__ == "__main__":
+    run_experiment(fast=False).show()

@@ -1,0 +1,90 @@
+"""E5 — Table 9: sensitivity to the effect size μ* − μ.
+
+Paper shape: XPlainer stays at (or near) F1 = 1.0 down to the hardest
+setting (μ*−μ = 5, where it drops mildly on SUM); Scorpion is stuck at 0.5
+on SUM but fine on AVG above the hardest setting; RSExplain flat at 0.75;
+BOExplain fluctuates.
+"""
+
+import pytest
+
+from repro.bench import BenchTable, fmt_f1
+from repro.bench.experiments import run_all_methods, run_xplainer
+from repro.data import Aggregate
+from repro.datasets import generate_syn_b
+
+
+METHODS = ("XPlainer", "Scorpion", "RSExplain", "BOExplain")
+
+
+def make_case(gap: float, agg, n_rows: int = 10_000, seed: int = 21):
+    return generate_syn_b(
+        n_rows=n_rows,
+        mu_normal=10.0,
+        mu_abnormal=10.0 + gap,
+        agg=agg,
+        seed=seed,
+    )
+
+
+def run_experiment(fast: bool = True) -> BenchTable:
+    gaps = [5.0, 10.0, 15.0, 30.0, 50.0, 100.0] if not fast else [5.0, 15.0, 50.0]
+    budget = 30.0
+    table = BenchTable(
+        "Table 9 — F1 vs effect size μ*−μ",
+        ["Method (agg)", *[str(int(g)) for g in gaps]],
+    )
+    for agg in (Aggregate.SUM, Aggregate.AVG):
+        rows: dict[str, list[str]] = {m: [] for m in METHODS}
+        for gap in gaps:
+            case = make_case(gap, agg)
+            result = run_all_methods(case, time_budget=budget)
+            for method in METHODS:
+                o = result[method]
+                rows[method].append("N/A" if o.timed_out else fmt_f1(o.f1))
+        for method in METHODS:
+            table.add_row(f"{method} ({agg.value})", *rows[method])
+    table.note(
+        "Paper: XPlainer ✓ except 0.86 at gap 5 (SUM); Scorpion 0.5 flat on "
+        "SUM; RSExplain 0.75 flat; BOExplain fluctuating."
+    )
+    return table
+
+
+class TestTable9:
+    @pytest.mark.parametrize("agg", [Aggregate.SUM, Aggregate.AVG])
+    def test_xplainer_robust_to_moderate_gaps(self, agg):
+        for gap in (15.0, 50.0):
+            outcome = run_xplainer(make_case(gap, agg))
+            assert outcome.f1 >= 0.85
+
+    def test_xplainer_handles_hardest_setting(self):
+        outcome = run_xplainer(make_case(5.0, Aggregate.AVG))
+        assert outcome.f1 >= 0.7
+
+    def test_difficulty_monotone_for_baselines(self):
+        """A subtle gap should never be easier than a huge one (Scorpion)."""
+        from repro.baselines import Scorpion
+
+        hard = make_case(5.0, Aggregate.AVG)
+        easy = make_case(100.0, Aggregate.AVG)
+        s = Scorpion()
+        f1_hard = hard.f1_against_truth(
+            s.explain(hard.table, hard.query, "Y").predicate
+        )
+        f1_easy = easy.f1_against_truth(
+            s.explain(easy.table, easy.query, "Y").predicate
+        )
+        assert f1_easy >= f1_hard - 0.15
+
+
+def test_benchmark_xplainer_hardest_gap(benchmark):
+    from repro.core import explain_attribute
+
+    case = make_case(5.0, Aggregate.AVG, n_rows=50_000)
+    found = benchmark(lambda: explain_attribute(case.table, case.query, "Y"))
+    assert found is not None
+
+
+if __name__ == "__main__":
+    run_experiment(fast=False).show()

@@ -1,0 +1,67 @@
+"""Tour of the causal-discovery substrate: PC vs FCI vs XLearner.
+
+Demonstrates the Table 2 capability matrix interactively:
+
+* a latent confounder — PC draws a wrong causal edge, FCI reports ↔;
+* the CityInfo FDs (Ex. 2.4) — FCI's faithfulness assumption shatters
+  (Ex. 3.1), XLearner recovers City → State → Country (Fig. 4(d));
+* the discrete ANM view of an FD (suppl. 8.6).
+
+Run:  python examples/causal_discovery_tour.py
+"""
+
+from repro import fci, pc, xlearner
+from repro.datasets import generate_cityinfo
+from repro.discovery import anm_direction
+from repro.fd import fd_graph_from_table
+from repro.graph import dag_from_parents, latent_projection
+from repro.independence import CachedCITest, ChiSquaredTest, OracleCITest
+
+
+def latent_confounder_demo() -> None:
+    print("== latent confounder (Fig. 2) ==")
+    # Truth: L -> x, L -> y with L hidden; u, v are observed instruments.
+    dag = dag_from_parents({"x": ["L", "u"], "y": ["L", "v"]})
+    mag = latent_projection(dag, ["x", "y", "u", "v"])
+    print(f"true MAG over the observed variables: {mag}")
+
+    cpdag = pc(("x", "y", "u", "v"), OracleCITest(mag)).cpdag
+    print(f"PC (assumes sufficiency):  {cpdag}")
+    pag = fci(("x", "y", "u", "v"), OracleCITest(mag)).pag
+    print(f"FCI (handles latents):     {pag}")
+    print("note the x <-> y edge: FCI correctly refuses to call either a cause.\n")
+
+
+def cityinfo_demo() -> None:
+    print("== CityInfo functional dependencies (Ex. 2.4 / Ex. 3.1) ==")
+    table = generate_cityinfo(n_rows=600, seed=0)
+    fd_graph = fd_graph_from_table(table)
+    print("detected FDs:", ", ".join(str(fd) for fd in fd_graph.dependencies))
+
+    ci = CachedCITest(ChiSquaredTest(table))
+    plain = fci(table.dimensions, ci).pag
+    print(f"plain FCI under FDs:   {plain}   <- faithfulness violated")
+
+    learned = xlearner(table).pag
+    print(f"XLearner (Alg. 1):     {learned}   <- Fig. 4(d) recovered\n")
+
+
+def anm_demo() -> None:
+    print("== discrete ANM on an FD edge (suppl. 8.6) ==")
+    table = generate_cityinfo(n_rows=600, seed=0)
+    result = anm_direction(table, "City", "State")
+    print(
+        f"City vs State: p_forward = {result.p_forward:.3f}, "
+        f"p_backward = {result.p_backward:.3f} -> {result.direction.value}"
+    )
+    print("the FD admits a zero-noise forward ANM, supporting City -> State.")
+
+
+def main() -> None:
+    latent_confounder_demo()
+    cityinfo_demo()
+    anm_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""HOTEL walk-through (Sec. 4.2): why are July bookings cancelled more?
+
+Reproduces the paper's second RQ1 case study on the simulated HOTEL data:
+the July-vs-January cancellation gap, LeadTime identified as an (indirect)
+cause of IsCanceled, and the gap shrinking once long-lead reservations are
+excluded (the paper's "LeadTime ≤ 133" explanation).
+
+Run:  python examples/hotel_booking.py
+"""
+
+from repro import Aggregate, Subspace, WhyQuery, XInsight
+from repro.datasets import generate_hotel
+
+
+def main() -> None:
+    table = generate_hotel(n_rows=20_000, seed=0)
+    print(f"dataset: {table}")
+
+    engine = XInsight(table, measure_bins=4, max_depth=2).fit()
+    print("\nlearned causal graph:")
+    print(f"  {engine.graph}")
+
+    query = WhyQuery.create(
+        Subspace.of(ArrivalMonth="Jul"),
+        Subspace.of(ArrivalMonth="Jan"),
+        measure="IsCanceled",
+        agg=Aggregate.AVG,
+    )
+    graph_table = engine.graph_table
+    print(f"\n{query.describe(graph_table)}  (paper: 0.37 vs 0.30)")
+
+    report = engine.explain(query)
+    print("\nexplanations:")
+    for explanation in report.explanations:
+        print(
+            f"  [{explanation.type.value}] {explanation.attribute}: "
+            f"{explanation.predicate} (ρ = {explanation.responsibility:.2f})"
+        )
+
+    lead = next(e for e in report.causal() if e.attribute == "LeadTime")
+    keep = ~lead.predicate.mask(graph_table)
+    print(
+        f"\nexcluding {lead.predicate}: Δ shrinks from "
+        f"{query.delta(graph_table):.3f} to {query.delta(graph_table, keep):.3f} "
+        "— early reservations drive the July cancellations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so the
+PEP 517 editable-install path (which shells out to ``bdist_wheel``) fails.
+Keeping this shim lets ``pip install -e . --no-build-isolation`` use the
+legacy ``setup.py develop`` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

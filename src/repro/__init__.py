@@ -1,0 +1,76 @@
+"""XInsight reproduction: explainable data analysis through causality.
+
+Reproduces Ma, Ding, Wang, Han & Zhang, *XInsight: eXplainable Data
+Analysis Through The Lens of Causality*, SIGMOD 2023 (PACMMOD 1(2):156).
+
+Quickstart::
+
+    from repro import Subspace, Table, WhyQuery, XInsight
+
+    table = Table.from_columns({...})
+    engine = XInsight(table).fit()                       # offline phase
+    query = WhyQuery.create(Subspace.of(Location="A"),   # online phase
+                            Subspace.of(Location="B"),
+                            measure="LungCancer", agg="AVG")
+    for explanation in engine.explain(query).top(5):
+        print(explanation.as_row())
+"""
+
+from repro.core import (
+    Explanation,
+    ExplanationType,
+    XDASemantics,
+    XInsight,
+    XInsightReport,
+    XPlainerConfig,
+    explain_attribute,
+    translate,
+    xlearner,
+)
+from repro.data import (
+    Aggregate,
+    Filter,
+    Predicate,
+    Role,
+    Subspace,
+    Table,
+    WhyQuery,
+    discretize,
+    read_csv,
+    write_csv,
+)
+from repro.discovery import fci, pc
+from repro.fd import FD, fd_graph_from_table, find_functional_dependencies
+from repro.graph import Endpoint, MixedGraph, m_separated
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "Endpoint",
+    "Explanation",
+    "ExplanationType",
+    "FD",
+    "Filter",
+    "MixedGraph",
+    "Predicate",
+    "Role",
+    "Subspace",
+    "Table",
+    "WhyQuery",
+    "XDASemantics",
+    "XInsight",
+    "XInsightReport",
+    "XPlainerConfig",
+    "discretize",
+    "explain_attribute",
+    "fci",
+    "fd_graph_from_table",
+    "find_functional_dependencies",
+    "m_separated",
+    "pc",
+    "read_csv",
+    "translate",
+    "write_csv",
+    "xlearner",
+]

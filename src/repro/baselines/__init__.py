@@ -1,0 +1,15 @@
+"""Explanation baselines of the Sec. 4.4 evaluation."""
+
+from repro.baselines.base import BaselineResult, ExplanationBaseline, RowLevelEvaluator
+from repro.baselines.boexplain import BOExplain
+from repro.baselines.rsexplain import RSExplain
+from repro.baselines.scorpion import Scorpion
+
+__all__ = [
+    "BOExplain",
+    "BaselineResult",
+    "ExplanationBaseline",
+    "RSExplain",
+    "RowLevelEvaluator",
+    "Scorpion",
+]

@@ -1,0 +1,121 @@
+"""Shared scaffolding for the explanation baselines of Sec. 4.4.
+
+All three baselines (Scorpion, RSExplain, BOExplain) treat the aggregate as
+a black box: every probe re-evaluates Δ on raw rows instead of XPlainer's
+per-filter group sums.  That design difference — noted by the paper as the
+reason XPlainer is "more accurate and efficient ... while other methods
+primarily treat them as a black-box" — is reproduced deliberately, so the
+Table 8 runtime gap emerges from the same cause as in the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.filters import Predicate
+from repro.data.query import WhyQuery
+from repro.data.table import Table
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline search."""
+
+    predicate: Predicate | None
+    score: float
+    seconds: float
+    timed_out: bool
+    evaluations: int
+
+
+class RowLevelEvaluator:
+    """Black-box Δ evaluation against raw rows (O(N) per probe)."""
+
+    def __init__(self, table: Table, query: WhyQuery) -> None:
+        self.table = table
+        self.query = query
+        self.attribute: str | None = None
+        self._filter_masks: list[np.ndarray] = []
+        self.values: tuple = ()
+        self.evaluations = 0
+
+    def bind(self, attribute: str) -> None:
+        """Precompute the per-filter row masks of the explanation attribute
+        (all baselines enumerate the same candidate filters)."""
+        self.attribute = attribute
+        codes = self.table.codes(attribute)
+        categories = self.table.categories(attribute)
+        present = np.unique(codes)
+        self.values = tuple(categories[c] for c in present)
+        self._filter_masks = [codes == c for c in present]
+
+    @property
+    def n_filters(self) -> int:
+        return len(self._filter_masks)
+
+    def removal_mask(self, selected: np.ndarray) -> np.ndarray:
+        removed = np.zeros(self.table.n_rows, dtype=bool)
+        for i, flag in enumerate(selected):
+            if flag:
+                removed |= self._filter_masks[i]
+        return removed
+
+    def delta_without(self, selected: np.ndarray) -> float:
+        """Δ(D − D_P) recomputed from raw rows."""
+        self.evaluations += 1
+        return self.query.delta(self.table, ~self.removal_mask(selected))
+
+    def delta_full(self) -> float:
+        self.evaluations += 1
+        return self.query.delta(self.table)
+
+    def predicate_of(self, selected: np.ndarray) -> Predicate | None:
+        chosen = [v for v, s in zip(self.values, selected) if s]
+        if not chosen:
+            return None
+        assert self.attribute is not None
+        return Predicate.of(self.attribute, chosen)
+
+
+class ExplanationBaseline(abc.ABC):
+    """Interface shared by the Sec. 4.4 comparators."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def _search(
+        self, evaluator: RowLevelEvaluator, deadline: float | None
+    ) -> tuple[np.ndarray, float, bool]:
+        """Return (selected filters, score, timed_out)."""
+
+    def explain(
+        self,
+        table: Table,
+        query: WhyQuery,
+        attribute: str,
+        time_budget: float | None = None,
+    ) -> BaselineResult:
+        """Search for the best predicate on ``attribute``; wall-clock capped
+        by ``time_budget`` seconds (None = unlimited), like the paper's
+        one-hour timeout."""
+        evaluator = RowLevelEvaluator(table, query)
+        evaluator.bind(attribute)
+        start = time.perf_counter()
+        deadline = start + time_budget if time_budget is not None else None
+        selected, score, timed_out = self._search(evaluator, deadline)
+        seconds = time.perf_counter() - start
+        return BaselineResult(
+            predicate=evaluator.predicate_of(selected),
+            score=score,
+            seconds=seconds,
+            timed_out=timed_out,
+            evaluations=evaluator.evaluations,
+        )
+
+
+def out_of_time(deadline: float | None) -> bool:
+    return deadline is not None and time.perf_counter() > deadline

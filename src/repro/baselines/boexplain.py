@@ -1,0 +1,141 @@
+"""BOExplain baseline (Lockhart et al., VLDB 2021) adapted to Why Queries.
+
+BOExplain searches predicate space with Bayesian optimization: a surrogate
+model over candidate predicates, an acquisition function choosing the next
+probe, and a fixed evaluation budget.  We implement the classic recipe —
+Gaussian-process surrogate with an RBF kernel over the Hamming embedding of
+filter subsets, expected-improvement acquisition over a random candidate
+pool — in pure numpy.
+
+The objective (BOExplain's "inference score" transplanted to Why Queries)
+is minimized:
+
+    obj(P) = |Δ(D − D_P)| / Δ(D) + σ·|P|
+
+With a fixed budget the search degrades as the 2^m space grows, which is
+exactly the cardinality-decay shape of Table 8 (1.0 → 0.15 at m = 100).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ExplanationBaseline, out_of_time
+from scipy import stats
+
+
+def _rbf_kernel(a: np.ndarray, b: np.ndarray, length_scale: float) -> np.ndarray:
+    sq = (
+        (a * a).sum(axis=1)[:, None]
+        + (b * b).sum(axis=1)[None, :]
+        - 2.0 * a @ b.T
+    )
+    return np.exp(-0.5 * sq / length_scale**2)
+
+
+class _GaussianProcess:
+    """Minimal GP regressor (RBF kernel, fixed noise) for the surrogate."""
+
+    def __init__(self, length_scale: float, noise: float = 1e-4) -> None:
+        self.length_scale = length_scale
+        self.noise = noise
+        self._x: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._mean = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._x = x
+        self._mean = float(y.mean())
+        k = _rbf_kernel(x, x, self.length_scale)
+        k[np.diag_indices_from(k)] += self.noise
+        self._chol = np.linalg.cholesky(k)
+        centred = y - self._mean
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, centred)
+        )
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self._x is not None and self._alpha is not None
+        k_star = _rbf_kernel(x, self._x, self.length_scale)
+        mean = self._mean + k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        var = np.maximum(1.0 - (v * v).sum(axis=0), 1e-12)
+        return mean, np.sqrt(var)
+
+
+class BOExplain(ExplanationBaseline):
+    """Bayesian-optimization search over filter subsets."""
+
+    name = "BOExplain"
+
+    def __init__(
+        self,
+        budget: int = 60,
+        pool_size: int = 200,
+        sigma: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.budget = budget
+        self.pool_size = pool_size
+        self.sigma = sigma
+        self.seed = seed
+
+    def _search(self, evaluator, deadline):
+        m = evaluator.n_filters
+        rng = np.random.default_rng(self.seed)
+        sigma = self.sigma if self.sigma is not None else 1.0 / m
+        delta_full = abs(evaluator.delta_full()) or 1.0
+
+        def objective(selected: np.ndarray) -> float:
+            residual = abs(evaluator.delta_without(selected)) / delta_full
+            return residual + sigma * int(selected.sum())
+
+        # Initial design: singletons + random subsets.
+        design: list[np.ndarray] = []
+        for i in range(min(m, max(4, self.budget // 6))):
+            v = np.zeros(m, dtype=bool)
+            v[i] = True
+            design.append(v)
+        while len(design) < min(self.budget // 2, m + 8):
+            design.append(rng.random(m) < rng.uniform(0.05, 0.5))
+
+        xs: list[np.ndarray] = []
+        ys: list[float] = []
+        timed_out = False
+        for v in design:
+            if out_of_time(deadline):
+                timed_out = True
+                break
+            xs.append(v.astype(float))
+            ys.append(objective(v))
+
+        gp = _GaussianProcess(length_scale=max(np.sqrt(m) / 2.0, 1.0))
+        while len(ys) < self.budget and not timed_out:
+            if out_of_time(deadline):
+                timed_out = True
+                break
+            gp.fit(np.array(xs), np.array(ys))
+            pool = rng.random((self.pool_size, m)) < rng.uniform(
+                0.05, 0.5, size=(self.pool_size, 1)
+            )
+            # Local exploitation: mutate the incumbent.
+            incumbent = xs[int(np.argmin(ys))].astype(bool)
+            for _ in range(self.pool_size // 4):
+                mutant = incumbent.copy()
+                flip = rng.integers(0, m)
+                mutant[flip] = ~mutant[flip]
+                pool = np.vstack([pool, mutant])
+            mean, sd = gp.predict(pool.astype(float))
+            best_y = min(ys)
+            gap = best_y - mean
+            z = gap / sd
+            ei = gap * stats.norm.cdf(z) + sd * stats.norm.pdf(z)
+            nxt = pool[int(np.argmax(ei))].astype(bool)
+            xs.append(nxt.astype(float))
+            ys.append(objective(nxt))
+
+        if not ys:
+            return np.zeros(m, dtype=bool), float("inf"), timed_out
+        best_idx = int(np.argmin(ys))
+        return xs[best_idx].astype(bool), float(ys[best_idx]), timed_out

@@ -1,0 +1,5 @@
+"""Benchmark support utilities."""
+
+from repro.bench.harness import BenchTable, fmt_f1, fmt_float, fmt_seconds, time_call
+
+__all__ = ["BenchTable", "fmt_f1", "fmt_float", "fmt_seconds", "time_call"]

@@ -1,0 +1,76 @@
+"""Benchmark support: timing and paper-style table rendering.
+
+Every experiment module in ``benchmarks/`` produces one or more
+:class:`BenchTable` objects that mirror the corresponding table/figure of
+the paper; ``benchmarks/run_all.py`` collects them into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once, returning (result, wall-clock seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class BenchTable:
+    """A rendered experiment table (markdown-friendly)."""
+
+    title: str
+    header: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_markdown(self) -> str:
+        widths = [
+            max(len(self.header[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.header[i])
+            for i in range(len(self.header))
+        ]
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+        lines = [f"### {self.title}", ""]
+        lines.append(fmt_row(self.header))
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        lines.extend(fmt_row(r) for r in self.rows)
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def show(self) -> None:  # pragma: no cover - console convenience
+        print(self.to_markdown())
+        print()
+
+
+def fmt_float(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def fmt_f1(value: float) -> str:
+    """Paper convention: '✓' for a perfect F1."""
+    return "✓" if value >= 0.999 else f"{value:.2f}"
+
+
+def fmt_seconds(value: float) -> str:
+    if value < 0.1:
+        return f"{value:.3f}"
+    return f"{value:.2f}"

@@ -1,0 +1,173 @@
+"""Command-line interface: XInsight on CSV files.
+
+Usage examples::
+
+    python -m repro fds data.csv
+    python -m repro discover data.csv --algorithm xlearner
+    python -m repro groupby data.csv --by Location --measure LungCancer
+    python -m repro explain data.csv --s1 Location=A --s2 Location=B \\
+        --measure LungCancer --agg AVG --top 5
+
+Assignments use ``Dimension=value``; value strings are matched against the
+raw CSV cells (numbers are parsed like the loader does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Hashable, Sequence
+
+from repro.core.pipeline import XInsight
+from repro.data.aggregates import parse_aggregate
+from repro.data.filters import Subspace
+from repro.data.groupby import group_by
+from repro.data.io import read_csv
+from repro.data.query import WhyQuery
+from repro.data.table import Table
+from repro.errors import ReproError
+from repro.fd.graph import fd_graph_from_table
+from repro.graph.render import edge_list
+
+
+def _parse_assignment(raw: str, table: Table) -> tuple[str, Hashable]:
+    if "=" not in raw:
+        raise ReproError(f"expected Dimension=value, got {raw!r}")
+    dim, value = raw.split("=", 1)
+    if dim not in table.dimensions:
+        raise ReproError(f"unknown dimension {dim!r}; have {table.dimensions}")
+    categories = table.categories(dim)
+    if value in categories:
+        return dim, value
+    # The CSV loader parses numeric cells into floats: retry as a number.
+    try:
+        numeric = float(value)
+    except ValueError:
+        raise ReproError(f"{value!r} is not a value of {dim!r}") from None
+    if numeric in categories:
+        return dim, numeric
+    raise ReproError(f"{value!r} is not a value of {dim!r}")
+
+
+def _subspace(assignments: Sequence[str], table: Table) -> Subspace:
+    pairs = dict(_parse_assignment(a, table) for a in assignments)
+    return Subspace.of(**{str(k): v for k, v in pairs.items()})
+
+
+def cmd_fds(args: argparse.Namespace) -> int:
+    table = read_csv(args.file)
+    fd_graph = fd_graph_from_table(table, tolerance=args.tolerance)
+    if fd_graph.is_empty:
+        print("no functional dependencies found")
+        return 0
+    for fd in fd_graph.dependencies:
+        print(fd)
+    for dropped, kept in sorted(fd_graph.redundant.items()):
+        print(f"(redundant: {dropped} ≡ {kept})")
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    table = read_csv(args.file)
+    if args.algorithm == "xlearner":
+        from repro.core.xlearner import xlearner
+
+        graph = xlearner(table, alpha=args.alpha, max_depth=args.max_depth).pag
+    elif args.algorithm == "fci":
+        from repro.discovery.fci import fci_from_table
+
+        graph = fci_from_table(table, alpha=args.alpha, max_depth=args.max_depth).pag
+    else:
+        from repro.discovery.pc import pc
+        from repro.independence.cache import CachedCITest
+        from repro.independence.contingency import ChiSquaredTest
+
+        ci = CachedCITest(ChiSquaredTest(table, alpha=args.alpha))
+        graph = pc(table.dimensions, ci, max_depth=args.max_depth).cpdag
+    for line in edge_list(graph):
+        print(line)
+    return 0
+
+
+def cmd_groupby(args: argparse.Namespace) -> int:
+    table = read_csv(args.file)
+    result = group_by(table, args.by, args.measure, parse_aggregate(args.agg))
+    print(f"{args.agg.upper()}({args.measure}) by {args.by}:")
+    for grp in result.groups:
+        key = ", ".join(str(k) for k in grp.key)
+        print(f"  {key:<24} {grp.value:>12.4g}  (n={grp.count})")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    table = read_csv(args.file)
+    s1 = _subspace(args.s1, table)
+    s2 = _subspace(args.s2, table)
+    query = WhyQuery.create(s1, s2, args.measure, parse_aggregate(args.agg))
+    engine = XInsight(table, measure_bins=args.bins, max_depth=args.max_depth)
+    print("fitting the offline phase ...", file=sys.stderr)
+    engine.fit()
+    report = engine.explain(query)
+    print(query.describe(engine.graph_table))
+    if not report.explanations:
+        print("no explanations found (try a larger ε or more data)")
+        return 1
+    print(f"{'type':<12} {'factor':<16} {'predicate':<44} responsibility")
+    for explanation in report.top(args.top):
+        print(
+            f"{explanation.type.value:<12} {explanation.attribute:<16} "
+            f"{str(explanation.predicate):<44} {explanation.responsibility:.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fds = sub.add_parser("fds", help="detect functional dependencies")
+    p_fds.add_argument("file")
+    p_fds.add_argument("--tolerance", type=float, default=0.0)
+    p_fds.set_defaults(func=cmd_fds)
+
+    p_disc = sub.add_parser("discover", help="learn a causal graph")
+    p_disc.add_argument("file")
+    p_disc.add_argument(
+        "--algorithm", choices=("xlearner", "fci", "pc"), default="xlearner"
+    )
+    p_disc.add_argument("--alpha", type=float, default=0.05)
+    p_disc.add_argument("--max-depth", type=int, default=None)
+    p_disc.set_defaults(func=cmd_discover)
+
+    p_grp = sub.add_parser("groupby", help="grouped aggregate (EDA view)")
+    p_grp.add_argument("file")
+    p_grp.add_argument("--by", required=True)
+    p_grp.add_argument("--measure", required=True)
+    p_grp.add_argument("--agg", default="AVG")
+    p_grp.set_defaults(func=cmd_groupby)
+
+    p_exp = sub.add_parser("explain", help="answer a Why Query")
+    p_exp.add_argument("file")
+    p_exp.add_argument("--s1", action="append", required=True, metavar="DIM=VALUE")
+    p_exp.add_argument("--s2", action="append", required=True, metavar="DIM=VALUE")
+    p_exp.add_argument("--measure", required=True)
+    p_exp.add_argument("--agg", default="AVG")
+    p_exp.add_argument("--top", type=int, default=5)
+    p_exp.add_argument("--bins", type=int, default=4)
+    p_exp.add_argument("--max-depth", type=int, default=None)
+    p_exp.set_defaults(func=cmd_explain)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""The paper's core contribution: XLearner, XTranslator, XPlainer, pipeline."""
+
+from repro.core.changes import ChangeDirection, ChangeReport, explain_change
+from repro.core.multidim import ConjunctionExplanation, explain_conjunction, product_attribute
+from repro.core.decomposition import FilterDecomposition, count_based_share, decompose_sum_delta
+from repro.core.explanation import Explanation, ExplanationType, cross_product
+from repro.core.pipeline import XInsight, XInsightReport
+from repro.core.reporting import (
+    explanation_to_dict,
+    report_to_dict,
+    report_to_json,
+    report_to_markdown,
+)
+from repro.core.xlearner import XLearnerResult, peel_fd_sinks, xlearner
+from repro.core.xplainer import (
+    AttributeExplanation,
+    XPlainerConfig,
+    avg_search,
+    brute_force_search,
+    canonical_predicate_avg,
+    canonical_predicate_sum,
+    exact_responsibility,
+    explain_attribute,
+    sum_responsibility_estimate,
+    sum_search,
+)
+from repro.core.xtranslator import (
+    CausalRole,
+    Translation,
+    XDASemantics,
+    translate,
+    translate_variable,
+)
+
+__all__ = [
+    "explanation_to_dict",
+    "report_to_dict",
+    "report_to_json",
+    "report_to_markdown",
+    "FilterDecomposition",
+    "count_based_share",
+    "decompose_sum_delta",
+    "ChangeDirection",
+    "ChangeReport",
+    "ConjunctionExplanation",
+    "explain_change",
+    "explain_conjunction",
+    "product_attribute",
+    "AttributeExplanation",
+    "CausalRole",
+    "Explanation",
+    "ExplanationType",
+    "Translation",
+    "XDASemantics",
+    "XInsight",
+    "XInsightReport",
+    "XLearnerResult",
+    "XPlainerConfig",
+    "avg_search",
+    "brute_force_search",
+    "canonical_predicate_avg",
+    "canonical_predicate_sum",
+    "cross_product",
+    "exact_responsibility",
+    "sum_responsibility_estimate",
+    "explain_attribute",
+    "peel_fd_sinks",
+    "sum_search",
+    "translate",
+    "translate_variable",
+    "xlearner",
+]

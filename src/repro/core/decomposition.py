@@ -1,0 +1,86 @@
+"""SUM-delta decomposition (suppl. 8.2, "Principle of Explainability").
+
+The supplementary derives, for SUM = COUNT × AVG:
+
+    Δ = N · (P(F=f₁)·E[M|F=f₁] − P(F=f₂)·E[M|F=f₂])
+
+so a variable with no explainability (X ⫫ M | F) can still shift a SUM
+difference through the *row counts* of X's filters — the COUNT-based
+explanation the paper deems "unconventional and less of a concern"
+(Sec. 3.2).  This module makes the decomposition executable: per filter,
+the SUM delta splits into a count effect (holding the sibling means fixed)
+plus a mean effect (holding the counts fixed), which quantifies how much of
+an explanation is count-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.query import AttributeProfile
+from repro.errors import ExplanationError
+
+
+@dataclass(frozen=True)
+class FilterDecomposition:
+    """Per-filter split of the SUM delta."""
+
+    value: object
+    total: float
+    count_effect: float
+    mean_effect: float
+
+    @property
+    def count_share(self) -> float:
+        """|count effect| as a share of the two components' mass."""
+        denom = abs(self.count_effect) + abs(self.mean_effect)
+        if denom == 0:
+            return 0.0
+        return abs(self.count_effect) / denom
+
+
+def decompose_sum_delta(profile: AttributeProfile) -> list[FilterDecomposition]:
+    """Split each filter's Δ_i into count and mean effects.
+
+    With n₁ᵢ, n₂ᵢ the filter's row counts and μ₁ᵢ, μ₂ᵢ its per-sibling
+    means, Δᵢ = n₁ᵢμ₁ᵢ − n₂ᵢμ₂ᵢ decomposes around the pooled mean μ̄ᵢ:
+
+        count effect = (n₁ᵢ − n₂ᵢ)·μ̄ᵢ
+        mean  effect = n₁ᵢ(μ₁ᵢ − μ̄ᵢ) − n₂ᵢ(μ₂ᵢ − μ̄ᵢ)
+
+    which sum to Δᵢ exactly.  A filter whose delta is mostly count effect
+    is a COUNT-based explanation in the Sec. 3.2 sense.
+    """
+    from repro.data.aggregates import Aggregate
+
+    if profile.query.agg is not Aggregate.SUM:
+        raise ExplanationError("decompose_sum_delta requires a SUM query")
+    out: list[FilterDecomposition] = []
+    for i, value in enumerate(profile.values):
+        n1, n2 = float(profile.count1[i]), float(profile.count2[i])
+        s1, s2 = float(profile.sum1[i]), float(profile.sum2[i])
+        mu1 = s1 / n1 if n1 else 0.0
+        mu2 = s2 / n2 if n2 else 0.0
+        pooled = (s1 + s2) / (n1 + n2) if (n1 + n2) else 0.0
+        count_effect = (n1 - n2) * pooled
+        mean_effect = n1 * (mu1 - pooled) - n2 * (mu2 - pooled)
+        out.append(
+            FilterDecomposition(
+                value=value,
+                total=s1 - s2,
+                count_effect=count_effect,
+                mean_effect=mean_effect,
+            )
+        )
+    return out
+
+
+def count_based_share(profile: AttributeProfile) -> float:
+    """Aggregate count-effect share of the attribute's total |Δ| mass —
+    close to 1.0 means the attribute only 'explains' through row counts."""
+    parts = decompose_sum_delta(profile)
+    count_mass = sum(abs(p.count_effect) for p in parts)
+    total_mass = sum(abs(p.count_effect) + abs(p.mean_effect) for p in parts)
+    if total_mass == 0:
+        return 0.0
+    return count_mass / total_mass

@@ -1,0 +1,79 @@
+"""Explanation objects (Def. 2.2) and rendering.
+
+An explanation is the triplet ⟨type, predicate, responsibility⟩; XInsight
+additionally carries the qualitative sub-explanation (the Table 3 causal
+role) and the contingency so users can see *what else* would have to change
+(Fig. 1(e)-(g)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.xtranslator import CausalRole, XDASemantics
+from repro.data.filters import Predicate
+from repro.errors import ExplanationError
+
+
+class ExplanationType(enum.Enum):
+    CAUSAL = "causal"
+    NON_CAUSAL = "non-causal"
+
+    @classmethod
+    def from_semantics(cls, semantics: XDASemantics) -> "ExplanationType":
+        if semantics is XDASemantics.CAUSAL:
+            return cls.CAUSAL
+        if semantics is XDASemantics.NON_CAUSAL:
+            return cls.NON_CAUSAL
+        raise ExplanationError("a pruned variable cannot carry an explanation")
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Def. 2.2 triplet plus qualitative context."""
+
+    type: ExplanationType
+    predicate: Predicate
+    responsibility: float
+    attribute: str
+    role: CausalRole = CausalRole.NONE
+    score: float = 0.0
+    contingency: Predicate | None = None
+
+    def describe(self, measure: str, s1: str, s2: str) -> str:
+        """Fig. 1(f)/(g)-style sentence."""
+        pred = " ∨ ".join(str(f) for f in self.predicate.filters)
+        if self.type is ExplanationType.CAUSAL:
+            verb = "explains"
+        else:
+            verb = "is relevant to"
+        return (
+            f'Factor={self.attribute}. "{pred}" {verb} the difference on '
+            f"{measure} between {s1} and {s2} "
+            f"(responsibility = {self.responsibility:.2f})"
+        )
+
+    def as_row(self) -> tuple[str, str, float]:
+        """Fig. 1(e)-style table row: (type, predicate, responsibility)."""
+        return (
+            self.type.value,
+            str(self.predicate),
+            round(self.responsibility, 2),
+        )
+
+
+def cross_product(first: Explanation, second: Explanation) -> tuple[Predicate, Predicate]:
+    """Multi-dimensional explanation utility (Sec. 2.1 discussion).
+
+    The paper recommends single-dimensional explanations because the joint
+    causal semantics of several variables can be obscure; this helper exists
+    for callers who accept that caveat.  It returns the two predicates whose
+    conjunction (Cartesian product of filter sets) forms the
+    multi-dimensional explanation.
+    """
+    if first.attribute == second.attribute:
+        raise ExplanationError(
+            "a multi-dimensional explanation needs distinct attributes"
+        )
+    return first.predicate, second.predicate

@@ -1,0 +1,206 @@
+"""The end-to-end XInsight pipeline (Fig. 3).
+
+Offline phase: detect FDs and learn the FD-augmented PAG with XLearner
+(heavy; done once per dataset).  Online phase: per Why Query, XTranslator
+classifies every candidate variable and XPlainer searches the optimal
+predicate within each explainable one; results are ranked causal-first by
+the conciseness-regularized score.
+
+Numeric measures participate in the causal graph through discretized
+companion columns (Sec. 2.1's discretization), tracked via an alias map so
+queries and explanations still speak in terms of the raw measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.explanation import Explanation, ExplanationType
+from repro.core.xlearner import XLearnerResult, xlearner
+from repro.core.xplainer import XPlainerConfig, explain_attribute
+from repro.core.xtranslator import Translation, XDASemantics, translate
+from repro.data.discretize import discretize
+from repro.data.query import WhyQuery, candidate_attributes
+from repro.data.table import Table
+from repro.errors import QueryError
+from repro.graph.separation import m_separated
+from repro.independence.base import CITest
+
+
+@dataclass
+class XInsightReport:
+    """Everything the online phase produced for one Why Query."""
+
+    query: WhyQuery
+    delta: float
+    explanations: list[Explanation]
+    translations: dict[str, Translation]
+
+    def top(self, k: int = 5) -> list[Explanation]:
+        return self.explanations[:k]
+
+    def causal(self) -> list[Explanation]:
+        return [e for e in self.explanations if e.type is ExplanationType.CAUSAL]
+
+    def non_causal(self) -> list[Explanation]:
+        return [e for e in self.explanations if e.type is ExplanationType.NON_CAUSAL]
+
+
+@dataclass
+class XInsight:
+    """Facade tying XLearner, XTranslator and XPlainer together."""
+
+    table: Table
+    config: XPlainerConfig = field(default_factory=XPlainerConfig)
+    measure_bins: int = 5
+    alpha: float = 0.05
+    max_depth: int | None = None
+    max_dsep_size: int | None = 3
+
+    _graph_table: Table | None = None
+    _aliases: dict[str, str] = field(default_factory=dict)
+    _learner: XLearnerResult | None = None
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        columns: Sequence[str] | None = None,
+        ci_test: CITest | None = None,
+    ) -> "XInsight":
+        """Run the offline phase: discretize measures, detect FDs, XLearner."""
+        graph_table = self.table
+        aliases: dict[str, str] = {}
+        for measure in self.table.measures:
+            graph_table, _bins = discretize(
+                graph_table, measure, n_bins=self.measure_bins
+            )
+            aliases[measure] = f"{measure}_bin"
+        if columns is None:
+            columns = graph_table.dimensions
+        self._graph_table = graph_table
+        self._aliases = aliases
+        self._learner = xlearner(
+            graph_table,
+            columns=columns,
+            ci_test=ci_test,
+            alpha=self.alpha,
+            max_depth=self.max_depth,
+            max_dsep_size=self.max_dsep_size,
+        )
+        return self
+
+    @property
+    def learner(self) -> XLearnerResult:
+        if self._learner is None:
+            raise QueryError("call fit() before querying (offline phase missing)")
+        return self._learner
+
+    @property
+    def graph_table(self) -> Table:
+        """The fitted table including the discretized measure companions —
+        the table against which explanation predicates are expressed."""
+        if self._graph_table is None:
+            raise QueryError("call fit() before querying (offline phase missing)")
+        return self._graph_table
+
+    @property
+    def graph(self):
+        return self.learner.pag
+
+    def node_of(self, column: str) -> str:
+        """Graph node standing for a table column (bin alias for measures)."""
+        return self._aliases.get(column, column)
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+
+    def _resolve_candidates(self, query: WhyQuery) -> tuple[str, ...]:
+        assert self._graph_table is not None
+        exclude = [self.node_of(query.measure)]
+        reverse = {bin_col: measure for measure, bin_col in self._aliases.items()}
+        candidates: list[str] = []
+        for column in candidate_attributes(self._graph_table, query, exclude=exclude):
+            # Derived bin columns are surfaced under their measure's name so
+            # explanations read "LeadTime", not "LeadTime_bin" (Fig. 1(e)'s
+            # "Mid ≤ Stress ≤ High" style).
+            name = reverse.get(column, column)
+            if name == query.measure:
+                continue
+            if self.graph.has_node(self.node_of(name)):
+                candidates.append(name)
+        return tuple(dict.fromkeys(candidates))
+
+    def translations_for(self, query: WhyQuery) -> dict[str, Translation]:
+        """XTranslator output for every candidate variable of the query."""
+        return translate(
+            self.graph,
+            measure=query.measure,
+            context=query.context,
+            variables=self._resolve_candidates(query),
+            aliases=self._aliases,
+        )
+
+    def is_homogeneous(self, query: WhyQuery, attribute: str) -> bool:
+        """Def. 3.7: the siblings are homogeneous on ``attribute`` iff the
+        attribute and the foreground are m-separated given the background."""
+        ctx = query.context
+        graph = self.graph
+        node_x = self.node_of(attribute)
+        node_f = self.node_of(ctx.foreground)
+        background = [
+            self.node_of(b) for b in ctx.background if graph.has_node(self.node_of(b))
+        ]
+        if not graph.has_node(node_x) or not graph.has_node(node_f):
+            return False
+        return m_separated(graph, node_x, node_f, background, definite=False)
+
+    def explain(
+        self,
+        query: WhyQuery,
+        method: str = "auto",
+        config: XPlainerConfig | None = None,
+    ) -> XInsightReport:
+        """Answer a Why Query with ranked, typed explanations."""
+        if self._learner is None:
+            self.fit()
+        assert self._graph_table is not None
+        query = query.oriented(self._graph_table)
+        delta = query.delta(self._graph_table)
+        translations = self.translations_for(query)
+        config = config or self.config
+
+        explanations: list[Explanation] = []
+        for variable, verdict in translations.items():
+            if verdict.semantics is XDASemantics.NO_EXPLAINABILITY:
+                continue
+            attribute = self.node_of(variable)
+            found = explain_attribute(
+                self._graph_table,
+                query,
+                attribute,
+                config=config,
+                method=method,
+                homogeneous=self.is_homogeneous(query, variable),
+            )
+            if found is None:
+                continue
+            explanations.append(
+                Explanation(
+                    type=ExplanationType.from_semantics(verdict.semantics),
+                    predicate=found.predicate,
+                    responsibility=found.responsibility,
+                    attribute=variable,
+                    role=verdict.role,
+                    score=found.score,
+                    contingency=found.contingency,
+                )
+            )
+        explanations.sort(
+            key=lambda e: (e.type is not ExplanationType.CAUSAL, -e.score)
+        )
+        return XInsightReport(query, delta, explanations, translations)

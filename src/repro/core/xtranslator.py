@@ -1,0 +1,133 @@
+"""XTranslator (Sec. 3.2, Table 3): causal primitives → XDA semantics.
+
+Given a Why Query with target measure M and context (foreground F,
+background B), every remaining variable X is classified as
+
+* **no explainability** — X and M are m-separated by {F} ∪ B (Prop. 3.1):
+  then Δ(D) = Δ(D_{X=x}) in the large-sample limit and X cannot explain;
+* **causal explanation** — X is a parent (➁), ancestor (➂), almost parent
+  X o→ M (➃) or almost ancestor (➄) of M on the learned PAG;
+* **non-causal explanation** — everything else (➅).
+
+The m-separation check runs in the *conservative* PAG mode: a variable is
+pruned only when it is separated in every MAG of the equivalence class, so
+rule ➀ never discards a potentially useful explanation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.data.filters import Context
+from repro.errors import QueryError
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.pag import is_almost_ancestor, is_almost_parent, is_ancestor
+from repro.graph.separation import m_separated
+
+
+class XDASemantics(enum.Enum):
+    """Table 3 output classes."""
+
+    NO_EXPLAINABILITY = "no explainability"
+    CAUSAL = "causal explanation"
+    NON_CAUSAL = "non-causal explanation"
+
+
+class CausalRole(enum.Enum):
+    """Which Table 3 row fired (the causal primitive)."""
+
+    PARENT = "parent"                  # ➁ X → M
+    ANCESTOR = "ancestor"              # ➂ X → ... → M
+    ALMOST_PARENT = "almost parent"    # ➃ X o→ M
+    ALMOST_ANCESTOR = "almost ancestor"  # ➄ X o→ ... o→ M
+    NONE = "n/a"                       # ➀ / ➅
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Per-variable verdict of XTranslator."""
+
+    variable: str
+    semantics: XDASemantics
+    role: CausalRole
+
+    @property
+    def is_explainable(self) -> bool:
+        return self.semantics is not XDASemantics.NO_EXPLAINABILITY
+
+    @property
+    def is_causal(self) -> bool:
+        return self.semantics is XDASemantics.CAUSAL
+
+
+def translate_variable(
+    graph: MixedGraph,
+    variable: str,
+    measure: str,
+    context: Iterable[str],
+) -> Translation:
+    """Classify one variable against Table 3."""
+    cond = [c for c in context if c != variable and graph.has_node(c)]
+    if m_separated(graph, variable, measure, cond, definite=False):
+        return Translation(variable, XDASemantics.NO_EXPLAINABILITY, CausalRole.NONE)
+    if graph.is_parent(variable, measure):
+        return Translation(variable, XDASemantics.CAUSAL, CausalRole.PARENT)
+    if is_ancestor(graph, variable, measure):
+        return Translation(variable, XDASemantics.CAUSAL, CausalRole.ANCESTOR)
+    if is_almost_parent(graph, variable, measure):
+        return Translation(variable, XDASemantics.CAUSAL, CausalRole.ALMOST_PARENT)
+    if is_almost_ancestor(graph, variable, measure):
+        return Translation(variable, XDASemantics.CAUSAL, CausalRole.ALMOST_ANCESTOR)
+    return Translation(variable, XDASemantics.NON_CAUSAL, CausalRole.NONE)
+
+
+def translate(
+    graph: MixedGraph,
+    measure: str,
+    context: Context | Sequence[str],
+    variables: Sequence[str] | None = None,
+    aliases: Mapping[str, str] | None = None,
+) -> dict[str, Translation]:
+    """Run XTranslator for every candidate variable.
+
+    Parameters
+    ----------
+    measure:
+        The graph node standing for the target measure (for a numeric
+        measure this is typically its discretized companion column).
+    context:
+        The query context (foreground + background variables).
+    variables:
+        Candidates to classify; defaults to every node except the measure
+        and the context.
+    aliases:
+        Optional mapping variable-name → graph-node-name, for callers whose
+        table columns (e.g. raw measures) are represented by derived graph
+        nodes (e.g. bin columns).
+    """
+    aliases = dict(aliases or {})
+
+    def node_of(name: str) -> str:
+        return aliases.get(name, name)
+
+    measure_node = node_of(measure)
+    if not graph.has_node(measure_node):
+        raise QueryError(f"measure node {measure_node!r} missing from the graph")
+    context_vars = (
+        list(context.variables) if isinstance(context, Context) else list(context)
+    )
+    context_nodes = [node_of(c) for c in context_vars]
+    if variables is None:
+        excluded = {measure_node, *context_nodes}
+        variables = [n for n in graph.nodes if n not in excluded]
+
+    out: dict[str, Translation] = {}
+    for var in variables:
+        node = node_of(var)
+        if not graph.has_node(node):
+            raise QueryError(f"variable {var!r} (node {node!r}) not in the graph")
+        verdict = translate_variable(graph, node, measure_node, context_nodes)
+        out[var] = Translation(var, verdict.semantics, verdict.role)
+    return out

@@ -1,0 +1,44 @@
+"""Multi-dimensional data substrate (Sec. 2.1 of the paper).
+
+Public surface: the columnar :class:`Table`, the filter/predicate/subspace
+algebra, aggregates, Why Queries, discretization and CSV I/O.
+"""
+
+from repro.data.aggregates import Aggregate, parse_aggregate
+from repro.data.cleaning import drop_missing, missing_mask, summarize_missing
+from repro.data.column import CategoricalColumn, NumericColumn
+from repro.data.discretize import Bin, discretize
+from repro.data.groupby import GroupByResult, GroupedValue, group_by, why_query_from_top_difference
+from repro.data.filters import Context, Filter, Predicate, Subspace
+from repro.data.io import read_csv, write_csv
+from repro.data.query import AttributeProfile, WhyQuery, candidate_attributes
+from repro.data.schema import Role, Schema
+from repro.data.table import Table
+
+__all__ = [
+    "drop_missing",
+    "missing_mask",
+    "summarize_missing",
+    "GroupByResult",
+    "GroupedValue",
+    "group_by",
+    "why_query_from_top_difference",
+    "Aggregate",
+    "AttributeProfile",
+    "Bin",
+    "CategoricalColumn",
+    "Context",
+    "Filter",
+    "NumericColumn",
+    "Predicate",
+    "Role",
+    "Schema",
+    "Subspace",
+    "Table",
+    "WhyQuery",
+    "candidate_attributes",
+    "discretize",
+    "parse_aggregate",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,71 @@
+"""Aggregate functions over measures (Sec. 2.1).
+
+The paper's Why Query (Def. 2.1) is parameterized by an aggregate ``agg``
+applied to the target measure within each sibling subspace.  The evaluation
+covers SUM and AVG; COUNT is included because the SUM analysis (Sec. 3.2)
+decomposes SUM = COUNT × AVG.
+
+Aggregates are intentionally tiny objects: the heavy lifting (group sums)
+lives in :mod:`repro.data.query`, which exploits additivity where available.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Aggregate(enum.Enum):
+    """Supported aggregate functions."""
+
+    SUM = "SUM"
+    AVG = "AVG"
+    COUNT = "COUNT"
+
+    @property
+    def is_additive(self) -> bool:
+        """SUM/COUNT are additive over disjoint row sets; AVG is not.
+
+        Additivity is the property XPlainer's O(m log m) SUM fast path
+        (Prop. 3.2 onward) relies on: Δ(D_{P1} + D_{P2}) = Δ(D_{P1}) + Δ(D_{P2}).
+        """
+        return self in (Aggregate.SUM, Aggregate.COUNT)
+
+    def compute(self, values: np.ndarray) -> float:
+        """Evaluate the aggregate on a vector of measure values.
+
+        AVG of an empty selection is defined as 0.0 (the paper's Δ is then
+        unaffected by an empty sibling; this matches treating the aggregate
+        of no rows as contributing nothing to the difference).
+        """
+        if self is Aggregate.COUNT:
+            return float(values.size)
+        if values.size == 0:
+            return 0.0
+        if self is Aggregate.SUM:
+            return float(np.sum(values))
+        return float(np.mean(values))
+
+    def from_sums(self, total: float, count: float) -> float:
+        """Evaluate the aggregate from precomputed (sum, count) statistics."""
+        if self is Aggregate.COUNT:
+            return float(count)
+        if self is Aggregate.SUM:
+            return float(total)
+        if count <= 0:
+            return 0.0
+        return float(total) / float(count)
+
+
+def parse_aggregate(name: str | Aggregate) -> Aggregate:
+    """Parse a case-insensitive aggregate name ('sum', 'AVG', ...)."""
+    if isinstance(name, Aggregate):
+        return name
+    try:
+        return Aggregate[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate {name!r}; expected one of "
+            f"{[a.value for a in Aggregate]}"
+        ) from None

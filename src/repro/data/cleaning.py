@@ -1,0 +1,66 @@
+"""Preprocessing utilities (Sec. 4.1: "We make necessary preprocessing
+before feeding to XInsight (e.g., remove missing values)").
+
+Missing values are ``None`` in dimension columns and NaN in measures;
+:func:`drop_missing` removes the affected rows, :func:`missing_mask`
+reports them, and :func:`summarize_missing` gives per-column counts for
+logging before the drop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.column import CategoricalColumn
+from repro.data.table import Table
+
+
+def _dimension_missing(column: CategoricalColumn) -> np.ndarray:
+    missing_codes = [
+        i
+        for i, category in enumerate(column.categories)
+        if category is None
+        or (isinstance(category, float) and math.isnan(category))
+        or (isinstance(category, str) and category.strip() == "")
+    ]
+    if not missing_codes:
+        return np.zeros(len(column), dtype=bool)
+    return np.isin(column.codes, np.asarray(missing_codes))
+
+
+def missing_mask(table: Table) -> np.ndarray:
+    """Boolean row mask: True where any column has a missing value."""
+    mask = np.zeros(table.n_rows, dtype=bool)
+    for name in table.dimensions:
+        col = table.column(name)
+        assert isinstance(col, CategoricalColumn)
+        mask |= _dimension_missing(col)
+    for name in table.measures:
+        mask |= ~np.isfinite(table.measure_values(name))
+    return mask
+
+
+def summarize_missing(table: Table) -> dict[str, int]:
+    """Per-column missing-row counts (only columns with any missing)."""
+    out: dict[str, int] = {}
+    for name in table.dimensions:
+        col = table.column(name)
+        assert isinstance(col, CategoricalColumn)
+        count = int(_dimension_missing(col).sum())
+        if count:
+            out[name] = count
+    for name in table.measures:
+        count = int((~np.isfinite(table.measure_values(name))).sum())
+        if count:
+            out[name] = count
+    return out
+
+
+def drop_missing(table: Table) -> Table:
+    """Return the table without rows carrying missing values."""
+    mask = missing_mask(table)
+    if not mask.any():
+        return table
+    return table.select(~mask)

@@ -1,0 +1,101 @@
+"""Column storage for the columnar :class:`~repro.data.table.Table`.
+
+Two concrete column kinds mirror the paper's attribute taxonomy (Sec. 2.1):
+
+* :class:`CategoricalColumn` — a *dimension*: values are stored as integer
+  codes into an immutable category list, which makes equality filters,
+  group-bys and contingency tables O(n) integer operations.
+* :class:`NumericColumn` — a *measure*: a float64 vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class CategoricalColumn:
+    """Dimension column: integer codes plus the category lookup table."""
+
+    codes: np.ndarray
+    categories: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.codes, dtype=np.int64)
+        object.__setattr__(self, "codes", codes)
+        if codes.ndim != 1:
+            raise SchemaError("categorical codes must be one-dimensional")
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.categories)):
+            raise SchemaError(
+                f"codes out of range for {len(self.categories)} categories"
+            )
+
+    @classmethod
+    def from_values(cls, values: Iterable[Hashable]) -> "CategoricalColumn":
+        """Encode raw values, assigning codes in order of first appearance."""
+        seen: dict[Hashable, int] = {}
+        codes: list[int] = []
+        for value in values:
+            code = seen.get(value)
+            if code is None:
+                code = len(seen)
+                seen[value] = code
+            codes.append(code)
+        return cls(np.asarray(codes, dtype=np.int64), tuple(seen))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct categories (including unobserved ones)."""
+        return len(self.categories)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def decode(self) -> list[Hashable]:
+        """Materialize the raw values."""
+        return [self.categories[code] for code in self.codes]
+
+    def code_of(self, value: Hashable) -> int:
+        """Return the integer code of ``value``; raise if not a category."""
+        try:
+            return self.categories.index(value)
+        except ValueError:
+            raise SchemaError(
+                f"value {value!r} is not a category of this column"
+            ) from None
+
+    def take(self, indices: np.ndarray) -> "CategoricalColumn":
+        """Row subset preserving the category table."""
+        return CategoricalColumn(self.codes[indices], self.categories)
+
+
+@dataclass(frozen=True)
+class NumericColumn:
+    """Measure column: a one-dimensional float64 vector."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "values", values)
+        if values.ndim != 1:
+            raise SchemaError("numeric values must be one-dimensional")
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "NumericColumn":
+        return cls(np.asarray(values, dtype=np.float64))
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def take(self, indices: np.ndarray) -> "NumericColumn":
+        """Row subset."""
+        return NumericColumn(self.values[indices])
+
+
+Column = CategoricalColumn | NumericColumn

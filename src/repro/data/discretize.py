@@ -1,0 +1,100 @@
+"""Measure discretization (Sec. 2.1, "Aggregation and Discretization").
+
+When a measure is used *as an explanation attribute* (e.g. the "Mid ≤ Stress
+≤ High" predicate in Fig. 1(e)), its numeric values must first be transformed
+into discrete bins forming a derived categorical variable.  A predicate on
+the derived dimension is then an assertion on ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, order=True)
+class Bin:
+    """Half-open value range ``[low, high)``; the last bin is closed above."""
+
+    low: float
+    high: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value < self.high
+
+    def __str__(self) -> str:
+        return f"[{self.low:.4g}, {self.high:.4g})"
+
+
+def equal_width_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Bin edges splitting [min, max] into ``n_bins`` equal-width intervals."""
+    if n_bins < 1:
+        raise SchemaError("need at least one bin")
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if lo == hi:
+        hi = lo + 1.0
+    return np.linspace(lo, hi, n_bins + 1)
+
+def equal_frequency_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Bin edges at quantiles so each bin holds ≈ the same number of rows."""
+    if n_bins < 1:
+        raise SchemaError("need at least one bin")
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.quantile(values, quantiles)
+    # Collapse duplicate edges (heavy ties) but keep the outermost pair.
+    edges = np.unique(edges)
+    if edges.size < 2:
+        edges = np.array([edges[0], edges[0] + 1.0])
+    return edges
+
+
+def discretize(
+    table: Table,
+    measure: str,
+    n_bins: int = 5,
+    method: str = "frequency",
+    new_name: str | None = None,
+) -> tuple[Table, tuple[Bin, ...]]:
+    """Append a derived dimension binning ``measure``.
+
+    Parameters
+    ----------
+    method:
+        ``"width"`` for equal-width bins, ``"frequency"`` for equal-frequency
+        (quantile) bins — the default, which is robust to skew.
+
+    Returns
+    -------
+    (table, bins):
+        The table with the new dimension column (named ``f"{measure}_bin"``
+        unless overridden) and the bin ranges, ordered to match the
+        category codes of the new column.
+    """
+    if method not in ("width", "frequency"):
+        raise SchemaError(f"unknown discretization method {method!r}")
+    values = table.measure_values(measure)
+    name = new_name or f"{measure}_bin"
+    distinct = np.unique(values)
+    if distinct.size <= n_bins:
+        # Binary / low-cardinality measures (e.g. a 0/1 cancellation flag):
+        # quantile edges would collapse everything into one bin, so use the
+        # distinct values themselves as singleton categories.
+        bins = tuple(Bin(float(v), float(v)) for v in distinct)
+        labels = [f"={values[i]:.4g}" for i in range(len(values))]
+        return table.with_column(name, labels, role=Role.DIMENSION), bins
+    if method == "width":
+        edges = equal_width_edges(values, n_bins)
+    else:
+        edges = equal_frequency_edges(values, n_bins)
+    bins = tuple(
+        Bin(float(edges[i]), float(edges[i + 1])) for i in range(len(edges) - 1)
+    )
+    # np.digitize with right-open bins; clamp the maximum into the last bin.
+    idx = np.digitize(values, edges[1:-1], right=False)
+    labels = [str(bins[i]) for i in idx]
+    return table.with_column(name, labels, role=Role.DIMENSION), bins

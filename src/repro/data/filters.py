@@ -1,0 +1,176 @@
+"""Filters, predicates, subspaces and contexts (Sec. 2.1).
+
+* :class:`Filter` — equality assertion ``{X = x}`` on one dimension.
+* :class:`Predicate` — disjunction of filters on the *same* dimension,
+  i.e. a set-containment assertion ``{X = x1 ∨ ... ∨ X = xk}``.
+* :class:`Subspace` — conjunction of filters on *disjoint* dimensions;
+  two subspaces differing in exactly one filter are **siblings**, and the
+  differing dimension is the **foreground** variable while the shared ones
+  are **background** variables (Ex. 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Filter:
+    """Equality filter ``{dimension = value}`` (the basic unit of data ops)."""
+
+    dimension: str
+    value: Hashable
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean row mask of the rows satisfying the filter."""
+        codes = table.codes(self.dimension)
+        categories = table.categories(self.dimension)
+        if self.value not in categories:
+            return np.zeros(table.n_rows, dtype=bool)
+        return codes == categories.index(self.value)
+
+    def __str__(self) -> str:
+        return f"{self.dimension}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Disjunction of filters on a single dimension (Def. in Sec. 2.1).
+
+    A :class:`Filter` is the special case ``len(values) == 1``.
+    """
+
+    dimension: str
+    values: frozenset[Hashable]
+
+    @classmethod
+    def of(cls, dimension: str, values: Iterable[Hashable]) -> "Predicate":
+        values = frozenset(values)
+        if not values:
+            raise QueryError("a predicate needs at least one value")
+        return cls(dimension, values)
+
+    @classmethod
+    def from_filters(cls, filters: Iterable[Filter]) -> "Predicate":
+        filters = list(filters)
+        dims = {f.dimension for f in filters}
+        if len(dims) != 1:
+            raise QueryError(
+                f"a predicate joins filters on one dimension, got {sorted(dims)!r}"
+            )
+        return cls.of(filters[0].dimension, (f.value for f in filters))
+
+    @property
+    def filters(self) -> tuple[Filter, ...]:
+        """The constituent filters, sorted for determinism."""
+        return tuple(
+            Filter(self.dimension, v) for v in sorted(self.values, key=repr)
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean row mask of rows whose dimension value is in the set."""
+        codes = table.codes(self.dimension)
+        categories = table.categories(self.dimension)
+        wanted = np.array(
+            [i for i, c in enumerate(categories) if c in self.values], dtype=np.int64
+        )
+        return np.isin(codes, wanted)
+
+    def union(self, other: "Predicate") -> "Predicate":
+        if other.dimension != self.dimension:
+            raise QueryError("cannot union predicates on different dimensions")
+        return Predicate(self.dimension, self.values | other.values)
+
+    def __str__(self) -> str:
+        vals = " ∨ ".join(f"{self.dimension}={v!r}" for v in sorted(self.values, key=repr))
+        return f"({vals})"
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """Conjunction of filters on pairwise-disjoint dimensions."""
+
+    filters: tuple[Filter, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.filters))
+        object.__setattr__(self, "filters", ordered)
+        dims = [f.dimension for f in ordered]
+        if len(set(dims)) != len(dims):
+            raise QueryError(f"subspace repeats dimensions: {dims!r}")
+
+    @classmethod
+    def of(cls, **assignments: Hashable) -> "Subspace":
+        """Convenience constructor: ``Subspace.of(Location="A")``."""
+        return cls(tuple(Filter(d, v) for d, v in assignments.items()))
+
+    @property
+    def dimensions(self) -> tuple[str, ...]:
+        return tuple(f.dimension for f in self.filters)
+
+    def value_of(self, dimension: str) -> Hashable:
+        for f in self.filters:
+            if f.dimension == dimension:
+                return f.value
+        raise QueryError(f"subspace has no filter on {dimension!r}")
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean row mask: conjunction of all filter masks."""
+        mask = np.ones(table.n_rows, dtype=bool)
+        for f in self.filters:
+            mask &= f.mask(table)
+        return mask
+
+    def is_sibling_of(self, other: "Subspace") -> bool:
+        """True iff the two subspaces differ in exactly one filter's value
+        on the same dimension (Sec. 2.1)."""
+        if self.dimensions != other.dimensions:
+            return False
+        diff = [
+            f for f, g in zip(self.filters, other.filters) if f.value != g.value
+        ]
+        return len(diff) == 1
+
+    def foreground_dimension(self, other: "Subspace") -> str:
+        """The dimension on which two sibling subspaces differ."""
+        if not self.is_sibling_of(other):
+            raise QueryError(f"{self} and {other} are not sibling subspaces")
+        for f, g in zip(self.filters, other.filters):
+            if f.value != g.value:
+                return f.dimension
+        raise QueryError("unreachable: siblings must differ somewhere")
+
+    def background_dimensions(self, other: "Subspace") -> tuple[str, ...]:
+        """The dimensions shared (with equal filters) by two siblings."""
+        fg = self.foreground_dimension(other)
+        return tuple(d for d in self.dimensions if d != fg)
+
+    def __str__(self) -> str:
+        if not self.filters:
+            return "⊤"
+        return " ∧ ".join(str(f) for f in self.filters)
+
+
+@dataclass(frozen=True)
+class Context:
+    """The context of a Why Query: foreground + background variables."""
+
+    foreground: str
+    background: tuple[str, ...]
+
+    @classmethod
+    def from_siblings(cls, s1: Subspace, s2: Subspace) -> "Context":
+        return cls(s1.foreground_dimension(s2), s1.background_dimensions(s2))
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return (self.foreground, *self.background)

@@ -1,0 +1,129 @@
+"""Group-by aggregation — the EDA output that motivates Why Queries.
+
+Fig. 1(b)'s bar chart is ``AVG(LungCancer) GROUP BY Location``; a user eyes
+the bars, spots a difference, and raises a Why Query.  This module provides
+that front half of the workflow: grouped aggregates, the top differences
+between sibling groups, and a helper that turns the largest difference into
+a ready-made :class:`~repro.data.query.WhyQuery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.data.aggregates import Aggregate, parse_aggregate
+from repro.data.filters import Subspace
+from repro.data.query import WhyQuery
+from repro.data.table import Table
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class GroupedValue:
+    """One bar of the group-by chart."""
+
+    key: tuple[Hashable, ...]
+    value: float
+    count: int
+
+
+@dataclass(frozen=True)
+class GroupByResult:
+    """Grouped aggregate values, ordered by key."""
+
+    dimensions: tuple[str, ...]
+    measure: str
+    agg: Aggregate
+    groups: tuple[GroupedValue, ...]
+
+    def value_of(self, *key: Hashable) -> float:
+        for group in self.groups:
+            if group.key == key:
+                return group.value
+        raise QueryError(f"no group {key!r}")
+
+    def top_differences(self, k: int = 5) -> list[tuple[GroupedValue, GroupedValue, float]]:
+        """Largest pairwise |difference| between single-dimension groups.
+
+        Only meaningful for one grouping dimension (sibling subspaces);
+        multi-dimension group-bys raise.
+        """
+        if len(self.dimensions) != 1:
+            raise QueryError("top_differences needs a single grouping dimension")
+        out = []
+        for i, a in enumerate(self.groups):
+            for b in self.groups[i + 1 :]:
+                out.append((a, b, abs(a.value - b.value)))
+        out.sort(key=lambda t: -t[2])
+        return out[:k]
+
+
+def group_by(
+    table: Table,
+    dimensions: Sequence[str] | str,
+    measure: str,
+    agg: Aggregate | str = Aggregate.AVG,
+) -> GroupByResult:
+    """Aggregate ``measure`` per configuration of ``dimensions``."""
+    if isinstance(dimensions, str):
+        dimensions = (dimensions,)
+    dimensions = tuple(dimensions)
+    if not dimensions:
+        raise QueryError("group_by needs at least one dimension")
+    agg = parse_aggregate(agg)
+    values = table.measure_values(measure)
+
+    strides: list[int] = []
+    total = 1
+    for dim in dimensions:
+        strides.append(table.cardinality(dim))
+        total *= table.cardinality(dim)
+    config = np.zeros(table.n_rows, dtype=np.int64)
+    for dim, card in zip(dimensions, strides):
+        config = config * card + table.codes(dim)
+
+    counts = np.bincount(config, minlength=total)
+    sums = np.bincount(config, weights=values, minlength=total)
+
+    groups: list[GroupedValue] = []
+    categories = [table.categories(d) for d in dimensions]
+    for flat in np.flatnonzero(counts):
+        key: list[Hashable] = []
+        remainder = int(flat)
+        for card, cats in zip(reversed(strides), reversed(categories)):
+            key.append(cats[remainder % card])
+            remainder //= card
+        key.reverse()
+        groups.append(
+            GroupedValue(
+                key=tuple(key),
+                value=agg.from_sums(float(sums[flat]), float(counts[flat])),
+                count=int(counts[flat]),
+            )
+        )
+    groups.sort(key=lambda g: tuple(repr(k) for k in g.key))
+    return GroupByResult(dimensions, measure, agg, tuple(groups))
+
+
+def why_query_from_top_difference(
+    table: Table,
+    dimension: str,
+    measure: str,
+    agg: Aggregate | str = Aggregate.AVG,
+) -> WhyQuery:
+    """Spot the largest single-dimension difference and raise the Why Query
+    for it (the EDA → XDA hand-off of Fig. 1(a)–(b))."""
+    result = group_by(table, dimension, measure, agg)
+    if len(result.groups) < 2:
+        raise QueryError(f"dimension {dimension!r} has fewer than two groups")
+    a, b, _ = result.top_differences(1)[0]
+    high, low = (a, b) if a.value >= b.value else (b, a)
+    return WhyQuery.create(
+        Subspace.of(**{dimension: high.key[0]}),
+        Subspace.of(**{dimension: low.key[0]}),
+        measure,
+        agg,
+    )

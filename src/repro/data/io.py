@@ -1,0 +1,66 @@
+"""CSV input/output for :class:`~repro.data.table.Table`.
+
+A deliberately small reader/writer: quoted CSV via the standard library,
+with role inference (numeric-looking columns become measures) that can be
+overridden per column.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+
+def _coerce(raw: list[str]) -> list[object]:
+    """Parse a raw string column into floats if every entry is numeric."""
+    out: list[object] = []
+    numeric = True
+    for cell in raw:
+        if cell == "":
+            numeric = False
+            break
+        try:
+            out.append(float(cell))
+        except ValueError:
+            numeric = False
+            break
+    if numeric and len(out) == len(raw):
+        return out
+    return list(raw)
+
+
+def read_csv(path: str | Path, roles: Mapping[str, Role] | None = None) -> Table:
+    """Load a CSV file with a header row into a :class:`Table`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        rows = [row for row in reader if row]
+    for row in rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row width {len(row)} does not match header {len(header)}"
+            )
+    data = {
+        name: _coerce([row[i] for row in rows]) for i, name in enumerate(header)
+    }
+    return Table.from_columns(data, roles)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    columns = [table.values(name) for name in table.schema.columns]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.columns)
+        for i in range(table.n_rows):
+            writer.writerow([col[i] for col in columns])

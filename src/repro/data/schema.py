@@ -1,0 +1,78 @@
+"""Schema for multi-dimensional data (Sec. 2.1 of the paper).
+
+A multi-dimensional dataset ``D = {X1, ..., Xn}`` consists of *attributes*
+that are either categorical (called **dimensions**) or numerical (called
+**measures**), following the terminology of QuickInsights [11] and
+MetaInsight [28] adopted by the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class Role(enum.Enum):
+    """Role of an attribute in multi-dimensional data.
+
+    ``DIMENSION`` attributes are categorical; ``MEASURE`` attributes are
+    numerical and can be aggregated (SUM/AVG/...) or discretized into a
+    derived dimension.
+    """
+
+    DIMENSION = "dimension"
+    MEASURE = "measure"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered mapping of column names to :class:`Role`.
+
+    The column order is meaningful (it is the display order of the
+    spreadsheet) but all lookups are by name.
+    """
+
+    columns: tuple[str, ...]
+    roles: dict[str, Role] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in {self.columns!r}")
+        missing = [c for c in self.columns if c not in self.roles]
+        if missing:
+            raise SchemaError(f"columns missing a role: {missing!r}")
+        extra = [c for c in self.roles if c not in self.columns]
+        if extra:
+            raise SchemaError(f"roles for unknown columns: {extra!r}")
+
+    @property
+    def dimensions(self) -> tuple[str, ...]:
+        """Names of categorical attributes, in schema order."""
+        return tuple(c for c in self.columns if self.roles[c] is Role.DIMENSION)
+
+    @property
+    def measures(self) -> tuple[str, ...]:
+        """Names of numerical attributes, in schema order."""
+        return tuple(c for c in self.columns if self.roles[c] is Role.MEASURE)
+
+    def role(self, column: str) -> Role:
+        """Return the role of ``column``, raising :class:`SchemaError` if unknown."""
+        try:
+            return self.roles[column]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {column!r}; known columns: {list(self.columns)!r}"
+            ) from None
+
+    def require(self, column: str, role: Role) -> None:
+        """Assert that ``column`` exists and has the given ``role``."""
+        actual = self.role(column)
+        if actual is not role:
+            raise SchemaError(
+                f"column {column!r} has role {actual.value!r}, expected {role.value!r}"
+            )
+
+    def __contains__(self, column: object) -> bool:
+        return column in self.roles

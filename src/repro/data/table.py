@@ -1,0 +1,233 @@
+"""Columnar multi-dimensional data table (Sec. 2.1).
+
+:class:`Table` is the spreadsheet-style representation of multi-dimensional
+data that every XInsight module consumes.  It is deliberately minimal: rows
+are assumed i.i.d. (the paper's standing assumption), columns are typed by
+:class:`~repro.data.schema.Role`, and all row-subset operations are expressed
+through boolean masks so that selection composes with numpy vectorization.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.column import CategoricalColumn, Column, NumericColumn
+from repro.data.schema import Role, Schema
+from repro.errors import SchemaError
+
+
+def _infer_role(values: Sequence[object]) -> Role:
+    """Infer DIMENSION for non-numeric data, MEASURE for numeric data."""
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return Role.DIMENSION
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return Role.MEASURE
+        return Role.DIMENSION
+    return Role.DIMENSION
+
+
+class Table:
+    """Immutable columnar table with typed dimension/measure columns."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Column]) -> None:
+        if set(schema.columns) != set(columns):
+            raise SchemaError(
+                f"schema columns {schema.columns!r} do not match data columns "
+                f"{sorted(columns)!r}"
+            )
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths!r}")
+        for name in schema.columns:
+            role = schema.role(name)
+            col = columns[name]
+            if role is Role.DIMENSION and not isinstance(col, CategoricalColumn):
+                raise SchemaError(f"dimension {name!r} needs a CategoricalColumn")
+            if role is Role.MEASURE and not isinstance(col, NumericColumn):
+                raise SchemaError(f"measure {name!r} needs a NumericColumn")
+        self._schema = schema
+        self._columns = dict(columns)
+        self._n_rows = next(iter(lengths.values())) if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        data: Mapping[str, Sequence[object]],
+        roles: Mapping[str, Role] | None = None,
+    ) -> "Table":
+        """Build a table from raw per-column values, inferring roles if absent.
+
+        >>> t = Table.from_columns({"city": ["a", "b"], "pop": [1.0, 2.0]})
+        >>> t.schema.roles["city"] is Role.DIMENSION
+        True
+        """
+        roles = dict(roles) if roles else {}
+        columns: dict[str, Column] = {}
+        for name, values in data.items():
+            role = roles.get(name)
+            if role is None:
+                role = _infer_role(list(values))
+                roles[name] = role
+            if role is Role.DIMENSION:
+                columns[name] = CategoricalColumn.from_values(values)
+            else:
+                columns[name] = NumericColumn.from_values(values)  # type: ignore[arg-type]
+        schema = Schema(tuple(data), roles)
+        return cls(schema, columns)
+
+    @classmethod
+    def from_rows(
+        cls,
+        names: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        roles: Mapping[str, Role] | None = None,
+    ) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        materialized = [list(row) for row in rows]
+        data = {
+            name: [row[i] for row in materialized] for i, name in enumerate(names)
+        }
+        return cls.from_columns(data, roles)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def dimensions(self) -> tuple[str, ...]:
+        return self._schema.dimensions
+
+    @property
+    def measures(self) -> tuple[str, ...]:
+        return self._schema.measures
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def codes(self, dimension: str) -> np.ndarray:
+        """Integer codes of a dimension column."""
+        self._schema.require(dimension, Role.DIMENSION)
+        col = self._columns[dimension]
+        assert isinstance(col, CategoricalColumn)
+        return col.codes
+
+    def categories(self, dimension: str) -> tuple[Hashable, ...]:
+        """Category values of a dimension column."""
+        self._schema.require(dimension, Role.DIMENSION)
+        col = self._columns[dimension]
+        assert isinstance(col, CategoricalColumn)
+        return col.categories
+
+    def cardinality(self, dimension: str) -> int:
+        """Number of categories of ``dimension`` (paper: used by Alg. 1 line 6)."""
+        return len(self.categories(dimension))
+
+    def measure_values(self, measure: str) -> np.ndarray:
+        """Float values of a measure column."""
+        self._schema.require(measure, Role.MEASURE)
+        col = self._columns[measure]
+        assert isinstance(col, NumericColumn)
+        return col.values
+
+    def values(self, name: str) -> list[object]:
+        """Decoded raw values of any column."""
+        col = self.column(name)
+        if isinstance(col, CategoricalColumn):
+            return col.decode()
+        return list(col.values)
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Return the sub-table of rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            indices = np.flatnonzero(mask)
+        else:
+            indices = mask.astype(np.int64)
+        columns = {name: col.take(indices) for name, col in self._columns.items()}
+        return Table(self._schema, columns)
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return self.select(np.arange(min(n, self._n_rows)))
+
+    # ------------------------------------------------------------------
+    # Column operations
+    # ------------------------------------------------------------------
+
+    def with_column(
+        self, name: str, values: Sequence[object], role: Role | None = None
+    ) -> "Table":
+        """Return a new table with an added (or replaced) column."""
+        if role is None:
+            role = _infer_role(list(values))
+        if role is Role.DIMENSION:
+            col: Column = CategoricalColumn.from_values(values)
+        else:
+            col = NumericColumn.from_values(values)  # type: ignore[arg-type]
+        if len(col) != self._n_rows and self._n_rows:
+            raise SchemaError(
+                f"column {name!r} has {len(col)} rows, table has {self._n_rows}"
+            )
+        columns = dict(self._columns)
+        columns[name] = col
+        names = self._schema.columns if name in self._schema.columns else (
+            *self._schema.columns,
+            name,
+        )
+        roles = dict(self._schema.roles)
+        roles[name] = role
+        return Table(Schema(names, roles), columns)
+
+    def drop_columns(self, names: Iterable[str]) -> "Table":
+        """Return a new table without the given columns."""
+        drop = set(names)
+        unknown = drop - set(self._schema.columns)
+        if unknown:
+            raise SchemaError(f"cannot drop unknown columns {sorted(unknown)!r}")
+        keep = tuple(c for c in self._schema.columns if c not in drop)
+        roles = {c: self._schema.roles[c] for c in keep}
+        columns = {c: self._columns[c] for c in keep}
+        return Table(Schema(keep, roles), columns)
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Return a new table with only the given columns, in the given order."""
+        roles = {c: self._schema.role(c) for c in names}
+        columns = {c: self.column(c) for c in names}
+        return Table(Schema(tuple(names), roles), columns)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{c}:{self._schema.roles[c].value[0].upper()}" for c in self._schema.columns
+        )
+        return f"Table({self._n_rows} rows; {cols})"

@@ -1,0 +1,29 @@
+"""Datasets: synthetic benchmarks and simulated stand-ins for the paper's
+public/production data (see DESIGN.md §1.4 for the substitution notes)."""
+
+from repro.datasets.cityinfo import generate_cityinfo
+from repro.datasets.flight import generate_flight
+from repro.datasets.hotel import generate_hotel
+from repro.datasets.lungcancer import generate_lungcancer, lungcancer_truth_graph
+from repro.datasets.random_graphs import BayesNet, attach_fd_children, random_dag
+from repro.datasets.syn_a import SynACase, generate_syn_a
+from repro.datasets.syn_b import SynBCase, generate_syn_b
+from repro.datasets.web import CAUSAL_BEHAVIOURS, generate_web, web_truth_graph
+
+__all__ = [
+    "BayesNet",
+    "CAUSAL_BEHAVIOURS",
+    "SynACase",
+    "SynBCase",
+    "attach_fd_children",
+    "generate_cityinfo",
+    "generate_flight",
+    "generate_hotel",
+    "generate_lungcancer",
+    "generate_syn_a",
+    "generate_syn_b",
+    "generate_web",
+    "lungcancer_truth_graph",
+    "random_dag",
+    "web_truth_graph",
+]

@@ -1,0 +1,47 @@
+"""The CityInfo dataset of Ex. 2.4 — the canonical FD/faithfulness example.
+
+City --FD--> State --FD--> Country (and transitively City --FD--> Country).
+Ex. 3.1 shows plain faithfulness-based skeleton learning isolates Country;
+XLearner recovers the City − State − Country chain of Fig. 4(c)-(d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+
+_STATES = {
+    "san_francisco": "CA",
+    "los_angeles": "CA",
+    "new_york": "NY",
+    "buffalo": "NY",
+    "seattle": "WA",
+    "spokane": "WA",
+    "paris": "IDF",
+    "lyon": "ARA",
+    "toulouse": "OCC",
+}
+_COUNTRIES = {
+    "CA": "US",
+    "NY": "US",
+    "WA": "US",
+    "IDF": "FR",
+    "ARA": "FR",
+    "OCC": "FR",
+}
+
+
+def generate_cityinfo(n_rows: int = 400, seed: int = 0) -> Table:
+    """Sample rows of (City, State, Country) with the Ex. 2.4 FDs."""
+    rng = np.random.default_rng(seed)
+    cities = rng.choice(sorted(_STATES), size=n_rows)
+    states = np.array([_STATES[c] for c in cities])
+    countries = np.array([_COUNTRIES[s] for s in states])
+    return Table.from_columns(
+        {
+            "City": cities.tolist(),
+            "State": states.tolist(),
+            "Country": countries.tolist(),
+        }
+    )

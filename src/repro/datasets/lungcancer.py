@@ -1,0 +1,87 @@
+"""The hypothetical lung-cancer dataset of Fig. 1.
+
+Structural causal model (Fig. 1(c)):
+
+    Location ─→ Smoking ←─ Stress
+                  │
+                  ▼
+             Lung Cancer ─→ Surgery
+                  │
+                  ▼
+             5Y Survival
+
+Location A has stricter stress conditions / laxer tobacco control, so its
+patients smoke more, yielding the Fig. 1(b) gap in AVG(LungCancer).
+"Smoking=Yes" is the intended causal explanation; "Surgery=Yes" the
+intended non-causal (downstream) one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.graph.mixed_graph import MixedGraph
+
+COLUMNS = ("Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival")
+
+
+def lungcancer_truth_graph(measure_node: str = "LungCancer_bin") -> MixedGraph:
+    """Ground-truth DAG of Fig. 1(c); the measure appears as its bin node."""
+    g = MixedGraph(
+        ["Location", "Stress", "Smoking", measure_node, "Surgery", "Survival"]
+    )
+    g.add_directed_edge("Location", "Smoking")
+    g.add_directed_edge("Stress", "Smoking")
+    g.add_directed_edge("Smoking", measure_node)
+    g.add_directed_edge(measure_node, "Surgery")
+    g.add_directed_edge(measure_node, "Survival")
+    return g
+
+
+def generate_lungcancer(n_rows: int = 6000, seed: int = 0) -> Table:
+    """Sample the Fig. 1 SCM.
+
+    LungCancer severity is the numeric measure (1 = mild … 3 = severe);
+    all other columns are dimensions.
+    """
+    rng = np.random.default_rng(seed)
+    location = rng.choice(["A", "B"], size=n_rows)
+    stress = rng.choice(["Low", "Mid", "High"], size=n_rows, p=[0.4, 0.35, 0.25])
+
+    # Smoking: likelier in location A and under high stress.
+    p_smoke = np.full(n_rows, 0.15)
+    p_smoke += np.where(location == "A", 0.35, 0.05)
+    p_smoke += np.where(stress == "High", 0.3, np.where(stress == "Mid", 0.15, 0.0))
+    smoking = rng.random(n_rows) < p_smoke
+
+    # Severity 1..3: smoking shifts the distribution upward.
+    base = rng.choice([1.0, 2.0, 3.0], size=n_rows, p=[0.6, 0.3, 0.1])
+    smoker = rng.choice([1.0, 2.0, 3.0], size=n_rows, p=[0.15, 0.35, 0.5])
+    severity = np.where(smoking, smoker, base)
+
+    # Surgery and survival depend only on severity.
+    p_surgery = (severity - 1.0) / 2.0 * 0.7 + 0.1
+    surgery = rng.random(n_rows) < p_surgery
+    p_survive = 0.9 - (severity - 1.0) / 2.0 * 0.6
+    survival = rng.random(n_rows) < p_survive
+
+    return Table.from_columns(
+        {
+            "Location": location.tolist(),
+            "Stress": stress.tolist(),
+            "Smoking": np.where(smoking, "Yes", "No").tolist(),
+            "LungCancer": severity.tolist(),
+            "Surgery": np.where(surgery, "Yes", "No").tolist(),
+            "Survival": np.where(survival, "Yes", "No").tolist(),
+        },
+        roles={
+            "Location": Role.DIMENSION,
+            "Stress": Role.DIMENSION,
+            "Smoking": Role.DIMENSION,
+            "LungCancer": Role.MEASURE,
+            "Surgery": Role.DIMENSION,
+            "Survival": Role.DIMENSION,
+        },
+    )

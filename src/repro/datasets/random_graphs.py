@@ -1,0 +1,127 @@
+"""Random causal graphs and forward sampling (suppl. 8.12, SYN-A).
+
+Erdős–Rényi DAGs over an ordered node set, conditional probability tables
+drawn from a Dirichlet prior, and vectorized ancestral (forward) sampling
+producing a :class:`~repro.data.table.Table` of dimension columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.errors import DiscoveryError
+from repro.graph.dag import topological_sort
+from repro.graph.mixed_graph import MixedGraph
+
+
+def random_dag(
+    n_nodes: int,
+    edge_prob: float,
+    rng: np.random.Generator,
+    prefix: str = "v",
+) -> MixedGraph:
+    """Erdős–Rényi DAG: each forward pair (i < j) gets an edge w.p. ``edge_prob``."""
+    if n_nodes < 1:
+        raise DiscoveryError("need at least one node")
+    names = [f"{prefix}{i}" for i in range(n_nodes)]
+    graph = MixedGraph(names)
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if rng.random() < edge_prob:
+                graph.add_directed_edge(names[i], names[j])
+    return graph
+
+
+@dataclass
+class BayesNet:
+    """A DAG with per-node categorical CPTs, ready for forward sampling.
+
+    ``cpts[node]`` has shape (#parent configurations, cardinality of node);
+    parent configurations are indexed in the mixed-radix order of
+    ``parents[node]`` (first parent = most significant digit).
+    """
+
+    dag: MixedGraph
+    cardinality: dict[str, int]
+    parents: dict[str, tuple[str, ...]]
+    cpts: dict[str, np.ndarray]
+
+    @classmethod
+    def random(
+        cls,
+        dag: MixedGraph,
+        rng: np.random.Generator,
+        cardinality: int | Mapping[str, int] = 3,
+        dirichlet_alpha: float = 1.0,
+    ) -> "BayesNet":
+        """Draw every CPT row from Dirichlet(alpha, ..., alpha)."""
+        if isinstance(cardinality, int):
+            cards = {node: cardinality for node in dag.nodes}
+        else:
+            cards = dict(cardinality)
+        parents = {node: tuple(sorted(dag.parents(node), key=repr)) for node in dag.nodes}
+        cpts: dict[str, np.ndarray] = {}
+        for node in dag.nodes:
+            k = cards[node]
+            n_config = int(np.prod([cards[p] for p in parents[node]], dtype=np.int64))
+            cpts[node] = rng.dirichlet([dirichlet_alpha] * k, size=n_config)
+        return cls(dag, cards, parents, cpts)
+
+    def sample(self, n_rows: int, rng: np.random.Generator) -> Table:
+        """Vectorized ancestral sampling into a dimension-only Table."""
+        order = topological_sort(self.dag)
+        codes: dict[str, np.ndarray] = {}
+        for node in order:
+            pars = self.parents[node]
+            if pars:
+                config = np.zeros(n_rows, dtype=np.int64)
+                for parent in pars:
+                    config = config * self.cardinality[parent] + codes[parent]
+            else:
+                config = np.zeros(n_rows, dtype=np.int64)
+            probs = self.cpts[node][config]  # (n_rows, k)
+            cumulative = np.cumsum(probs, axis=1)
+            draws = rng.random((n_rows, 1))
+            codes[node] = (draws < cumulative).argmax(axis=1)
+        data = {
+            node: [f"{node}={c}" for c in codes[node]] for node in self.dag.nodes
+        }
+        roles = {node: Role.DIMENSION for node in self.dag.nodes}
+        return Table.from_columns(data, roles)
+
+
+def attach_fd_children(
+    table: Table,
+    parent: str,
+    n_children: int,
+    rng: np.random.Generator,
+    collapse: int = 2,
+) -> tuple[Table, list[str]]:
+    """Append deterministic (FD) children of ``parent`` to the table.
+
+    Each child is a random surjective coarsening of the parent's categories
+    (``collapse`` parent values per child value on average), giving the
+    one-to-many FDs the paper injects into SYN-A.
+    """
+    out = table
+    names: list[str] = []
+    k = table.cardinality(parent)
+    codes = table.codes(parent)
+    for idx in range(n_children):
+        child_card = max(2, k // collapse) if k > 2 else k
+        mapping = rng.integers(0, child_card, size=k)
+        # Guarantee surjectivity so the child's cardinality is stable.
+        mapping[: min(child_card, k)] = np.arange(min(child_card, k))
+        rng.shuffle(mapping)
+        name = f"{parent}_fd{idx}"
+        child_codes = mapping[codes]
+        out = out.with_column(
+            name, [f"{name}={c}" for c in child_codes], role=Role.DIMENSION
+        )
+        names.append(name)
+    return out, names

@@ -1,0 +1,128 @@
+"""SYN-A: synthetic causal-discovery benchmark (Sec. 4.1 ③, suppl. 8.12).
+
+Per the supplementary: Erdős–Rényi random DAGs, Dirichlet CPTs, forward
+sampling; 5% of the variables masked to simulate causal insufficiency, with
+the PAG over the observed variables as ground truth; two FD children
+attached to each (observed) leaf node, from which the FD-induced graph is
+built.  The ground-truth *FD-augmented* PAG is the oracle-FCI PAG of the
+projected MAG plus the FD edges oriented along the FDs — exactly the object
+XLearner is supposed to recover (Table 6 / Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.datasets.random_graphs import BayesNet, attach_fd_children, random_dag
+from repro.discovery.fci import fci
+from repro.errors import DiscoveryError
+from repro.fd.detect import FD
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.transforms import latent_projection
+from repro.independence.oracle import OracleCITest
+
+
+@dataclass
+class SynACase:
+    """One generated SYN-A dataset with every ground-truth artifact."""
+
+    table: Table
+    truth_pag: MixedGraph
+    """FD-augmented ground truth: oracle-FCI PAG over the observed core
+    plus the injected FD edges (directed)."""
+    truth_mag: MixedGraph
+    """Latent projection of the true DAG onto the observed core."""
+    observed: tuple[str, ...]
+    """Observed core variables (excluding FD children)."""
+    fd_children: tuple[str, ...]
+    injected_fds: tuple[FD, ...]
+
+    @property
+    def all_columns(self) -> tuple[str, ...]:
+        return tuple(self.table.dimensions)
+
+    @property
+    def fd_proportion(self) -> float:
+        """Fraction of ground-truth edges that are FD edges (Fig. 7 x-axis)."""
+        total = self.truth_pag.n_edges
+        return len(self.injected_fds) / total if total else 0.0
+
+
+def generate_syn_a(
+    n_nodes: int,
+    seed: int,
+    edge_prob: float | None = None,
+    latent_fraction: float = 0.05,
+    fd_children_per_leaf: int = 2,
+    max_fd_parents: int | None = None,
+    n_rows: int = 3000,
+    cardinality: int = 3,
+    dirichlet_alpha: float = 0.5,
+) -> SynACase:
+    """Generate one SYN-A case.
+
+    Parameters
+    ----------
+    n_nodes:
+        Size of the underlying DAG (paper sweeps 10–150).
+    edge_prob:
+        ER edge probability; default targets average degree ≈ 2.
+    latent_fraction:
+        Fraction of variables masked as latent (paper: 5%, at least 1).
+    fd_children_per_leaf:
+        FD nodes attached per observed leaf (paper: 2).
+    max_fd_parents:
+        Cap on how many leaves receive FD children — the Fig. 7 knob for
+        the FD proportion (None = all leaves).
+    """
+    if n_nodes < 4:
+        raise DiscoveryError("SYN-A needs at least 4 nodes")
+    rng = np.random.default_rng(seed)
+    if edge_prob is None:
+        edge_prob = min(1.0, 2.0 / max(n_nodes - 1, 1))
+
+    dag = random_dag(n_nodes, edge_prob, rng)
+    net = BayesNet.random(dag, rng, cardinality=cardinality, dirichlet_alpha=dirichlet_alpha)
+    full_table = net.sample(n_rows, rng)
+
+    names = list(dag.nodes)
+    n_latent = max(1, round(latent_fraction * n_nodes))
+    latent = set(rng.choice(names, size=n_latent, replace=False).tolist())
+    observed = tuple(v for v in names if v not in latent)
+
+    truth_mag = latent_projection(dag, observed)
+    table = full_table.project(list(observed))
+
+    # Attach FD children to observed leaves (nodes without observed children).
+    leaves = [v for v in observed if not truth_mag.children(v)]
+    if max_fd_parents is not None:
+        leaves = leaves[:max_fd_parents]
+    fd_children: list[str] = []
+    injected: list[FD] = []
+    for leaf in leaves:
+        table, child_names = attach_fd_children(
+            table, leaf, fd_children_per_leaf, rng
+        )
+        for child in child_names:
+            fd_children.append(child)
+            injected.append(FD(leaf, child))
+
+    # Ground truth: the PAG of the projected MAG's equivalence class
+    # (oracle FCI), augmented with the directed FD edges.
+    oracle = OracleCITest(truth_mag)
+    truth_pag = fci(observed, oracle, max_dsep_size=None).pag.copy()
+    for fd in injected:
+        truth_pag.add_node(fd.rhs)
+        truth_pag.add_directed_edge(fd.lhs, fd.rhs)
+
+    return SynACase(
+        table=table,
+        truth_pag=truth_pag,
+        truth_mag=truth_mag,
+        observed=observed,
+        fd_children=tuple(fd_children),
+        injected_fds=tuple(injected),
+    )

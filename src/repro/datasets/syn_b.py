@@ -1,0 +1,125 @@
+"""SYN-B: ground-truth explanation benchmark (Sec. 4.1 ③, suppl. 8.12).
+
+Data-generating process: binary X → categorical Y → numeric Z.  A set of k
+"abnormal" Y values sends Z to N(μ*, 10) instead of N(μ, 10); abnormal Y
+values are much likelier under X = 1 than X = 0, so the Why Query
+"AVG/SUM(Z): X=1 vs X=0" has a positive Δ whose ground-truth explanation is
+exactly the predicate Y ∈ {abnormal values}.  The defaults mirror the
+paper's configuration (10k rows, |Y| = 10, k = 3, μ = 10, μ* = 60, σ = 10,
+"on a par with the configuration in Scorpion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.aggregates import Aggregate
+from repro.data.filters import Predicate, Subspace
+from repro.data.query import WhyQuery
+from repro.data.table import Table
+from repro.errors import DiscoveryError
+from repro.graph.mixed_graph import MixedGraph
+
+
+@dataclass
+class SynBCase:
+    """One generated SYN-B dataset with its query and ground truth."""
+
+    table: Table
+    query: WhyQuery
+    ground_truth: Predicate
+    abnormal_values: tuple[str, ...]
+
+    @property
+    def truth_graph(self) -> MixedGraph:
+        """The X → Y → Z chain (Z represented by its bin column name)."""
+        g = MixedGraph(["X", "Y", "Z_bin"])
+        g.add_directed_edge("X", "Y")
+        g.add_directed_edge("Y", "Z_bin")
+        return g
+
+    def f1_against_truth(self, predicate: Predicate | None) -> float:
+        """Filter-level F1 of a found explanation vs the ground truth
+        (the Table 8 / Table 9 metric)."""
+        if predicate is None or predicate.dimension != "Y":
+            return 0.0
+        got = set(predicate.values)
+        want = set(self.ground_truth.values)
+        tp = len(got & want)
+        if tp == 0:
+            return 0.0
+        precision = tp / len(got)
+        recall = tp / len(want)
+        return 2 * precision * recall / (precision + recall)
+
+
+def generate_syn_b(
+    n_rows: int = 10_000,
+    cardinality: int = 10,
+    k_abnormal: int = 3,
+    mu_normal: float = 10.0,
+    mu_abnormal: float = 60.0,
+    noise_sd: float = 10.0,
+    abnormal_mass_x1: float = 0.45,
+    abnormal_mass_x0: float = 0.05,
+    agg: Aggregate | str = Aggregate.AVG,
+    seed: int = 0,
+    balance_normals: bool = True,
+) -> SynBCase:
+    """Generate one SYN-B dataset.
+
+    ``mu_abnormal − mu_normal`` is the Table 9 difficulty knob; higher
+    ``cardinality`` is the Table 8 (bottom) difficulty knob.
+
+    ``balance_normals`` sizes the two X groups so every *normal* filter has
+    the same expected row count in both groups (n1·(1−a1) = n0·(1−a0)),
+    mirroring Scorpion's outlier-style generator: the Why-Query difference
+    then lives entirely in the abnormal filters, which is what makes the
+    crafted predicate the exact counterfactual cause.
+    """
+    if not 0 < k_abnormal < cardinality:
+        raise DiscoveryError("need 0 < k_abnormal < cardinality")
+    rng = np.random.default_rng(seed)
+
+    if balance_normals:
+        p_x1 = (1 - abnormal_mass_x0) / (
+            (1 - abnormal_mass_x1) + (1 - abnormal_mass_x0)
+        )
+    else:
+        p_x1 = 0.5
+    x = (rng.random(n_rows) < p_x1).astype(np.int64)
+    abnormal = [f"y{i}" for i in range(k_abnormal)]
+    normal = [f"y{i}" for i in range(k_abnormal, cardinality)]
+    probs = np.empty((2, cardinality))
+    probs[1, :k_abnormal] = abnormal_mass_x1 / k_abnormal
+    probs[1, k_abnormal:] = (1 - abnormal_mass_x1) / (cardinality - k_abnormal)
+    probs[0, :k_abnormal] = abnormal_mass_x0 / k_abnormal
+    probs[0, k_abnormal:] = (1 - abnormal_mass_x0) / (cardinality - k_abnormal)
+    cumulative = probs.cumsum(axis=1)
+    y_codes = (rng.random((n_rows, 1)) < cumulative[x]).argmax(axis=1)
+    is_abnormal = y_codes < k_abnormal
+    z = np.where(
+        is_abnormal,
+        rng.normal(mu_abnormal, noise_sd, size=n_rows),
+        rng.normal(mu_normal, noise_sd, size=n_rows),
+    )
+
+    labels = abnormal + normal
+    table = Table.from_columns(
+        {
+            "X": [f"x{v}" for v in x],
+            "Y": [labels[c] for c in y_codes],
+            "Z": z,
+        }
+    )
+    query = WhyQuery.create(
+        Subspace.of(X="x1"), Subspace.of(X="x0"), "Z", agg
+    )
+    return SynBCase(
+        table=table,
+        query=query,
+        ground_truth=Predicate.of("Y", abnormal),
+        abnormal_values=tuple(abnormal),
+    )

@@ -1,0 +1,33 @@
+"""Constraint-based causal discovery substrate (PC, FCI, discrete ANM)."""
+
+from repro.discovery.anm import AnmDirection, AnmResult, anm_direction, fd_implies_forward_anm
+from repro.discovery.fci import FCIResult, fci, fci_from_table, possible_d_sep
+from repro.discovery.knowledge import BackgroundKnowledge, apply_background_knowledge
+from repro.discovery.orientation import apply_fci_rules
+from repro.discovery.pc import PCResult, pc
+from repro.discovery.skeleton import (
+    SepsetMap,
+    SkeletonResult,
+    learn_skeleton,
+    orient_colliders,
+)
+
+__all__ = [
+    "AnmDirection",
+    "AnmResult",
+    "BackgroundKnowledge",
+    "apply_background_knowledge",
+    "FCIResult",
+    "PCResult",
+    "SepsetMap",
+    "SkeletonResult",
+    "anm_direction",
+    "apply_fci_rules",
+    "fci",
+    "fci_from_table",
+    "fd_implies_forward_anm",
+    "learn_skeleton",
+    "orient_colliders",
+    "pc",
+    "possible_d_sep",
+]

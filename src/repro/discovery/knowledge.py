@@ -1,0 +1,77 @@
+"""Background knowledge for causal discovery (Sec. 5, "Acquiring Causal
+Knowledge").
+
+The paper envisions users combining discovery with "additional sources"
+(domain knowledge, randomized experiments).  This module implements the
+standard mechanism: *required* directed edges and *forbidden* adjacencies
+that are enforced on a learned PAG after the fact — required edges are
+oriented (or added), forbidden ones removed — mirroring how tiered
+background knowledge is consumed by FCI variants [2].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.errors import DiscoveryError
+from repro.graph.mixed_graph import MixedGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class BackgroundKnowledge:
+    """Required cause→effect edges and forbidden adjacencies."""
+
+    required: frozenset[tuple[Node, Node]] = field(default_factory=frozenset)
+    forbidden: frozenset[frozenset] = field(default_factory=frozenset)
+
+    @classmethod
+    def of(
+        cls,
+        required: Iterable[tuple[Node, Node]] = (),
+        forbidden: Iterable[tuple[Node, Node]] = (),
+    ) -> "BackgroundKnowledge":
+        req = frozenset((u, v) for u, v in required)
+        forb = frozenset(frozenset(pair) for pair in forbidden)
+        for u, v in req:
+            if frozenset((u, v)) in forb:
+                raise DiscoveryError(
+                    f"edge {u!r} -> {v!r} is both required and forbidden"
+                )
+        conflicting = {(u, v) for u, v in req if (v, u) in req}
+        if conflicting:
+            raise DiscoveryError(
+                f"required edges conflict in direction: {sorted(map(str, conflicting))}"
+            )
+        return cls(req, forb)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.required and not self.forbidden
+
+
+def apply_background_knowledge(
+    graph: MixedGraph, knowledge: BackgroundKnowledge
+) -> MixedGraph:
+    """Return a copy of ``graph`` honouring the background knowledge.
+
+    * forbidden pairs lose their adjacency (if learned);
+    * required cause→effect pairs are oriented as a directed edge,
+      added if discovery missed the adjacency entirely.
+    """
+    out = graph.copy()
+    for pair in knowledge.forbidden:
+        u, v = tuple(pair)
+        if out.has_edge(u, v):
+            out.remove_edge(u, v)
+    for u, v in knowledge.required:
+        for node in (u, v):
+            if not out.has_node(node):
+                raise DiscoveryError(f"required edge mentions unknown node {node!r}")
+        if out.has_edge(u, v):
+            out.orient(u, v)
+        else:
+            out.add_directed_edge(u, v)
+    return out

@@ -1,0 +1,324 @@
+"""FCI orientation rules R1–R10 (Supplementary Alg. 4; Zhang 2008).
+
+The input graph carries the v-structures from R0; these rules propagate
+endpoint information until fixpoint, yielding the PAG.  Two typos in the
+paper's restatement of R5/R7 are corrected to Zhang's original side
+conditions (noted inline).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.discovery.skeleton import SepsetMap
+from repro.graph.endpoints import Endpoint
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.paths import find_discriminating_path, find_uncovered_pd_paths
+
+Node = Hashable
+
+ARROW, TAIL, CIRCLE = Endpoint.ARROW, Endpoint.TAIL, Endpoint.CIRCLE
+
+
+def apply_fci_rules(
+    graph: MixedGraph,
+    sepsets: SepsetMap,
+    complete_rules: bool = True,
+) -> None:
+    """Run R1–R4 to fixpoint, then (if ``complete_rules``) R5–R10 to fixpoint.
+
+    ``complete_rules=False`` reproduces the original FCI rule set (enough
+    for arrow-completeness); the default matches Zhang's augmented FCI,
+    which is also what the paper's Alg. 4 lists.
+    """
+    changed = True
+    while changed:
+        changed = False
+        changed |= _rule1(graph)
+        changed |= _rule2(graph)
+        changed |= _rule3(graph)
+        changed |= _rule4(graph, sepsets)
+    if not complete_rules:
+        return
+    changed = True
+    while changed:
+        changed = False
+        changed |= _rule5(graph)
+        changed |= _rule6(graph)
+        changed |= _rule7(graph)
+        changed |= _rule8(graph)
+        changed |= _rule9(graph)
+        changed |= _rule10(graph)
+        # R1–R4 may fire again after tails appear.
+        changed |= _rule1(graph)
+        changed |= _rule2(graph)
+        changed |= _rule3(graph)
+        changed |= _rule4(graph, sepsets)
+
+
+# ---------------------------------------------------------------------------
+# R1–R4 (arrowhead completeness)
+# ---------------------------------------------------------------------------
+
+
+def _rule1(graph: MixedGraph) -> bool:
+    """R1: α*→β o-* γ, α γ non-adjacent  ⇒  β → γ."""
+    changed = False
+    for beta in graph.nodes:
+        for alpha in graph.neighbors(beta):
+            if not graph.is_into(alpha, beta):
+                continue
+            for gamma in graph.neighbors(beta):
+                if gamma == alpha or graph.has_edge(alpha, gamma):
+                    continue
+                if graph.mark(gamma, beta) is CIRCLE:
+                    graph.set_mark(beta, gamma, ARROW)
+                    graph.set_mark(gamma, beta, TAIL)
+                    changed = True
+    return changed
+
+
+def _rule2(graph: MixedGraph) -> bool:
+    """R2: (α → β *→ γ) or (α *→ β → γ), and α *-o γ  ⇒  α *→ γ."""
+    changed = False
+    for alpha in graph.nodes:
+        for gamma in graph.neighbors(alpha):
+            if graph.mark(alpha, gamma) is not CIRCLE:
+                continue
+            for beta in graph.neighbors(alpha):
+                if beta == gamma or not graph.has_edge(beta, gamma):
+                    continue
+                chain1 = graph.is_parent(alpha, beta) and graph.is_into(beta, gamma)
+                chain2 = graph.is_into(alpha, beta) and graph.is_parent(beta, gamma)
+                if chain1 or chain2:
+                    graph.set_mark(alpha, gamma, ARROW)
+                    changed = True
+                    break
+    return changed
+
+
+def _rule3(graph: MixedGraph) -> bool:
+    """R3: α*→β←*γ, α *-o θ o-* γ, α γ non-adjacent, θ *-o β  ⇒  θ *→ β."""
+    changed = False
+    for beta in graph.nodes:
+        for theta in graph.neighbors(beta):
+            if graph.mark(theta, beta) is not CIRCLE:
+                continue
+            candidates = [
+                n
+                for n in graph.neighbors(beta)
+                if n != theta and graph.is_into(n, beta)
+            ]
+            hit = False
+            for i, alpha in enumerate(candidates):
+                if hit:
+                    break
+                for gamma in candidates[i + 1 :]:
+                    if graph.has_edge(alpha, gamma):
+                        continue
+                    if not (graph.has_edge(alpha, theta) and graph.has_edge(gamma, theta)):
+                        continue
+                    if (
+                        graph.mark(alpha, theta) is CIRCLE
+                        and graph.mark(gamma, theta) is CIRCLE
+                    ):
+                        graph.set_mark(theta, beta, ARROW)
+                        changed = True
+                        hit = True
+                        break
+    return changed
+
+
+def _rule4(graph: MixedGraph, sepsets: SepsetMap) -> bool:
+    """R4: discriminating path (θ, ..., α, β, γ) for β with β o-* γ.
+
+    If β ∈ Sepset(θ, γ): orient β → γ; else orient α ↔ β ↔ γ.
+    """
+    changed = False
+    for beta in graph.nodes:
+        for gamma in graph.neighbors(beta):
+            if graph.mark(gamma, beta) is not CIRCLE:
+                continue  # need β o-* γ (circle at β)
+            path = find_discriminating_path(graph, beta, gamma)
+            if path is None:
+                continue
+            theta = path[0]
+            alpha = path[-3]
+            sep = sepsets.get(theta, gamma)
+            if sep is not None and beta in sep:
+                graph.set_mark(beta, gamma, ARROW)
+                graph.set_mark(gamma, beta, TAIL)
+            else:
+                graph.set_mark(alpha, beta, ARROW)
+                graph.set_mark(beta, alpha, ARROW)
+                graph.set_mark(beta, gamma, ARROW)
+                graph.set_mark(gamma, beta, ARROW)
+            changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# R5–R7 (tail completeness under selection bias)
+# ---------------------------------------------------------------------------
+
+
+def _rule5(graph: MixedGraph) -> bool:
+    """R5: α o-o β with an uncovered circle path (α, γ, ..., θ, β) where
+    α, θ non-adjacent and β, γ non-adjacent ⇒ undirect the edge and the path.
+
+    (The paper's supplementary misprints the side condition; this is
+    Zhang's original.)
+    """
+    changed = False
+    for alpha in graph.nodes:
+        for beta in graph.neighbors(alpha):
+            if repr(alpha) > repr(beta):
+                continue
+            if not (
+                graph.mark(alpha, beta) is CIRCLE and graph.mark(beta, alpha) is CIRCLE
+            ):
+                continue
+            for path in find_uncovered_pd_paths(
+                graph, alpha, beta, min_edges=2, circle_only=True
+            ):
+                gamma, theta = path[1], path[-2]
+                if graph.has_edge(alpha, theta) or graph.has_edge(beta, gamma):
+                    continue
+                for u, v in zip(path, path[1:]):
+                    graph.set_mark(u, v, TAIL)
+                    graph.set_mark(v, u, TAIL)
+                graph.set_mark(alpha, beta, TAIL)
+                graph.set_mark(beta, alpha, TAIL)
+                changed = True
+                break
+    return changed
+
+
+def _is_undirected(graph: MixedGraph, u: Node, v: Node) -> bool:
+    return graph.mark(u, v) is TAIL and graph.mark(v, u) is TAIL
+
+
+def _rule6(graph: MixedGraph) -> bool:
+    """R6: α — β o-* γ  ⇒  β -* γ (tail at β)."""
+    changed = False
+    for beta in graph.nodes:
+        has_undirected = any(
+            _is_undirected(graph, alpha, beta) for alpha in graph.neighbors(beta)
+        )
+        if not has_undirected:
+            continue
+        for gamma in graph.neighbors(beta):
+            if graph.mark(gamma, beta) is CIRCLE:
+                graph.set_mark(gamma, beta, TAIL)
+                changed = True
+    return changed
+
+
+def _rule7(graph: MixedGraph) -> bool:
+    """R7: α -o β o-* γ, α γ non-adjacent  ⇒  β -* γ (tail at β).
+
+    (Zhang's side condition; the paper's restatement drops the -o mark.)
+    """
+    changed = False
+    for beta in graph.nodes:
+        for alpha in graph.neighbors(beta):
+            if not (
+                graph.mark(beta, alpha) is TAIL and graph.mark(alpha, beta) is CIRCLE
+            ):
+                continue
+            for gamma in graph.neighbors(beta):
+                if gamma == alpha or graph.has_edge(alpha, gamma):
+                    continue
+                if graph.mark(gamma, beta) is CIRCLE:
+                    graph.set_mark(gamma, beta, TAIL)
+                    changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# R8–R10 (tail completeness for o→ edges)
+# ---------------------------------------------------------------------------
+
+
+def _rule8(graph: MixedGraph) -> bool:
+    """R8: (α → β → γ) or (α -o β → γ), and α o→ γ  ⇒  α → γ."""
+    changed = False
+    for alpha in graph.nodes:
+        for gamma in graph.neighbors(alpha):
+            almost = (
+                graph.mark(alpha, gamma) is ARROW
+                and graph.mark(gamma, alpha) is CIRCLE
+            )
+            if not almost:
+                continue
+            for beta in graph.neighbors(alpha):
+                if beta == gamma or not graph.has_edge(beta, gamma):
+                    continue
+                first_ok = graph.is_parent(alpha, beta) or (
+                    graph.mark(beta, alpha) is TAIL
+                    and graph.mark(alpha, beta) is CIRCLE
+                )
+                if first_ok and graph.is_parent(beta, gamma):
+                    graph.set_mark(gamma, alpha, TAIL)
+                    changed = True
+                    break
+    return changed
+
+
+def _rule9(graph: MixedGraph) -> bool:
+    """R9: α o→ γ with an uncovered p.d. path (α, β, θ, ..., γ), β γ
+    non-adjacent  ⇒  α → γ."""
+    changed = False
+    for alpha in graph.nodes:
+        for gamma in graph.neighbors(alpha):
+            almost = (
+                graph.mark(alpha, gamma) is ARROW
+                and graph.mark(gamma, alpha) is CIRCLE
+            )
+            if not almost:
+                continue
+            for path in find_uncovered_pd_paths(graph, alpha, gamma, min_edges=2):
+                beta = path[1]
+                if beta == gamma or graph.has_edge(beta, gamma):
+                    continue
+                graph.set_mark(gamma, alpha, TAIL)
+                changed = True
+                break
+    return changed
+
+
+def _rule10(graph: MixedGraph) -> bool:
+    """R10: α o→ γ, β → γ ← θ, uncovered p.d. paths p1: α…β and p2: α…θ
+    whose first hops μ, ω are distinct and non-adjacent  ⇒  α → γ."""
+    changed = False
+    for gamma in graph.nodes:
+        parents = [n for n in graph.neighbors(gamma) if graph.is_parent(n, gamma)]
+        if len(parents) < 2:
+            continue
+        for alpha in graph.neighbors(gamma):
+            almost = (
+                graph.mark(alpha, gamma) is ARROW
+                and graph.mark(gamma, alpha) is CIRCLE
+            )
+            if not almost:
+                continue
+            if _rule10_fires(graph, alpha, gamma, parents):
+                graph.set_mark(gamma, alpha, TAIL)
+                changed = True
+    return changed
+
+
+def _rule10_fires(
+    graph: MixedGraph, alpha: Node, gamma: Node, parents: list[Node]
+) -> bool:
+    for i, beta in enumerate(parents):
+        for theta in parents[i + 1 :]:
+            if beta == alpha or theta == alpha:
+                continue
+            for p1 in find_uncovered_pd_paths(graph, alpha, beta):
+                mu = p1[1]
+                for p2 in find_uncovered_pd_paths(graph, alpha, theta):
+                    omega = p2[1]
+                    if mu != omega and not graph.has_edge(mu, omega):
+                        return True
+    return False

@@ -1,0 +1,126 @@
+"""Skeleton learning — the adjacency phase shared by PC and FCI (Alg. 3).
+
+Implements the PC-stable variant (neighbor sets frozen per depth) so the
+output is independent of node iteration order, then returns the undirected
+skeleton (as circle-circle edges) together with the separating sets that
+the orientation phases (R0/R4) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Hashable, Iterable, Sequence
+
+from repro.graph.endpoints import Endpoint
+from repro.graph.mixed_graph import MixedGraph
+from repro.independence.base import CITest
+
+Node = Hashable
+
+
+@dataclass
+class SepsetMap:
+    """Separating sets recorded during skeleton learning.
+
+    Keyed on the unordered pair; ``get`` returns None when the pair was
+    never separated (i.e. the edge survived).
+    """
+
+    _sets: dict[frozenset, set[Node]] = field(default_factory=dict)
+
+    def record(self, x: Node, y: Node, z: Iterable[Node]) -> None:
+        self._sets[frozenset((x, y))] = set(z)
+
+    def get(self, x: Node, y: Node) -> set[Node] | None:
+        return self._sets.get(frozenset((x, y)))
+
+    def contains(self, x: Node, y: Node, member: Node) -> bool:
+        z = self.get(x, y)
+        return z is not None and member in z
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+
+@dataclass
+class SkeletonResult:
+    """Skeleton (all circle-circle edges) plus sepsets and test statistics."""
+
+    graph: MixedGraph
+    sepsets: SepsetMap
+    tests_run: int
+
+
+def learn_skeleton(
+    nodes: Sequence[Node],
+    ci_test: CITest,
+    max_depth: int | None = None,
+) -> SkeletonResult:
+    """FCI-SL lines 1–8 (Alg. 3): depth-wise edge removal.
+
+    Starting from the complete graph, at each depth ``d`` every surviving
+    ordered pair (X, Y) is probed with all size-``d`` subsets of
+    Neighbor(X)\\{Y}; the edge is deleted on the first independence found,
+    and the subset recorded as Sepset(X, Y).
+    """
+    graph = MixedGraph(nodes)
+    for x, y in combinations(nodes, 2):
+        graph.add_edge(x, y, Endpoint.CIRCLE, Endpoint.CIRCLE)
+    sepsets = SepsetMap()
+    start_calls = ci_test.calls
+
+    depth = 0
+    while True:
+        if max_depth is not None and depth > max_depth:
+            break
+        # PC-stable: freeze the adjacency structure for this depth.
+        frozen_neighbors = {node: set(graph.neighbors(node)) for node in nodes}
+        any_candidate = False
+        to_remove: list[tuple[Node, Node, set[Node]]] = []
+        removed_pairs: set[frozenset] = set()
+        for x in nodes:
+            for y in frozen_neighbors[x]:
+                pool = frozen_neighbors[x] - {y}
+                if len(pool) < depth:
+                    continue
+                any_candidate = True
+                pair = frozenset((x, y))
+                if pair in removed_pairs:
+                    continue
+                for subset in combinations(sorted(pool, key=repr), depth):
+                    if ci_test.independent(x, y, subset):
+                        to_remove.append((x, y, set(subset)))
+                        removed_pairs.add(pair)
+                        break
+        for x, y, z in to_remove:
+            if graph.has_edge(x, y):
+                graph.remove_edge(x, y)
+            sepsets.record(x, y, z)
+        if not any_candidate:
+            break
+        depth += 1
+    return SkeletonResult(graph, sepsets, ci_test.calls - start_calls)
+
+
+def orient_colliders(
+    graph: MixedGraph, sepsets: SepsetMap, as_cpdag: bool = False
+) -> None:
+    """R0 (Alg. 3 lines 10–14 / Alg. 4 lines 2–6): v-structure orientation.
+
+    For every unshielded triple (X, Y, Z) with Y ∉ Sepset(X, Z), place
+    arrowheads at Y.  With ``as_cpdag`` the far endpoints are forced to
+    tails (PC's DAG-space convention); otherwise they are left as found
+    (FCI keeps circles).
+    """
+    from repro.graph.paths import unshielded_triples
+
+    for x, y, z in unshielded_triples(graph):
+        sep = sepsets.get(x, z)
+        if sep is None or y in sep:
+            continue
+        graph.set_mark(x, y, Endpoint.ARROW)
+        graph.set_mark(z, y, Endpoint.ARROW)
+        if as_cpdag:
+            graph.set_mark(y, x, Endpoint.TAIL)
+            graph.set_mark(y, z, Endpoint.TAIL)

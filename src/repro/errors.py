@@ -1,0 +1,36 @@
+"""Exception hierarchy for the XInsight reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses are raised close to the failure site
+with actionable messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A column, role, or dtype does not match the table schema."""
+
+
+class QueryError(ReproError):
+    """A Why Query or selection is malformed (e.g. non-sibling subspaces)."""
+
+
+class GraphError(ReproError):
+    """A graph operation violates the invariants of the graph class."""
+
+
+class DiscoveryError(ReproError):
+    """A causal discovery procedure received invalid input or state."""
+
+
+class ExplanationError(ReproError):
+    """XPlainer could not produce a valid explanation."""
+
+
+class FDError(ReproError):
+    """Functional dependency detection or graph construction failed."""

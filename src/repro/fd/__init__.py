@@ -1,0 +1,14 @@
+"""Functional dependency substrate (Sec. 2.1, Sec. 3.1)."""
+
+from repro.fd.detect import FD, fd_violations, find_functional_dependencies, holds
+from repro.fd.graph import FDGraph, build_fd_graph, fd_graph_from_table
+
+__all__ = [
+    "FD",
+    "FDGraph",
+    "build_fd_graph",
+    "fd_graph_from_table",
+    "fd_violations",
+    "find_functional_dependencies",
+    "holds",
+]

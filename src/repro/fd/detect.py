@@ -1,0 +1,111 @@
+"""Functional dependency detection from data (Sec. 2.1).
+
+The paper restricts attention to one-to-one and one-to-many FDs between
+single attributes: ``X --FD--> Y`` iff every value of X maps to exactly one
+value of Y.  For materialized relational data those arise from key/foreign
+key structure (Ex. 2.4's CityInfo).
+
+Sec. 5 flags noisy (stochastic) FDs as future work; we expose an optional
+``tolerance`` — the maximum fraction of rows allowed to violate the mapping
+— as that documented extension, defaulting to the paper's exact semantics
+(tolerance = 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import FDError
+
+
+@dataclass(frozen=True, order=True)
+class FD:
+    """A single-attribute functional dependency ``lhs --FD--> rhs``."""
+
+    lhs: str
+    rhs: str
+
+    def __str__(self) -> str:
+        return f"{self.lhs} --FD--> {self.rhs}"
+
+
+def fd_violations(table: Table, lhs: str, rhs: str) -> int:
+    """Number of rows that break ``lhs -> rhs``.
+
+    For each lhs value, the majority rhs value is deemed canonical; rows
+    carrying any other rhs value count as violations.  Exact FDs have zero
+    violations.
+    """
+    cl = table.codes(lhs)
+    cr = table.codes(rhs)
+    kl = table.cardinality(lhs)
+    kr = table.cardinality(rhs)
+    joint = np.bincount(cl * kr + cr, minlength=kl * kr).reshape(kl, kr)
+    group_sizes = joint.sum(axis=1)
+    majorities = joint.max(axis=1)
+    return int((group_sizes - majorities).sum())
+
+
+def holds(table: Table, lhs: str, rhs: str, tolerance: float = 0.0) -> bool:
+    """Does ``lhs --FD--> rhs`` hold on the table (within ``tolerance``)?"""
+    if not 0.0 <= tolerance < 1.0:
+        raise FDError(f"tolerance must be in [0, 1), got {tolerance}")
+    if lhs == rhs:
+        raise FDError("an FD between an attribute and itself is trivial")
+    return fd_violations(table, lhs, rhs) <= tolerance * table.n_rows
+
+
+def find_functional_dependencies(
+    table: Table,
+    attributes: Sequence[str] | None = None,
+    tolerance: float = 0.0,
+    max_key_fraction: float = 0.95,
+) -> list[FD]:
+    """Discover all pairwise FDs among the given dimensions.
+
+    Parameters
+    ----------
+    attributes:
+        Candidate dimensions; defaults to every dimension in the table.
+    tolerance:
+        Allowed fraction of violating rows (0 = exact FDs, the paper's
+        setting).
+    max_key_fraction:
+        Attributes whose cardinality exceeds this fraction of the row count
+        are treated as row identifiers and skipped as FD left-hand sides:
+        a near-unique key "determines" every column vacuously, which is
+        redundant knowledge the paper's G_FD acyclification would drop
+        anyway.
+
+    Returns
+    -------
+    Sorted list of :class:`FD` relations (both directions may be present
+    for one-to-one FDs; cycle collapsing happens in
+    :func:`repro.fd.graph.build_fd_graph`).
+    """
+    if attributes is None:
+        attributes = table.dimensions
+    for attr in attributes:
+        if attr not in table.dimensions:
+            raise FDError(f"{attr!r} is not a dimension of the table")
+    n = max(table.n_rows, 1)
+    observed = {attr: int(np.unique(table.codes(attr)).size) for attr in attributes}
+    found: list[FD] = []
+    for lhs in attributes:
+        if observed[lhs] > max_key_fraction * n:
+            continue
+        if observed[lhs] <= 1:
+            continue  # constant column: trivial
+        for rhs in attributes:
+            if lhs == rhs or observed[rhs] <= 1:
+                continue
+            # An exact FD cannot map fewer lhs values onto more rhs values.
+            if observed[rhs] > observed[lhs] and tolerance == 0.0:
+                continue
+            if holds(table, lhs, rhs, tolerance):
+                found.append(FD(lhs, rhs))
+    return sorted(found)

@@ -1,0 +1,80 @@
+"""Causal graph substrate: mixed graphs, MAG/PAG semantics, separation.
+
+See Sec. 2.2 of the paper for the definitions implemented here.
+"""
+
+from repro.graph.dag import (
+    dag_from_parents,
+    depths,
+    is_dag,
+    topological_sort,
+    validate_dag,
+)
+from repro.graph.endpoints import Endpoint, edge_symbol
+from repro.graph.mag import is_ancestral, is_mag, is_maximal, validate_mag
+from repro.graph.metrics import (
+    PRF,
+    GraphScores,
+    adjacency_scores,
+    endpoint_scores,
+    score_graph,
+    structural_hamming_distance,
+)
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.pag import (
+    is_almost_ancestor,
+    is_almost_parent,
+    is_ancestor,
+    is_valid_pag_edge,
+    skeleton,
+    undetermined_endpoint_count,
+)
+from repro.graph.equivalence import (
+    enumerate_mags_in_class,
+    invariant_marks,
+    markov_equivalent,
+    same_unshielded_colliders,
+)
+from repro.graph.render import adjacency_text, edge_list, to_dot, to_text
+from repro.graph.separation import d_separated, m_connected, m_separated
+from repro.graph.transforms import latent_projection, moralize
+
+__all__ = [
+    "enumerate_mags_in_class",
+    "invariant_marks",
+    "markov_equivalent",
+    "same_unshielded_colliders",
+    "adjacency_text",
+    "edge_list",
+    "to_dot",
+    "to_text",
+    "Endpoint",
+    "GraphScores",
+    "MixedGraph",
+    "PRF",
+    "adjacency_scores",
+    "d_separated",
+    "dag_from_parents",
+    "depths",
+    "edge_symbol",
+    "endpoint_scores",
+    "is_almost_ancestor",
+    "is_almost_parent",
+    "is_ancestor",
+    "is_ancestral",
+    "is_dag",
+    "is_mag",
+    "is_maximal",
+    "is_valid_pag_edge",
+    "latent_projection",
+    "m_connected",
+    "m_separated",
+    "moralize",
+    "score_graph",
+    "skeleton",
+    "structural_hamming_distance",
+    "topological_sort",
+    "undetermined_endpoint_count",
+    "validate_dag",
+    "validate_mag",
+]

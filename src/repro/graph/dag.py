@@ -1,0 +1,85 @@
+"""DAG validation and utilities on top of :class:`MixedGraph`.
+
+A DAG is a mixed graph whose edges are all directed (tail/arrow) and which
+contains no directed cycle.  These helpers back the ground-truth generators
+(forward sampling needs a topological order) and the CI oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import GraphError
+from repro.graph.endpoints import Endpoint
+from repro.graph.mixed_graph import MixedGraph
+
+Node = Hashable
+
+
+def is_dag(graph: MixedGraph) -> bool:
+    """True iff every edge is directed and there is no directed cycle."""
+    for u, v, mark_u, mark_v in graph.edges():
+        directed = {mark_u, mark_v} == {Endpoint.TAIL, Endpoint.ARROW}
+        if not directed:
+            return False
+    try:
+        topological_sort(graph)
+    except GraphError:
+        return False
+    return True
+
+
+def validate_dag(graph: MixedGraph) -> None:
+    """Raise :class:`GraphError` unless ``graph`` is a DAG."""
+    if not is_dag(graph):
+        raise GraphError("graph is not a DAG (undirected marks or a cycle)")
+
+
+def topological_sort(graph: MixedGraph) -> list[Node]:
+    """Kahn's algorithm over the directed edges.
+
+    Raises :class:`GraphError` on a directed cycle.  Non-directed edges are
+    ignored, so this also provides the FD-graph depth ordering used by
+    Alg. 1 line 3 (G_FD is a DAG by assumption).
+    """
+    in_degree = {node: len(graph.parents(node)) for node in graph.nodes}
+    ready = [node for node, deg in in_degree.items() if deg == 0]
+    order: list[Node] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for child in graph.children(node):
+            in_degree[child] -= 1
+            if in_degree[child] == 0:
+                ready.append(child)
+    if len(order) != graph.n_nodes:
+        raise GraphError("directed cycle detected")
+    return order
+
+
+def depths(graph: MixedGraph) -> dict[Node, int]:
+    """Longest-path depth of each node from the roots (Alg. 1 line 3)."""
+    out: dict[Node, int] = {}
+    for node in topological_sort(graph):
+        parents = graph.parents(node)
+        out[node] = 1 + max((out[p] for p in parents), default=-1)
+    return out
+
+
+def dag_from_parents(parent_map: dict[Node, Iterable[Node]]) -> MixedGraph:
+    """Build a DAG from a ``child -> parents`` mapping.
+
+    >>> g = dag_from_parents({"b": ["a"], "c": ["a", "b"], "a": []})
+    >>> sorted(g.parents("c"))
+    ['a', 'b']
+    """
+    graph = MixedGraph()
+    for child in parent_map:
+        graph.add_node(child)
+    for child, parents in parent_map.items():
+        for parent in parents:
+            if not graph.has_node(parent):
+                graph.add_node(parent)
+            graph.add_directed_edge(parent, child)
+    validate_dag(graph)
+    return graph

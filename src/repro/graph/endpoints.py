@@ -1,0 +1,35 @@
+"""Edge endpoint marks for directed mixed graphs (Sec. 2.2, Table 1).
+
+An edge between X and Y carries one mark at each end.  The three marks —
+tail ``-``, arrowhead ``>`` and circle ``o`` — generate the four PAG edge
+kinds of Table 1 (→, ↔, o→, o-o) plus the undirected edge (—) that only
+arises under selection bias (rules R5–R7 of FCI).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Endpoint(enum.Enum):
+    """A mark at one end of a mixed-graph edge."""
+
+    TAIL = "-"
+    ARROW = ">"
+    CIRCLE = "o"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def edge_symbol(mark_u: Endpoint, mark_v: Endpoint) -> str:
+    """Human-readable edge glyph for an edge u ? — ? v.
+
+    >>> edge_symbol(Endpoint.TAIL, Endpoint.ARROW)
+    '-->'
+    >>> edge_symbol(Endpoint.CIRCLE, Endpoint.CIRCLE)
+    'o-o'
+    """
+    left = {Endpoint.TAIL: "-", Endpoint.ARROW: "<", Endpoint.CIRCLE: "o"}[mark_u]
+    right = {Endpoint.TAIL: "-", Endpoint.ARROW: ">", Endpoint.CIRCLE: "o"}[mark_v]
+    return f"{left}-{right}"

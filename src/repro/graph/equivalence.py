@@ -1,0 +1,126 @@
+"""Markov equivalence of MAGs (Sec. 2.2, "[G] — Markov equivalence class").
+
+Two MAGs are Markov equivalent iff they entail the same m-separations.
+The graphical criterion (Spirtes & Richardson 1996; Ali et al. 2009):
+
+1. same skeleton;
+2. same unshielded colliders;
+3. for every discriminating path for a node V in one graph where V's
+   collider status is *discriminated*, V has the same status in the other.
+
+The PAG (Def. 2.8) summarizes an equivalence class; these predicates let
+tests assert, e.g., that every PAG arrowhead produced by FCI is invariant
+across equivalent MAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import GraphError
+from repro.graph.mag import is_mag
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.paths import find_discriminating_path, unshielded_triples
+
+Node = Hashable
+
+
+def same_unshielded_colliders(g1: MixedGraph, g2: MixedGraph) -> bool:
+    """Condition 2: identical collider status on all unshielded triples."""
+
+    def collider_set(g: MixedGraph) -> set[tuple]:
+        out = set()
+        for x, y, z in unshielded_triples(g):
+            if g.is_collider(x, y, z):
+                out.add((frozenset((x, z)), y))
+        return out
+
+    return collider_set(g1) == collider_set(g2)
+
+
+def _discriminated_status(graph: MixedGraph) -> dict[tuple, bool]:
+    """Map (path-endpoints, V) -> is-collider for discriminated nodes.
+
+    We enumerate discriminating paths by scanning every adjacent ordered
+    pair (V, Y): any discriminating path found for V w.r.t. Y pins V's
+    collider status on that path's final triple.
+    """
+    out: dict[tuple, bool] = {}
+    for v in graph.nodes:
+        for y in graph.neighbors(v):
+            path = find_discriminating_path(graph, v, y)
+            if path is None:
+                continue
+            theta = path[0]
+            alpha = path[-3]
+            is_collider = graph.is_into(alpha, v) and graph.is_into(y, v)
+            out[(frozenset((theta, y)), v)] = is_collider
+    return out
+
+
+def markov_equivalent(g1: MixedGraph, g2: MixedGraph) -> bool:
+    """Full graphical equivalence test for two MAGs."""
+    for g in (g1, g2):
+        if not is_mag(g):
+            raise GraphError("markov_equivalent expects MAGs")
+    if not g1.same_adjacencies(g2):
+        return False
+    if not same_unshielded_colliders(g1, g2):
+        return False
+    status1 = _discriminated_status(g1)
+    status2 = _discriminated_status(g2)
+    shared = set(status1) & set(status2)
+    return all(status1[key] == status2[key] for key in shared)
+
+
+def invariant_marks(graphs: list[MixedGraph]) -> dict[tuple, object]:
+    """Endpoint marks shared by every graph in a (purported) class.
+
+    Returns {(u, v): mark-at-v} for the pairs adjacent in all graphs whose
+    mark at v coincides everywhere — the marks a PAG may legitimately
+    display as non-circles (Def. 2.8 condition 2).
+    """
+    if not graphs:
+        return {}
+    first = graphs[0]
+    out: dict[tuple, object] = {}
+    for u, v, *_ in first.edges():
+        for a, b in ((u, v), (v, u)):
+            if not all(g.has_edge(a, b) for g in graphs):
+                continue
+            marks = {g.mark(a, b) for g in graphs}
+            if len(marks) == 1:
+                out[(a, b)] = marks.pop()
+    return out
+
+
+def enumerate_mags_in_class(pag: MixedGraph, limit: int = 256) -> list[MixedGraph]:
+    """Brute-force the MAGs consistent with a PAG's circle marks.
+
+    Each circle endpoint may resolve to a tail or an arrowhead; candidates
+    failing MAG validity are discarded.  Exponential — intended for the
+    small graphs in tests (``limit`` caps the circle count at 2^k ≤ limit).
+    """
+    circles: list[tuple] = []
+    for u, v, mark_u, mark_v in pag.edges():
+        from repro.graph.endpoints import Endpoint
+
+        if mark_u is Endpoint.CIRCLE:
+            circles.append((v, u))  # mark at u addressed as (v, u)
+        if mark_v is Endpoint.CIRCLE:
+            circles.append((u, v))
+    if 2 ** len(circles) > limit:
+        raise GraphError(
+            f"{len(circles)} circle marks: enumeration exceeds limit {limit}"
+        )
+    from repro.graph.endpoints import Endpoint
+
+    out: list[MixedGraph] = []
+    for bits in range(2 ** len(circles)):
+        candidate = pag.copy()
+        for i, (a, b) in enumerate(circles):
+            mark = Endpoint.ARROW if (bits >> i) & 1 else Endpoint.TAIL
+            candidate.set_mark(a, b, mark)
+        if is_mag(candidate):
+            out.append(candidate)
+    return out

@@ -1,0 +1,120 @@
+"""Structure-recovery metrics for comparing learned graphs to ground truth.
+
+Table 6 and Fig. 7 report precision / recall / F1 of the learned causal
+graph.  We score at two granularities:
+
+* **adjacency** — each undirected adjacent pair is one retrieved item;
+* **endpoint** — each non-circle endpoint mark on a correctly-retrieved
+  adjacency is an item (arrow/tail must match the ground truth), which
+  rewards the extra orientation knowledge XLearner extracts from FDs.
+
+``GraphScores.combined`` averages the two F1 components, mirroring how the
+paper credits both skeleton recovery and orientation completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.graph.endpoints import Endpoint
+from repro.graph.mixed_graph import MixedGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    @classmethod
+    def from_counts(cls, true_pos: int, retrieved: int, relevant: int) -> "PRF":
+        precision = true_pos / retrieved if retrieved else 1.0
+        recall = true_pos / relevant if relevant else 1.0
+        return cls(precision, recall)
+
+
+def _adjacencies(graph: MixedGraph) -> set[frozenset[Node]]:
+    return {frozenset((u, v)) for u, v, *_ in graph.edges()}
+
+
+def adjacency_scores(learned: MixedGraph, truth: MixedGraph) -> PRF:
+    """Skeleton-level precision/recall against the ground-truth adjacencies."""
+    got = _adjacencies(learned)
+    want = _adjacencies(truth)
+    return PRF.from_counts(len(got & want), len(got), len(want))
+
+
+def endpoint_scores(learned: MixedGraph, truth: MixedGraph) -> PRF:
+    """Orientation-level scores on the shared adjacencies.
+
+    Retrieved items: every non-circle endpoint mark the learner asserted on
+    an adjacency that also exists in the truth.  Relevant items: every
+    non-circle endpoint mark of the truth (on all its edges).  A retrieved
+    mark is correct iff the truth has the same mark at the same endpoint.
+    """
+    true_pos = 0
+    retrieved = 0
+    relevant = 0
+    for u, v, mark_u, mark_v in truth.edges():
+        relevant += mark_u is not Endpoint.CIRCLE
+        relevant += mark_v is not Endpoint.CIRCLE
+    for u, v, mark_u, mark_v in learned.edges():
+        if not truth.has_edge(u, v):
+            continue
+        for near, far, mark in ((v, u, mark_u), (u, v, mark_v)):
+            if mark is Endpoint.CIRCLE:
+                continue
+            retrieved += 1
+            if truth.mark(near, far) is mark:
+                true_pos += 1
+    return PRF.from_counts(true_pos, retrieved, relevant)
+
+
+@dataclass(frozen=True)
+class GraphScores:
+    """Joint structure-recovery report used by the Table 6 / Fig. 7 benches."""
+
+    adjacency: PRF
+    endpoint: PRF
+
+    @property
+    def combined(self) -> PRF:
+        """Average the adjacency and endpoint components."""
+        return PRF(
+            (self.adjacency.precision + self.endpoint.precision) / 2,
+            (self.adjacency.recall + self.endpoint.recall) / 2,
+        )
+
+
+def score_graph(learned: MixedGraph, truth: MixedGraph) -> GraphScores:
+    return GraphScores(
+        adjacency=adjacency_scores(learned, truth),
+        endpoint=endpoint_scores(learned, truth),
+    )
+
+
+def structural_hamming_distance(learned: MixedGraph, truth: MixedGraph) -> int:
+    """SHD over the union of adjacencies: +1 per missing/extra adjacency,
+    +1 per shared adjacency whose endpoint pair differs."""
+    got = _adjacencies(learned)
+    want = _adjacencies(truth)
+    shd = len(got ^ want)
+    for pair in got & want:
+        u, v = tuple(pair)
+        if (
+            learned.mark(u, v) is not truth.mark(u, v)
+            or learned.mark(v, u) is not truth.mark(v, u)
+        ):
+            shd += 1
+    return shd

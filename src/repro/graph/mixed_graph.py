@@ -1,0 +1,288 @@
+"""Directed mixed graph with endpoint marks (Sec. 2.2).
+
+One graph class represents DAGs, MAGs and PAGs; the class-specific
+invariants are enforced by the validators in :mod:`repro.graph.dag`,
+:mod:`repro.graph.mag` and :mod:`repro.graph.pag`.  At most one edge may
+exist between any two nodes (a MAG/PAG property the paper relies on).
+
+Mark convention: for an edge ``u ?-? v`` we store ``mark(u, v)`` = the mark
+at ``v`` (the far end seen from ``u``) and ``mark(v, u)`` = the mark at
+``u``.  So ``u → v`` has ``mark(u, v) = ARROW`` and ``mark(v, u) = TAIL``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graph.endpoints import Endpoint, edge_symbol
+
+Node = Hashable
+
+
+class MixedGraph:
+    """Mutable directed mixed graph with tail/arrow/circle endpoint marks."""
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self._adj: dict[Node, dict[Node, Endpoint]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, {})
+
+    def remove_node(self, node: Node) -> None:
+        self._require_node(node)
+        for other in list(self._adj[node]):
+            self.remove_edge(node, other)
+        del self._adj[node]
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._adj)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._adj)
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._adj:
+            raise GraphError(f"unknown node {node!r}")
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        u: Node,
+        v: Node,
+        mark_u: Endpoint = Endpoint.CIRCLE,
+        mark_v: Endpoint = Endpoint.CIRCLE,
+    ) -> None:
+        """Insert the single edge ``u ?-? v`` with the given endpoint marks."""
+        self._require_node(u)
+        self._require_node(v)
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} not allowed")
+        if v in self._adj[u]:
+            raise GraphError(f"edge {u!r}-{v!r} already exists")
+        self._adj[u][v] = mark_v
+        self._adj[v][u] = mark_u
+
+    def add_directed_edge(self, u: Node, v: Node) -> None:
+        """Insert ``u → v``."""
+        self.add_edge(u, v, Endpoint.TAIL, Endpoint.ARROW)
+
+    def add_bidirected_edge(self, u: Node, v: Node) -> None:
+        """Insert ``u ↔ v`` (latent common cause, Table 1)."""
+        self.add_edge(u, v, Endpoint.ARROW, Endpoint.ARROW)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge {u!r}-{v!r}")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def mark(self, u: Node, v: Node) -> Endpoint:
+        """The endpoint mark at ``v`` on the edge ``u ?-? v``."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge {u!r}-{v!r}")
+        return self._adj[u][v]
+
+    def set_mark(self, u: Node, v: Node, mark_at_v: Endpoint) -> None:
+        """Re-mark the ``v`` end of the edge ``u ?-? v``."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge {u!r}-{v!r}")
+        self._adj[u][v] = mark_at_v
+
+    def orient(self, u: Node, v: Node) -> None:
+        """Fully orient the existing edge as ``u → v``."""
+        self.set_mark(u, v, Endpoint.ARROW)
+        self.set_mark(v, u, Endpoint.TAIL)
+
+    def neighbors(self, node: Node) -> tuple[Node, ...]:
+        self._require_node(node)
+        return tuple(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj[node])
+
+    def edges(self) -> Iterator[tuple[Node, Node, Endpoint, Endpoint]]:
+        """Yield each edge once as ``(u, v, mark_u, mark_v)``."""
+        seen: set[frozenset[Node]] = set()
+        for u, nbrs in self._adj.items():
+            for v, mark_v in nbrs.items():
+                key = frozenset((u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield u, v, self._adj[v][u], mark_v
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    # ------------------------------------------------------------------
+    # Mark predicates (terminology of Sec. 2.2 / Alg. 4)
+    # ------------------------------------------------------------------
+
+    def is_parent(self, u: Node, v: Node) -> bool:
+        """True iff ``u → v``."""
+        return (
+            self.has_edge(u, v)
+            and self._adj[u][v] is Endpoint.ARROW
+            and self._adj[v][u] is Endpoint.TAIL
+        )
+
+    def is_bidirected(self, u: Node, v: Node) -> bool:
+        """True iff ``u ↔ v``."""
+        return (
+            self.has_edge(u, v)
+            and self._adj[u][v] is Endpoint.ARROW
+            and self._adj[v][u] is Endpoint.ARROW
+        )
+
+    def is_into(self, u: Node, v: Node) -> bool:
+        """True iff the edge ``u *→ v`` has an arrowhead at ``v``."""
+        return self.has_edge(u, v) and self._adj[u][v] is Endpoint.ARROW
+
+    def is_out_of(self, u: Node, v: Node) -> bool:
+        """True iff the edge ``u -—* v`` has a tail at ``u``."""
+        return self.has_edge(u, v) and self._adj[v][u] is Endpoint.TAIL
+
+    def parents(self, node: Node) -> tuple[Node, ...]:
+        return tuple(n for n in self.neighbors(node) if self.is_parent(n, node))
+
+    def children(self, node: Node) -> tuple[Node, ...]:
+        return tuple(n for n in self.neighbors(node) if self.is_parent(node, n))
+
+    def is_collider(self, u: Node, v: Node, w: Node) -> bool:
+        """True iff ``v`` is a (definite) collider on the triple (u, v, w):
+        arrowheads point into ``v`` from both sides (Ex. 2.6)."""
+        return self.is_into(u, v) and self.is_into(w, v)
+
+    def is_definite_noncollider(self, u: Node, v: Node, w: Node) -> bool:
+        """True iff at least one mark at ``v`` on the two edges is a tail."""
+        return (
+            self.has_edge(u, v)
+            and self.has_edge(v, w)
+            and (self._adj[u][v] is Endpoint.TAIL or self._adj[w][v] is Endpoint.TAIL)
+        )
+
+    # ------------------------------------------------------------------
+    # Ancestry (directed edges only; every node is its own ancestor)
+    # ------------------------------------------------------------------
+
+    def ancestors(self, node: Node) -> set[Node]:
+        """All X with a directed path X → ... → node, plus node itself."""
+        self._require_node(node)
+        out = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for parent in self.parents(current):
+                if parent not in out:
+                    out.add(parent)
+                    stack.append(parent)
+        return out
+
+    def descendants(self, node: Node) -> set[Node]:
+        """All Y with a directed path node → ... → Y, plus node itself."""
+        self._require_node(node)
+        out = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for child in self.children(current):
+                if child not in out:
+                    out.add(child)
+                    stack.append(child)
+        return out
+
+    def ancestors_of_set(self, nodes: Iterable[Node]) -> set[Node]:
+        out: set[Node] = set()
+        for node in nodes:
+            out |= self.ancestors(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # Possible ancestry (circle marks allowed; used for PAG separation)
+    # ------------------------------------------------------------------
+
+    def possible_parents(self, node: Node) -> tuple[Node, ...]:
+        """Nodes u with an edge u *-* node that could be oriented u → node:
+        no arrowhead at u and no tail at node."""
+        out = []
+        for u in self.neighbors(node):
+            if self._adj[node][u] is not Endpoint.ARROW and self._adj[u][
+                node
+            ] is not Endpoint.TAIL:
+                out.append(u)
+        return tuple(out)
+
+    def possible_ancestors_of_set(self, nodes: Iterable[Node]) -> set[Node]:
+        """Closure of :meth:`possible_parents` over a node set."""
+        out = set(nodes)
+        stack = list(out)
+        while stack:
+            current = stack.pop()
+            for parent in self.possible_parents(current):
+                if parent not in out:
+                    out.add(parent)
+                    stack.append(parent)
+        return out
+
+    # ------------------------------------------------------------------
+    # Copies, comparison, display
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "MixedGraph":
+        clone = MixedGraph(self.nodes)
+        for u, v, mark_u, mark_v in self.edges():
+            clone.add_edge(u, v, mark_u, mark_v)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "MixedGraph":
+        """Induced subgraph on ``nodes`` (edges with both ends inside)."""
+        keep = set(nodes)
+        sub = MixedGraph(n for n in self.nodes if n in keep)
+        for u, v, mark_u, mark_v in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, mark_u, mark_v)
+        return sub
+
+    def same_adjacencies(self, other: "MixedGraph") -> bool:
+        if set(self.nodes) != set(other.nodes):
+            return False
+        mine = {frozenset((u, v)) for u, v, *_ in self.edges()}
+        theirs = {frozenset((u, v)) for u, v, *_ in other.edges()}
+        return mine == theirs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MixedGraph):
+            return NotImplemented
+        if set(self.nodes) != set(other.nodes):
+            return False
+        mine = {(u, v): m for u in self.nodes for v, m in self._adj[u].items()}
+        theirs = {(u, v): m for u in other.nodes for v, m in other._adj[u].items()}
+        return mine == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{u} {edge_symbol(mu, mv)} {v}" for u, v, mu, mv in self.edges()
+        ]
+        return f"MixedGraph({self.n_nodes} nodes: " + "; ".join(parts) + ")"

@@ -1,0 +1,97 @@
+"""Partial Ancestral Graph semantics (Def. 2.8, Table 1).
+
+A PAG summarizes a Markov equivalence class of MAGs: shared adjacencies,
+with invariant endpoint marks shown as tails/arrows and the rest as circles.
+This module provides the edge-kind predicates of Table 1 plus the structural
+queries XTranslator needs (parent / ancestor / almost-parent /
+almost-ancestor, rows ➁–➄ of Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.endpoints import Endpoint
+from repro.graph.mixed_graph import MixedGraph
+
+Node = Hashable
+
+_PAG_EDGE_KINDS = {
+    (Endpoint.TAIL, Endpoint.ARROW),    # X → Y
+    (Endpoint.ARROW, Endpoint.TAIL),    # X ← Y
+    (Endpoint.ARROW, Endpoint.ARROW),   # X ↔ Y
+    (Endpoint.CIRCLE, Endpoint.ARROW),  # X o→ Y
+    (Endpoint.ARROW, Endpoint.CIRCLE),  # X ←o Y
+    (Endpoint.CIRCLE, Endpoint.CIRCLE), # X o-o Y
+    # The undirected edge (—) only arises under selection bias; the paper
+    # assumes none, but FCI rules R5–R7 can still produce it, so accept it.
+    (Endpoint.TAIL, Endpoint.TAIL),
+    (Endpoint.TAIL, Endpoint.CIRCLE),   # X -o Y (partially undirected)
+    (Endpoint.CIRCLE, Endpoint.TAIL),
+}
+
+
+def is_valid_pag_edge(mark_u: Endpoint, mark_v: Endpoint) -> bool:
+    """All endpoint combinations are representable in a PAG."""
+    return (mark_u, mark_v) in _PAG_EDGE_KINDS
+
+
+def is_almost_parent(graph: MixedGraph, x: Node, y: Node) -> bool:
+    """Table 3 row ➃: edge ``x o→ y`` — x is a cause of y in at least one
+    member of the class (or they share a latent confounder)."""
+    return (
+        graph.has_edge(x, y)
+        and graph.mark(x, y) is Endpoint.ARROW
+        and graph.mark(y, x) is Endpoint.CIRCLE
+    )
+
+
+def is_ancestor(graph: MixedGraph, x: Node, y: Node) -> bool:
+    """Table 3 row ➂: a directed path ``x → ... → y`` of fully-oriented
+    edges exists (x ≠ y)."""
+    return x != y and y in graph.descendants(x)
+
+
+def is_almost_ancestor(graph: MixedGraph, x: Node, y: Node) -> bool:
+    """Table 3 row ➄: a path ``x (o)→ ... (o)→ y`` where every edge points
+    forward with an arrowhead and has a circle or tail at its source.
+
+    Plain parents/ancestors qualify as well (a tail is a stronger claim than
+    a circle); use :func:`is_ancestor` first if the distinction matters.
+    """
+    if x == y:
+        return False
+    visited = {x}
+    stack = [x]
+    while stack:
+        cur = stack.pop()
+        for nxt in graph.neighbors(cur):
+            if nxt in visited:
+                continue
+            arrow_forward = graph.mark(cur, nxt) is Endpoint.ARROW
+            source_not_arrow = graph.mark(nxt, cur) is not Endpoint.ARROW
+            if arrow_forward and source_not_arrow:
+                if nxt == y:
+                    return True
+                visited.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+def skeleton(graph: MixedGraph) -> MixedGraph:
+    """Def. 2.7: drop all arrowheads — here rendered as circle-circle edges
+    so the result can feed orientation directly."""
+    out = MixedGraph(graph.nodes)
+    for u, v, _mu, _mv in graph.edges():
+        out.add_edge(u, v, Endpoint.CIRCLE, Endpoint.CIRCLE)
+    return out
+
+
+def undetermined_endpoint_count(graph: MixedGraph) -> int:
+    """Number of circle marks — the paper's measure of how much orientation
+    knowledge a PAG still lacks (Sec. 3.1, 'less undetermined edges')."""
+    count = 0
+    for u, v, mark_u, mark_v in graph.edges():
+        count += mark_u is Endpoint.CIRCLE
+        count += mark_v is Endpoint.CIRCLE
+    return count

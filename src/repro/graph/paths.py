@@ -1,0 +1,199 @@
+"""Path machinery for FCI orientation (Supplementary Defs. 8.1–8.7).
+
+Implements the structural path queries consumed by the orientation rules in
+:mod:`repro.discovery.orientation`: unshielded triples, discriminating
+paths (R4), uncovered potentially-directed paths (R5, R9, R10) and circle
+paths (R5), plus the inducing-path test used to cross-check the latent
+projection in :mod:`repro.graph.transforms`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterator, Sequence
+
+from repro.graph.endpoints import Endpoint
+from repro.graph.mixed_graph import MixedGraph
+
+Node = Hashable
+
+
+def unshielded_triples(graph: MixedGraph) -> Iterator[tuple[Node, Node, Node]]:
+    """Def. 8.1: yield each (x, y, z) with x−y, y−z adjacent but x, z not.
+
+    Each unordered triple appears once (the x/z order is canonicalized by
+    node order of iteration).
+    """
+    for y in graph.nodes:
+        nbrs = graph.neighbors(y)
+        for i, x in enumerate(nbrs):
+            for z in nbrs[i + 1 :]:
+                if not graph.has_edge(x, z):
+                    yield x, y, z
+
+
+def find_discriminating_path(
+    graph: MixedGraph, beta: Node, gamma: Node
+) -> list[Node] | None:
+    """Def. 8.4: find a discriminating path (θ, ..., α, β, γ) for ``beta``.
+
+    Requirements: at least three edges; β is adjacent to γ; θ is NOT
+    adjacent to γ; every intermediate node between θ and β is a collider on
+    the path and a parent of γ.
+
+    The search walks backwards from β: each predecessor candidate α must
+    have an arrowhead at β on the α—β edge... more precisely, every node
+    strictly between θ and β must be a collider AND a parent of γ, so the
+    walk may only extend through nodes satisfying both; it terminates the
+    moment it reaches a node not adjacent to γ (that node is θ).
+
+    Returns the path as a node list [θ, ..., α, β, γ] or None.
+    """
+    if not graph.has_edge(beta, gamma):
+        return None
+    # States: partial reversed paths (..., v, beta, gamma).  We extend from
+    # the head v with predecessors u such that the triple (u, v, next) keeps
+    # the discriminating property for v (v collider + parent of gamma).
+    queue: deque[tuple[Node, ...]] = deque()
+    for alpha in graph.neighbors(beta):
+        if alpha == gamma:
+            continue
+        # α sits strictly between θ and β, so it must be a parent of γ; its
+        # collider status (arrowheads at α from both path neighbors) is
+        # checked lazily when the state is expanded below.
+        if graph.is_parent(alpha, gamma):
+            queue.append((alpha, beta, gamma))
+    visited: set[tuple[Node, Node]] = set()
+    while queue:
+        path = queue.popleft()
+        head, after = path[0], path[1]
+        for theta in graph.neighbors(head):
+            if theta in path:
+                continue
+            if not graph.is_into(theta, head):
+                continue  # head must be a collider: arrowheads from both sides
+            if not graph.is_into(after, head):
+                continue
+            if not graph.has_edge(theta, gamma):
+                # θ found: path has ≥ 3 edges by construction (θ, head, β, γ).
+                return [theta, *path]
+            # θ is adjacent to γ, so it must itself be a legal intermediate:
+            # collider on the extended path and a parent of γ.
+            if not graph.is_parent(theta, gamma):
+                continue
+            state = (theta, head)
+            if state in visited:
+                continue
+            visited.add(state)
+            queue.append((theta, *path))
+    return None
+
+
+def _is_potentially_directed_step(graph: MixedGraph, u: Node, v: Node) -> bool:
+    """Def. 8.6: the edge u *-* v is 'not into u and not out of v'."""
+    return (
+        graph.has_edge(u, v)
+        and graph.mark(v, u) is not Endpoint.ARROW
+        and graph.mark(u, v) is not Endpoint.TAIL
+    )
+
+
+def is_potentially_directed_path(graph: MixedGraph, path: Sequence[Node]) -> bool:
+    """Check Def. 8.6 along an explicit node sequence."""
+    return all(
+        _is_potentially_directed_step(graph, path[i], path[i + 1])
+        for i in range(len(path) - 1)
+    )
+
+
+def is_uncovered_path(graph: MixedGraph, path: Sequence[Node]) -> bool:
+    """Def. 8.5: every consecutive triple on the path is unshielded."""
+    return all(
+        not graph.has_edge(path[i - 1], path[i + 1])
+        for i in range(1, len(path) - 1)
+    )
+
+
+def find_uncovered_pd_paths(
+    graph: MixedGraph,
+    start: Node,
+    end: Node,
+    min_edges: int = 1,
+    circle_only: bool = False,
+    first_hop: Node | None = None,
+) -> Iterator[list[Node]]:
+    """Enumerate uncovered potentially-directed paths from start to end.
+
+    Parameters
+    ----------
+    circle_only:
+        Restrict to circle paths (Def. 8.7: every edge is o-o) — rule R5.
+    first_hop:
+        If given, only paths whose second node is ``first_hop`` (rule R10
+        inspects the neighbor of α on each path).
+    """
+
+    def edge_ok(u: Node, v: Node) -> bool:
+        if circle_only:
+            return (
+                graph.has_edge(u, v)
+                and graph.mark(u, v) is Endpoint.CIRCLE
+                and graph.mark(v, u) is Endpoint.CIRCLE
+            )
+        return _is_potentially_directed_step(graph, u, v)
+
+    stack: list[list[Node]] = []
+    for nbr in graph.neighbors(start):
+        if first_hop is not None and nbr != first_hop:
+            continue
+        if edge_ok(start, nbr):
+            stack.append([start, nbr])
+    while stack:
+        path = stack.pop()
+        head = path[-1]
+        if head == end:
+            if len(path) - 1 >= min_edges and is_uncovered_path(graph, path):
+                yield path
+            continue
+        for nxt in graph.neighbors(head):
+            if nxt in path:
+                continue
+            if not edge_ok(head, nxt):
+                continue
+            # Prune covered triples eagerly.
+            if len(path) >= 2 and graph.has_edge(path[-2], nxt):
+                continue
+            stack.append([*path, nxt])
+
+
+def inducing_path_exists(
+    graph: MixedGraph, x: Node, y: Node, latent: set[Node]
+) -> bool:
+    """Primitive inducing path between x and y relative to ``latent`` in a
+    DAG/MAG: every non-endpoint node is a collider or in ``latent``, every
+    collider is an ancestor of {x, y}.
+
+    Used to cross-validate the latent projection (tests compare this against
+    the d-separation criterion of :func:`repro.graph.transforms.latent_projection`).
+    """
+    anchors = graph.ancestors(x) | graph.ancestors(y)
+    queue: deque[tuple[Node, Node]] = deque((x, n) for n in graph.neighbors(x))
+    visited = set(queue)
+    while queue:
+        prev, cur = queue.popleft()
+        if cur == y:
+            return True
+        for nxt in graph.neighbors(cur):
+            if nxt == prev:
+                continue
+            collider = graph.is_into(prev, cur) and graph.is_into(nxt, cur)
+            if collider:
+                if cur not in anchors:
+                    continue
+            elif cur not in latent:
+                continue
+            state = (cur, nxt)
+            if state not in visited:
+                visited.add(state)
+                queue.append(state)
+    return False

@@ -1,0 +1,80 @@
+"""Graph rendering: edge lists, DOT export, and adjacency summaries.
+
+Plotting libraries are unavailable offline, so the renderers target text:
+a sorted human-readable edge list (stable across runs, handy in tests and
+examples), Graphviz DOT output for users who have ``dot`` locally, and a
+compact adjacency-matrix view for small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.endpoints import Endpoint, edge_symbol
+from repro.graph.mixed_graph import MixedGraph
+
+Node = Hashable
+
+_DOT_ARROWHEAD = {
+    Endpoint.TAIL: "none",
+    Endpoint.ARROW: "normal",
+    Endpoint.CIRCLE: "odot",
+}
+
+
+def edge_list(graph: MixedGraph) -> list[str]:
+    """Sorted ``u <glyph> v`` lines, one per edge."""
+    lines = []
+    for u, v, mark_u, mark_v in graph.edges():
+        a, b = sorted((u, v), key=repr)
+        if (a, b) != (u, v):
+            u, v, mark_u, mark_v = v, u, mark_v, mark_u
+        lines.append(f"{u} {edge_symbol(mark_u, mark_v)} {v}")
+    return sorted(lines)
+
+
+def to_text(graph: MixedGraph, title: str | None = None) -> str:
+    """Multi-line text rendering used by the examples."""
+    lines = [title] if title else []
+    lines.append(f"nodes: {', '.join(str(n) for n in graph.nodes)}")
+    body = edge_list(graph)
+    lines.extend(f"  {line}" for line in body) if body else lines.append("  (no edges)")
+    return "\n".join(lines)
+
+
+def to_dot(graph: MixedGraph, name: str = "pag") -> str:
+    """Graphviz DOT output preserving all three endpoint marks.
+
+    Uses undirected-style statements with explicit ``arrowhead``/
+    ``arrowtail`` attributes so circles render as open dots.
+    """
+    lines = [f"digraph {name} {{", "  edge [dir=both];"]
+    for node in graph.nodes:
+        lines.append(f'  "{node}";')
+    for u, v, mark_u, mark_v in graph.edges():
+        tail = _DOT_ARROWHEAD[mark_u]
+        head = _DOT_ARROWHEAD[mark_v]
+        lines.append(f'  "{u}" -> "{v}" [arrowtail={tail}, arrowhead={head}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def adjacency_text(graph: MixedGraph) -> str:
+    """Compact adjacency matrix for small graphs (marks as seen by rows).
+
+    Cell (r, c) shows the endpoint mark at c of the edge r ?-? c, '.' when
+    non-adjacent.
+    """
+    nodes = sorted(graph.nodes, key=repr)
+    width = max((len(str(n)) for n in nodes), default=1)
+    header = " " * (width + 1) + " ".join(str(n)[:width].ljust(width) for n in nodes)
+    rows = [header]
+    for r in nodes:
+        cells = []
+        for c in nodes:
+            if r == c or not graph.has_edge(r, c):
+                cells.append(".".ljust(width))
+            else:
+                cells.append(str(graph.mark(r, c)).ljust(width))
+        rows.append(str(r)[:width].ljust(width) + " " + " ".join(cells))
+    return "\n".join(rows)

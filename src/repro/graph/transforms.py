@@ -1,0 +1,68 @@
+"""Graph transformations: latent projection and helpers.
+
+The SYN-A generator (Sec. 4.1 ③, suppl. 8.12) samples a DAG, hides 5% of
+the variables, and uses the corresponding PAG as ground truth.  Hiding
+variables is the *latent projection*: the MAG over the observed variables O
+of a DAG D over O ∪ L.
+
+Adjacency criterion: X, Y ∈ O are adjacent in the MAG iff X and Y are
+d-connected in D given (An_D(X) ∪ An_D(Y)) ∩ O \\ {X, Y} — for ancestral
+graphs this set separates whenever anything does, so the criterion is exact
+(equivalently: an inducing path w.r.t. L exists; the test suite checks both
+formulations agree).
+
+Orientation: X → Y if X ∈ An_D(Y); Y → X if Y ∈ An_D(X); X ↔ Y otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import GraphError
+from repro.graph.dag import validate_dag
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.separation import d_separated
+
+Node = Hashable
+
+
+def latent_projection(dag: MixedGraph, observed: Iterable[Node]) -> MixedGraph:
+    """Project a DAG onto ``observed``, returning the MAG over those nodes."""
+    validate_dag(dag)
+    obs = list(dict.fromkeys(observed))
+    for node in obs:
+        if not dag.has_node(node):
+            raise GraphError(f"observed node {node!r} not in the DAG")
+    obs_set = set(obs)
+    ancestors = {node: dag.ancestors(node) for node in obs}
+
+    mag = MixedGraph(obs)
+    for i, x in enumerate(obs):
+        for y in obs[i + 1 :]:
+            z = ((ancestors[x] | ancestors[y]) & obs_set) - {x, y}
+            if d_separated(dag, x, y, z):
+                continue
+            x_anc_y = x in ancestors[y]
+            y_anc_x = y in ancestors[x]
+            if x_anc_y:
+                mag.add_directed_edge(x, y)
+            elif y_anc_x:
+                mag.add_directed_edge(y, x)
+            else:
+                mag.add_bidirected_edge(x, y)
+    return mag
+
+
+def moralize(dag: MixedGraph) -> MixedGraph:
+    """Moral graph: marry parents, drop directions (classic BN utility)."""
+    validate_dag(dag)
+    moral = MixedGraph(dag.nodes)
+    for u, v, *_ in dag.edges():
+        moral.add_edge(u, v)
+    for node in dag.nodes:
+        parents = dag.parents(node)
+        for i, p in enumerate(parents):
+            for q in parents[i + 1 :]:
+                if not moral.has_edge(p, q):
+                    moral.add_edge(p, q)
+    return moral

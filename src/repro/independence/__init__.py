@@ -1,0 +1,19 @@
+"""Conditional-independence testing substrate."""
+
+from repro.independence.base import CITest, CITestResult
+from repro.independence.cache import CachedCITest
+from repro.independence.contingency import ChiSquaredTest, GTest
+from repro.independence.fisher_z import FisherZTest
+from repro.independence.oracle import OracleCITest
+from repro.independence.permutation import PermutationCITest
+
+__all__ = [
+    "CITest",
+    "CITestResult",
+    "CachedCITest",
+    "ChiSquaredTest",
+    "FisherZTest",
+    "GTest",
+    "OracleCITest",
+    "PermutationCITest",
+]

@@ -1,0 +1,37 @@
+"""Memoizing wrapper around any CI test.
+
+Skeleton learning probes the same (X, Y, Z) triples repeatedly across
+depths and the Possible-D-SEP stage; caching them is the single biggest
+constant-factor win in the offline phase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.independence.base import CITest, CITestResult, Var
+
+
+class CachedCITest(CITest):
+    """Transparent cache keyed on the canonical (x, y, frozenset(z)) form."""
+
+    def __init__(self, inner: CITest) -> None:
+        super().__init__(inner.alpha)
+        self.inner = inner
+        self._cache: dict[tuple, CITestResult] = {}
+
+    @property
+    def hits(self) -> int:
+        return self.calls - self.inner.calls
+
+    def test(self, x: Var, y: Var, z: Iterable[Var] = ()) -> CITestResult:
+        self.calls += 1
+        key = self.canonical_key(x, y, z)
+        result = self._cache.get(key)
+        if result is None:
+            result = self.inner.test(x, y, z)
+            self._cache[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._cache.clear()

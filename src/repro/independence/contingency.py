@@ -1,0 +1,120 @@
+"""Chi-squared and G conditional-independence tests on discrete data.
+
+Both tests stratify the data by every observed configuration of the
+conditioning set Z, build an X×Y contingency table per stratum, and sum the
+per-stratum statistics and degrees of freedom.  This is the standard
+empirical check of ``P(X, Y | Z) = P(X | Z) P(Y | Z)`` the paper refers to
+under Def. 2.5 ("can be empirically examined using statistical hypothesis
+tests (e.g., χ² tests)").
+
+Deterministic columns (FDs!) produce degenerate strata; rows/columns that
+are entirely zero inside a stratum are dropped before computing expected
+counts, and a test with zero total degrees of freedom returns p = 1.0
+(independence cannot be rejected) — exactly the failure mode that makes
+plain FCI unreliable under FDs and motivates XLearner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+from scipy import stats
+
+from repro.data.table import Table
+from repro.independence.base import CITest, CITestResult, Var
+
+
+def _stratum_tables(
+    cx: np.ndarray,
+    cy: np.ndarray,
+    strata: np.ndarray,
+    kx: int,
+    ky: int,
+) -> Iterable[np.ndarray]:
+    """Yield the X×Y count matrix of every non-empty stratum."""
+    order = np.argsort(strata, kind="stable")
+    sorted_strata = strata[order]
+    boundaries = np.flatnonzero(np.diff(sorted_strata)) + 1
+    for chunk in np.split(order, boundaries):
+        joint = cx[chunk] * ky + cy[chunk]
+        counts = np.bincount(joint, minlength=kx * ky).reshape(kx, ky)
+        yield counts
+
+
+def _reduce_table(counts: np.ndarray) -> np.ndarray:
+    """Drop all-zero rows and columns (unobserved categories in a stratum)."""
+    counts = counts[counts.sum(axis=1) > 0]
+    if counts.size:
+        counts = counts[:, counts.sum(axis=0) > 0]
+    return counts
+
+
+class _ContingencyTest(CITest):
+    """Shared stratification logic; subclasses provide the cell statistic."""
+
+    def __init__(
+        self, table: Table, alpha: float = 0.05, min_stratum_rows: int = 0
+    ) -> None:
+        super().__init__(alpha)
+        self.table = table
+        self.min_stratum_rows = min_stratum_rows
+
+    def _statistic(self, observed: np.ndarray, expected: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def test(self, x: Var, y: Var, z: Iterable[Var] = ()) -> CITestResult:
+        self.calls += 1
+        z = tuple(z)
+        cx = self.table.codes(str(x))
+        cy = self.table.codes(str(y))
+        kx = self.table.cardinality(str(x))
+        ky = self.table.cardinality(str(y))
+        if z:
+            strata = np.zeros(self.table.n_rows, dtype=np.int64)
+            for var in z:
+                strata = strata * self.table.cardinality(str(var)) + self.table.codes(
+                    str(var)
+                )
+        else:
+            strata = np.zeros(self.table.n_rows, dtype=np.int64)
+
+        statistic = 0.0
+        dof = 0.0
+        for counts in _stratum_tables(cx, cy, strata, kx, ky):
+            total = counts.sum()
+            if total < self.min_stratum_rows:
+                continue
+            counts = _reduce_table(counts)
+            if counts.ndim < 2 or counts.shape[0] < 2 or counts.shape[1] < 2:
+                continue
+            row = counts.sum(axis=1, keepdims=True)
+            col = counts.sum(axis=0, keepdims=True)
+            expected = row @ col / total
+            statistic += self._statistic(counts, expected)
+            dof += (counts.shape[0] - 1) * (counts.shape[1] - 1)
+
+        if dof == 0:
+            p_value = 1.0
+        else:
+            p_value = float(stats.chi2.sf(statistic, dof))
+        return CITestResult(x, y, z, float(statistic), p_value, dof)
+
+
+class ChiSquaredTest(_ContingencyTest):
+    """Pearson χ² test of conditional independence on discrete columns."""
+
+    def _statistic(self, observed: np.ndarray, expected: np.ndarray) -> float:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = (observed - expected) ** 2 / expected
+        return float(np.where(expected > 0, terms, 0.0).sum())
+
+
+class GTest(_ContingencyTest):
+    """Likelihood-ratio (G) test: 2·Σ obs·ln(obs/exp), same asymptotics as χ²."""
+
+    def _statistic(self, observed: np.ndarray, expected: np.ndarray) -> float:
+        mask = observed > 0
+        obs = observed[mask].astype(np.float64)
+        exp = expected[mask]
+        return float(2.0 * np.sum(obs * np.log(obs / exp)))

@@ -1,0 +1,65 @@
+"""Fisher-z partial-correlation CI test for numeric columns.
+
+Used when measures participate directly in discovery (e.g. the FLIGHT
+dataset's DelayMinute).  Assumes joint Gaussianity — the standard choice in
+constraint-based discovery over continuous data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+from scipy import stats
+
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.errors import SchemaError
+from repro.independence.base import CITest, CITestResult, Var
+
+
+class FisherZTest(CITest):
+    """Partial correlation + Fisher z-transform on measure columns.
+
+    Dimension columns are accepted too: their integer codes are used as a
+    numeric embedding, which is exact for binary dimensions and a pragmatic
+    approximation otherwise.
+    """
+
+    def __init__(self, table: Table, alpha: float = 0.05) -> None:
+        super().__init__(alpha)
+        self.table = table
+        self._vectors: dict[str, np.ndarray] = {}
+
+    def _vector(self, name: Var) -> np.ndarray:
+        key = str(name)
+        if key not in self._vectors:
+            if key not in self.table.schema:
+                raise SchemaError(f"unknown column {key!r}")
+            if self.table.schema.role(key) is Role.MEASURE:
+                self._vectors[key] = self.table.measure_values(key)
+            else:
+                self._vectors[key] = self.table.codes(key).astype(np.float64)
+        return self._vectors[key]
+
+    def test(self, x: Var, y: Var, z: Iterable[Var] = ()) -> CITestResult:
+        self.calls += 1
+        z = tuple(z)
+        columns = [self._vector(x), self._vector(y)] + [self._vector(v) for v in z]
+        data = np.column_stack(columns)
+        n, k = data.shape
+        corr = np.corrcoef(data, rowvar=False)
+        corr = np.atleast_2d(corr)
+        # Partial correlation of the first two variables given the rest via
+        # the precision matrix; pseudo-inverse guards near-singular inputs
+        # (deterministic relations again).
+        precision = np.linalg.pinv(corr)
+        denom = math.sqrt(abs(precision[0, 0] * precision[1, 1])) or 1.0
+        r = float(np.clip(-precision[0, 1] / denom, -0.999999, 0.999999))
+        dof = n - len(z) - 3
+        if dof <= 0:
+            return CITestResult(x, y, z, 0.0, 1.0, 0)
+        statistic = abs(0.5 * math.log((1 + r) / (1 - r))) * math.sqrt(dof)
+        p_value = float(2.0 * stats.norm.sf(statistic))
+        return CITestResult(x, y, z, statistic, p_value, dof)

@@ -1,0 +1,30 @@
+"""Graph-based CI oracle.
+
+Answers ``X ⫫ Y | Z`` by m-separation on a known ground-truth graph.  This
+is the standard device for verifying constraint-based algorithms: with a
+perfect oracle, FCI must return exactly the PAG of the true MAG's Markov
+equivalence class, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.separation import m_separated
+from repro.independence.base import CITest, CITestResult, Var
+
+
+class OracleCITest(CITest):
+    """CI decisions delegated to m-separation on ``graph``."""
+
+    def __init__(self, graph: MixedGraph, alpha: float = 0.05) -> None:
+        super().__init__(alpha)
+        self.graph = graph
+
+    def test(self, x: Var, y: Var, z: Iterable[Var] = ()) -> CITestResult:
+        self.calls += 1
+        z = tuple(z)
+        separated = m_separated(self.graph, x, y, z)
+        p_value = 1.0 if separated else 0.0
+        return CITestResult(x, y, z, 0.0, p_value, 0)

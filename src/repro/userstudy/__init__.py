@@ -1,0 +1,19 @@
+"""Simulated user-study harness (Tables 5 and 7 substitute; see DESIGN.md)."""
+
+from repro.userstudy.assessment import (
+    ClaimAssessment,
+    ExplanationAssessment,
+    claim_assessment,
+    explanation_assessment,
+)
+from repro.userstudy.oracle import ClaimVerdict, SimulatedExpert, recruit_experts
+
+__all__ = [
+    "ClaimAssessment",
+    "ClaimVerdict",
+    "ExplanationAssessment",
+    "SimulatedExpert",
+    "claim_assessment",
+    "explanation_assessment",
+    "recruit_experts",
+]

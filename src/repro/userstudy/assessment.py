@@ -1,0 +1,127 @@
+"""User-study protocols (Sec. 4.1): assessment matrices and summaries.
+
+``explanation_assessment`` reproduces Table 5's shape: an experts ×
+explanations integer score matrix with per-explanation mean/std.
+``claim_assessment`` reproduces Table 7's shape: per-claim counts of
+reasonable / not sure / not reasonable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.userstudy.oracle import ClaimVerdict, SimulatedExpert
+
+
+@dataclass
+class ExplanationAssessment:
+    """Table 5: score matrix plus summary rows."""
+
+    experts: tuple[str, ...]
+    explanation_labels: tuple[str, ...]
+    scores: np.ndarray  # shape (n_experts, n_explanations)
+
+    @property
+    def means(self) -> np.ndarray:
+        return self.scores.mean(axis=0)
+
+    @property
+    def stds(self) -> np.ndarray:
+        return self.scores.std(axis=0)
+
+    @property
+    def positive_fraction(self) -> float:
+        """Fraction of responses ≥ 3 (the paper: 'nearly all responses are
+        positive (≥ 3)')."""
+        return float((self.scores >= 3).mean())
+
+    def to_rows(self) -> list[list[str]]:
+        header = ["", *self.explanation_labels]
+        rows = [header]
+        for i, expert in enumerate(self.experts):
+            rows.append([expert, *[str(int(s)) for s in self.scores[i]]])
+        rows.append(["mean", *[f"{v:.2f}" for v in self.means]])
+        rows.append(["std", *[f"{v:.2f}" for v in self.stds]])
+        return rows
+
+
+def explanation_assessment(
+    items: Sequence[tuple[Explanation, str]],
+    experts: Sequence[SimulatedExpert],
+) -> ExplanationAssessment:
+    """Run the Table 5 protocol: every expert scores every explanation.
+
+    ``items`` pairs each explanation with the target variable it explains.
+    """
+    scores = np.zeros((len(experts), len(items)), dtype=np.int64)
+    for i, expert in enumerate(experts):
+        for j, (explanation, target) in enumerate(items):
+            scores[i, j] = expert.score_explanation(explanation, target)
+    return ExplanationAssessment(
+        experts=tuple(e.name for e in experts),
+        explanation_labels=tuple(f"E{j + 1}" for j in range(len(items))),
+        scores=scores,
+    )
+
+
+@dataclass
+class ClaimAssessment:
+    """Table 7: per-claim verdict counts."""
+
+    claim_labels: tuple[str, ...]
+    reasonable: np.ndarray
+    not_sure: np.ndarray
+    not_reasonable: np.ndarray
+
+    @property
+    def total_responses(self) -> int:
+        return int(
+            self.reasonable.sum() + self.not_sure.sum() + self.not_reasonable.sum()
+        )
+
+    @property
+    def reasonable_fraction(self) -> float:
+        return float(self.reasonable.sum()) / max(self.total_responses, 1)
+
+    @property
+    def not_reasonable_fraction(self) -> float:
+        return float(self.not_reasonable.sum()) / max(self.total_responses, 1)
+
+    def to_rows(self) -> list[list[str]]:
+        rows = [["", *self.claim_labels]]
+        rows.append(["# Reasonable", *[str(int(v)) for v in self.reasonable]])
+        rows.append(["# Not Sure", *[str(int(v)) for v in self.not_sure]])
+        rows.append(
+            ["# Not Reasonable", *[str(int(v)) for v in self.not_reasonable]]
+        )
+        return rows
+
+
+def claim_assessment(
+    claims: Sequence[tuple[str, str]],
+    experts: Sequence[SimulatedExpert],
+) -> ClaimAssessment:
+    """Run the Table 7 protocol: every expert judges every (cause, effect)."""
+    n = len(claims)
+    reasonable = np.zeros(n, dtype=np.int64)
+    not_sure = np.zeros(n, dtype=np.int64)
+    not_reasonable = np.zeros(n, dtype=np.int64)
+    for expert in experts:
+        for j, (cause, effect) in enumerate(claims):
+            verdict = expert.assess_claim(cause, effect)
+            if verdict is ClaimVerdict.REASONABLE:
+                reasonable[j] += 1
+            elif verdict is ClaimVerdict.NOT_SURE:
+                not_sure[j] += 1
+            else:
+                not_reasonable[j] += 1
+    return ClaimAssessment(
+        claim_labels=tuple(f"C{j + 1}" for j in range(n)),
+        reasonable=reasonable,
+        not_sure=not_sure,
+        not_reasonable=not_reasonable,
+    )

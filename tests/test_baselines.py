@@ -1,0 +1,120 @@
+"""Tests for the Scorpion / RSExplain / BOExplain baselines on SYN-B."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BOExplain, RSExplain, RowLevelEvaluator, Scorpion
+from repro.data import Aggregate
+from repro.datasets import generate_syn_b
+
+
+@pytest.fixture(scope="module")
+def avg_case():
+    return generate_syn_b(n_rows=8000, agg=Aggregate.AVG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sum_case():
+    return generate_syn_b(n_rows=8000, agg=Aggregate.SUM, seed=0)
+
+
+class TestRowLevelEvaluator:
+    def test_bind_enumerates_present_filters(self, avg_case):
+        ev = RowLevelEvaluator(avg_case.table, avg_case.query)
+        ev.bind("Y")
+        assert ev.n_filters == 10
+        assert set(ev.values) == set(avg_case.table.categories("Y"))
+
+    def test_delta_without_matches_query(self, avg_case):
+        ev = RowLevelEvaluator(avg_case.table, avg_case.query)
+        ev.bind("Y")
+        selected = np.zeros(10, dtype=bool)
+        selected[0] = True
+        keep = ~ev.removal_mask(selected)
+        assert ev.delta_without(selected) == pytest.approx(
+            avg_case.query.delta(avg_case.table, keep)
+        )
+
+    def test_predicate_of_empty_is_none(self, avg_case):
+        ev = RowLevelEvaluator(avg_case.table, avg_case.query)
+        ev.bind("Y")
+        assert ev.predicate_of(np.zeros(10, dtype=bool)) is None
+
+
+class TestScorpion:
+    def test_finds_signal_on_avg(self, avg_case):
+        result = Scorpion().explain(avg_case.table, avg_case.query, "Y")
+        assert result.predicate is not None
+        # All selected filters are truly abnormal (may be incomplete).
+        assert set(result.predicate.values) <= set(avg_case.abnormal_values) or (
+            avg_case.f1_against_truth(result.predicate) > 0.4
+        )
+
+    def test_incomplete_on_sum(self, sum_case):
+        """The paper's Table 8: Scorpion under-selects on SUM (F1 ≈ 0.5)."""
+        result = Scorpion().explain(sum_case.table, sum_case.query, "Y")
+        assert result.predicate is not None
+        f1 = sum_case.f1_against_truth(result.predicate)
+        assert 0.0 < f1 < 1.0
+
+    def test_time_budget_respected(self, avg_case):
+        result = Scorpion().explain(
+            avg_case.table, avg_case.query, "Y", time_budget=0.0
+        )
+        assert result.timed_out
+
+    def test_evaluation_count_tracked(self, avg_case):
+        result = Scorpion().explain(avg_case.table, avg_case.query, "Y")
+        assert result.evaluations >= 10
+
+
+class TestRSExplain:
+    def test_includes_all_true_filters(self, avg_case):
+        result = RSExplain().explain(avg_case.table, avg_case.query, "Y")
+        assert result.predicate is not None
+        assert set(avg_case.abnormal_values) <= set(result.predicate.values)
+
+    def test_spurious_extras_pin_f1_at_075(self, avg_case):
+        """The paper's observation: RSExplain 'may frequently find extra
+        spurious filters' — recall 1.0, precision 0.6, F1 = 0.75."""
+        result = RSExplain().explain(avg_case.table, avg_case.query, "Y")
+        f1 = avg_case.f1_against_truth(result.predicate)
+        assert f1 == pytest.approx(0.75)
+
+    def test_top_k_is_configurable(self, avg_case):
+        result = RSExplain(top_k=3).explain(avg_case.table, avg_case.query, "Y")
+        assert result.predicate is not None and len(result.predicate) == 3
+
+    def test_timeout_flag(self, avg_case):
+        result = RSExplain().explain(
+            avg_case.table, avg_case.query, "Y", time_budget=0.0
+        )
+        assert result.timed_out
+
+
+class TestBOExplain:
+    def test_good_on_low_cardinality(self, avg_case):
+        result = BOExplain(budget=60, seed=1).explain(
+            avg_case.table, avg_case.query, "Y"
+        )
+        assert result.predicate is not None
+        assert avg_case.f1_against_truth(result.predicate) >= 0.5
+
+    def test_accuracy_decays_with_cardinality(self):
+        low = generate_syn_b(n_rows=4000, cardinality=10, seed=2)
+        high = generate_syn_b(n_rows=4000, cardinality=60, seed=2)
+        bo = BOExplain(budget=40, seed=3)
+        f1_low = low.f1_against_truth(
+            bo.explain(low.table, low.query, "Y").predicate
+        )
+        f1_high = high.f1_against_truth(
+            bo.explain(high.table, high.query, "Y").predicate
+        )
+        assert f1_low >= f1_high
+
+    def test_budget_controls_evaluations(self, avg_case):
+        result = BOExplain(budget=20, seed=4).explain(
+            avg_case.table, avg_case.query, "Y"
+        )
+        # objective evaluations + 1 for delta_full
+        assert result.evaluations <= 25

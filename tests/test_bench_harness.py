@@ -1,0 +1,92 @@
+"""Tests for the benchmark harness (table rendering, experiment drivers)."""
+
+import pytest
+
+from repro.bench import BenchTable, fmt_f1, fmt_float, fmt_seconds, time_call
+from repro.bench.experiments import (
+    compare_discovery,
+    run_all_methods,
+    run_xplainer,
+    summarize_scores,
+)
+from repro.data import Aggregate
+from repro.datasets import generate_syn_a, generate_syn_b
+
+
+class TestBenchTable:
+    def test_markdown_structure(self):
+        table = BenchTable("demo", ["a", "bb"])
+        table.add_row("x", 1)
+        table.add_row("yy", 22)
+        md = table.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "### demo"
+        assert lines[2].startswith("| a")
+        assert lines[3].startswith("|--")
+        assert len(lines) == 6
+
+    def test_notes_rendered_italic(self):
+        table = BenchTable("demo", ["a"])
+        table.add_row("x")
+        table.note("context")
+        assert "*context*" in table.to_markdown()
+
+    def test_empty_table_renders(self):
+        md = BenchTable("empty", ["col"]).to_markdown()
+        assert "| col |" in md
+
+    def test_column_alignment(self):
+        table = BenchTable("demo", ["name", "v"])
+        table.add_row("longer-name", 1)
+        md = table.to_markdown()
+        header, sep, row = md.splitlines()[2:5]
+        assert len(header) == len(sep) == len(row)
+
+
+class TestFormatters:
+    def test_fmt_f1_checkmark(self):
+        assert fmt_f1(1.0) == "✓"
+        assert fmt_f1(0.9994) == "✓"
+        assert fmt_f1(0.75) == "0.75"
+
+    def test_fmt_seconds_precision(self):
+        assert fmt_seconds(0.00123) == "0.001"
+        assert fmt_seconds(1.234) == "1.23"
+
+    def test_fmt_float_digits(self):
+        assert fmt_float(0.123456, 3) == "0.123"
+
+    def test_time_call_returns_result_and_duration(self):
+        result, seconds = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0
+
+
+class TestExperimentDrivers:
+    def test_run_xplainer_outcome(self):
+        case = generate_syn_b(n_rows=4000, seed=0)
+        outcome = run_xplainer(case)
+        assert outcome.f1 == 1.0
+        assert not outcome.timed_out
+
+    def test_run_all_methods_keys(self):
+        case = generate_syn_b(n_rows=3000, seed=1)
+        result = run_all_methods(case, time_budget=20.0, bo_budget=20)
+        assert set(result) == {"XPlainer", "Scorpion", "RSExplain", "BOExplain"}
+
+    def test_compare_discovery_scores_both(self):
+        case = generate_syn_a(n_nodes=8, seed=0, n_rows=1500)
+        comp = compare_discovery(case)
+        assert 0 <= comp.xlearner.combined.f1 <= 1
+        assert 0 <= comp.fci.combined.f1 <= 1
+        assert comp.fd_proportion > 0
+
+    def test_summarize_scores_shape(self):
+        case = generate_syn_a(n_nodes=8, seed=0, n_rows=1500)
+        comp = compare_discovery(case)
+        summary = summarize_scores([comp, comp])
+        assert set(summary) == {"XLearner", "FCI"}
+        for stats in summary.values():
+            assert set(stats) == {"f1", "precision", "recall"}
+            for mean, std in stats.values():
+                assert 0 <= mean <= 1 and std >= 0

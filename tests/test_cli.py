@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import write_csv
+from repro.datasets import generate_cityinfo, generate_lungcancer
+
+
+@pytest.fixture(scope="module")
+def cityinfo_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "cityinfo.csv"
+    write_csv(generate_cityinfo(n_rows=400, seed=0), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def lungcancer_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "lung.csv"
+    write_csv(generate_lungcancer(n_rows=3000, seed=0), path)
+    return str(path)
+
+
+class TestFdsCommand:
+    def test_lists_fds(self, cityinfo_csv, capsys):
+        assert main(["fds", cityinfo_csv]) == 0
+        out = capsys.readouterr().out
+        assert "City --FD--> State" in out
+
+    def test_no_fds_message(self, lungcancer_csv, capsys):
+        assert main(["fds", lungcancer_csv]) == 0
+        out = capsys.readouterr().out
+        assert "no functional dependencies" in out
+
+
+class TestDiscoverCommand:
+    def test_xlearner_prints_fig4_chain(self, cityinfo_csv, capsys):
+        assert main(["discover", cityinfo_csv]) == 0
+        out = capsys.readouterr().out
+        assert "City --> State" in out
+        assert "Country <-- State" in out
+
+    def test_fci_algorithm_selectable(self, cityinfo_csv, capsys):
+        assert main(["discover", cityinfo_csv, "--algorithm", "fci"]) == 0
+
+    def test_pc_algorithm_selectable(self, cityinfo_csv, capsys):
+        assert main(["discover", cityinfo_csv, "--algorithm", "pc"]) == 0
+
+
+class TestGroupbyCommand:
+    def test_prints_groups(self, lungcancer_csv, capsys):
+        code = main(
+            ["groupby", lungcancer_csv, "--by", "Location", "--measure", "LungCancer"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVG(LungCancer) by Location" in out
+        assert "A" in out and "B" in out
+
+
+class TestExplainCommand:
+    def test_end_to_end(self, lungcancer_csv, capsys):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--s1",
+                "Location=A",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+                "--bins",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Smoking" in out
+        assert "causal" in out
+
+    def test_bad_assignment_is_reported(self, lungcancer_csv, capsys):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--s1",
+                "Location-A",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_value_is_reported(self, lungcancer_csv, capsys):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--s1",
+                "Location=Mars",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+            ]
+        )
+        assert code == 2
+
+    def test_unknown_dimension_is_reported(self, lungcancer_csv):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--s1",
+                "Galaxy=A",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+            ]
+        )
+        assert code == 2

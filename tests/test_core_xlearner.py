@@ -1,0 +1,113 @@
+"""Tests for XLearner (Alg. 1): FD peeling, FCI integration, orientation."""
+
+import numpy as np
+import pytest
+
+from repro.core import peel_fd_sinks, xlearner
+from repro.datasets import generate_cityinfo, generate_syn_a
+from repro.discovery import fci
+from repro.errors import DiscoveryError
+from repro.fd import FD, build_fd_graph
+from repro.graph import Endpoint, adjacency_scores, score_graph
+from repro.independence import CachedCITest, ChiSquaredTest
+
+
+class TestPeeling:
+    def test_cityinfo_chain_peeling(self):
+        fds = [FD("City", "State"), FD("State", "Country"), FD("City", "Country")]
+        g = build_fd_graph(("City", "State", "Country"), fds)
+        cards = {"City": 9, "State": 6, "Country": 2}
+        edges = peel_fd_sinks(g, cards)
+        # Country (deepest) connects to its lowest-cardinality parent State;
+        # then State connects to City.
+        assert edges == (("Country", "State"), ("State", "City"))
+
+    def test_lowest_cardinality_parent_chosen(self):
+        fds = [FD("big", "sink"), FD("small", "sink")]
+        g = build_fd_graph(("big", "small", "sink"), fds)
+        edges = peel_fd_sinks(g, {"big": 50, "small": 3, "sink": 2})
+        assert edges == (("sink", "small"),)
+
+    def test_no_fds_no_edges(self):
+        g = build_fd_graph(("a", "b"), [])
+        assert peel_fd_sinks(g, {}) == ()
+
+
+class TestXLearnerCityInfo:
+    def test_recovers_fig4_chain(self):
+        """Fig. 4(c)-(d): City -> State -> Country, no City-Country edge."""
+        table = generate_cityinfo(n_rows=500, seed=1)
+        result = xlearner(table)
+        g = result.pag
+        assert g.is_parent("City", "State")
+        assert g.is_parent("State", "Country")
+        assert not g.has_edge("City", "Country")
+
+    def test_plain_fci_fails_on_cityinfo(self):
+        """Ex. 3.1: under FDs, faithfulness-based FCI isolates nodes."""
+        table = generate_cityinfo(n_rows=500, seed=1)
+        ci = CachedCITest(ChiSquaredTest(table))
+        pag = fci(table.dimensions, ci).pag
+        # The FD-induced conditional independences disconnect the chain:
+        # FCI misses at least one of the two true adjacencies.
+        true_edges = [("City", "State"), ("State", "Country")]
+        assert sum(pag.has_edge(u, v) for u, v in true_edges) < 2
+
+    def test_fd_skeleton_recorded(self):
+        table = generate_cityinfo(n_rows=500, seed=1)
+        result = xlearner(table)
+        assert ("Country", "State") in result.fd_skeleton
+        assert ("State", "City") in result.fd_skeleton
+
+
+class TestXLearnerValidation:
+    def test_single_column_rejected(self):
+        table = generate_cityinfo(n_rows=50, seed=0)
+        with pytest.raises(DiscoveryError):
+            xlearner(table, columns=["City"])
+
+
+class TestXLearnerSynA:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_beats_fci_on_fd_injected_data(self, seed):
+        """The Table 6 effect at miniature scale: XLearner's combined F1
+        exceeds plain FCI's on FD-injected causally-insufficient data."""
+        case = generate_syn_a(n_nodes=8, seed=seed, n_rows=4000)
+        table = case.table
+
+        xl = xlearner(table)
+        xl_scores = score_graph(xl.pag, case.truth_pag)
+
+        ci = CachedCITest(ChiSquaredTest(table))
+        plain = fci(table.dimensions, ci).pag
+        fci_scores = score_graph(plain, case.truth_pag)
+
+        assert xl_scores.combined.f1 >= fci_scores.combined.f1
+
+    def test_fd_children_oriented_from_parent(self):
+        case = generate_syn_a(n_nodes=8, seed=3, n_rows=3000)
+        result = xlearner(case.table)
+        oriented = 0
+        for fd in case.injected_fds:
+            if result.pag.has_edge(fd.lhs, fd.rhs):
+                assert result.pag.is_parent(fd.lhs, fd.rhs) or result.pag.is_parent(
+                    fd.rhs, fd.lhs
+                )
+                oriented += result.pag.is_parent(fd.lhs, fd.rhs)
+        assert oriented >= 1  # at least one FD edge present and oriented along the FD
+
+    def test_every_fd_node_appears_in_graph(self):
+        case = generate_syn_a(n_nodes=8, seed=4, n_rows=2000)
+        result = xlearner(case.table)
+        for child in case.fd_children:
+            # One-to-one collapses may merge a child into its parent; all
+            # remaining children must be nodes of the augmented PAG.
+            if child not in result.fd_graph.redundant:
+                assert result.pag.has_node(child)
+
+    def test_fci_subgraph_excludes_fd_children(self):
+        case = generate_syn_a(n_nodes=8, seed=5, n_rows=2000)
+        result = xlearner(case.table)
+        fci_nodes = set(result.fci_result.pag.nodes)
+        for child in case.fd_children:
+            assert child not in fci_nodes

@@ -1,0 +1,114 @@
+"""Tests for XTranslator (Table 3) on the Fig. 1 lung-cancer graph."""
+
+import pytest
+
+from repro.core import CausalRole, XDASemantics, translate, translate_variable
+from repro.data import Context
+from repro.datasets import lungcancer_truth_graph
+from repro.errors import QueryError
+from repro.graph import Endpoint, MixedGraph
+
+
+MEASURE = "LungCancer_bin"
+CONTEXT = ["Location"]
+
+
+@pytest.fixture()
+def graph():
+    return lungcancer_truth_graph(MEASURE)
+
+
+class TestTable3Rows:
+    def test_smoking_is_causal_parent(self, graph):
+        t = translate_variable(graph, "Smoking", MEASURE, CONTEXT)
+        assert t.semantics is XDASemantics.CAUSAL
+        assert t.role is CausalRole.PARENT
+
+    def test_stress_is_causal_ancestor(self, graph):
+        t = translate_variable(graph, "Stress", MEASURE, CONTEXT)
+        assert t.semantics is XDASemantics.CAUSAL
+        assert t.role is CausalRole.ANCESTOR
+
+    def test_surgery_is_non_causal(self, graph):
+        t = translate_variable(graph, "Surgery", MEASURE, CONTEXT)
+        assert t.semantics is XDASemantics.NON_CAUSAL
+        assert t.role is CausalRole.NONE
+
+    def test_survival_is_non_causal(self, graph):
+        t = translate_variable(graph, "Survival", MEASURE, CONTEXT)
+        assert t.semantics is XDASemantics.NON_CAUSAL
+
+    def test_rule1_pruning_by_m_separation(self):
+        # X -> F -> M: X is m-separated from M by F, so no explainability.
+        g = MixedGraph(["X", "F", "M"])
+        g.add_directed_edge("X", "F")
+        g.add_directed_edge("F", "M")
+        t = translate_variable(g, "X", "M", ["F"])
+        assert t.semantics is XDASemantics.NO_EXPLAINABILITY
+
+    def test_almost_parent_is_causal(self):
+        g = MixedGraph(["X", "F", "M"])
+        g.add_edge("X", "M", Endpoint.CIRCLE, Endpoint.ARROW)  # X o-> M
+        g.add_node("F")
+        t = translate_variable(g, "X", "M", [])
+        assert t.semantics is XDASemantics.CAUSAL
+        assert t.role is CausalRole.ALMOST_PARENT
+
+    def test_almost_ancestor_is_causal(self):
+        g = MixedGraph(["X", "W", "M"])
+        g.add_edge("X", "W", Endpoint.CIRCLE, Endpoint.ARROW)
+        g.add_edge("W", "M", Endpoint.CIRCLE, Endpoint.ARROW)
+        t = translate_variable(g, "X", "M", [])
+        assert t.role is CausalRole.ALMOST_ANCESTOR
+
+    def test_bidirected_neighbor_is_non_causal(self):
+        g = MixedGraph(["X", "M", "F"])
+        g.add_bidirected_edge("X", "M")
+        t = translate_variable(g, "X", "M", [])
+        assert t.semantics is XDASemantics.NON_CAUSAL
+
+
+class TestConservativePruning:
+    def test_circle_paths_are_not_pruned(self):
+        # X o-o F o-o M: in some MAG of the class X is d-connected to M
+        # given F (F collider), so the conservative check keeps X.
+        g = MixedGraph(["X", "F", "M"])
+        g.add_edge("X", "F")
+        g.add_edge("F", "M")
+        t = translate_variable(g, "X", "M", ["F"])
+        assert t.semantics is not XDASemantics.NO_EXPLAINABILITY
+
+
+class TestTranslateAll:
+    def test_fig1_classification(self, graph):
+        ctx = Context(foreground="Location", background=())
+        out = translate(graph, measure=MEASURE, context=ctx)
+        causal = {v for v, t in out.items() if t.is_causal}
+        non_causal = {
+            v for v, t in out.items() if t.semantics is XDASemantics.NON_CAUSAL
+        }
+        assert causal == {"Smoking", "Stress"}
+        assert non_causal == {"Surgery", "Survival"}
+
+    def test_alias_maps_measure_to_bin_node(self, graph):
+        out = translate(
+            graph,
+            measure="LungCancer",
+            context=["Location"],
+            aliases={"LungCancer": MEASURE},
+        )
+        assert "Smoking" in out
+
+    def test_unknown_measure_raises(self, graph):
+        with pytest.raises(QueryError):
+            translate(graph, measure="nope", context=["Location"])
+
+    def test_unknown_variable_raises(self, graph):
+        with pytest.raises(QueryError):
+            translate(
+                graph, measure=MEASURE, context=["Location"], variables=["ghost"]
+            )
+
+    def test_explainability_flag(self, graph):
+        out = translate(graph, measure=MEASURE, context=["Location"])
+        assert all(t.is_explainable for t in out.values())

@@ -1,0 +1,132 @@
+"""Unit tests for filters, predicates, subspaces and contexts (Sec. 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Context, Filter, Predicate, Subspace, Table
+from repro.errors import QueryError
+
+
+def lungcancer_like() -> Table:
+    return Table.from_columns(
+        {
+            "Location": ["A", "A", "B", "B", "A", "B"],
+            "Smoking": ["Yes", "No", "No", "Yes", "Yes", "No"],
+            "Severity": [3.0, 1.0, 1.0, 2.0, 3.0, 1.0],
+        }
+    )
+
+
+class TestFilter:
+    def test_mask_matches_equal_rows(self):
+        t = lungcancer_like()
+        mask = Filter("Location", "A").mask(t)
+        assert mask.tolist() == [True, True, False, False, True, False]
+
+    def test_mask_unknown_value_is_empty(self):
+        t = lungcancer_like()
+        assert not Filter("Location", "Z").mask(t).any()
+
+    def test_str(self):
+        assert str(Filter("X", "v")) == "X='v'"
+
+    def test_ordering_is_deterministic(self):
+        fs = sorted([Filter("b", 1), Filter("a", 2)])
+        assert fs[0].dimension == "a"
+
+
+class TestPredicate:
+    def test_of_builds_value_set(self):
+        p = Predicate.of("Smoking", ["Yes", "No"])
+        assert p.values == frozenset({"Yes", "No"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate.of("X", [])
+
+    def test_from_filters_same_dimension(self):
+        p = Predicate.from_filters([Filter("X", 1), Filter("X", 2)])
+        assert p.values == frozenset({1, 2})
+
+    def test_from_filters_mixed_dimensions_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate.from_filters([Filter("X", 1), Filter("Y", 2)])
+
+    def test_mask_is_disjunction(self):
+        t = lungcancer_like()
+        p = Predicate.of("Smoking", ["Yes"])
+        q = Predicate.of("Smoking", ["Yes", "No"])
+        assert p.mask(t).sum() == 3
+        assert q.mask(t).all()
+
+    def test_union(self):
+        p = Predicate.of("X", [1]).union(Predicate.of("X", [2]))
+        assert p.values == frozenset({1, 2})
+
+    def test_union_mixed_dimensions_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate.of("X", [1]).union(Predicate.of("Y", [2]))
+
+    def test_filters_accessor_sorted(self):
+        p = Predicate.of("X", ["b", "a"])
+        assert [f.value for f in p.filters] == ["a", "b"]
+
+    def test_len(self):
+        assert len(Predicate.of("X", [1, 2, 3])) == 3
+
+
+class TestSubspace:
+    def test_mask_is_conjunction(self):
+        t = lungcancer_like()
+        s = Subspace.of(Location="A", Smoking="Yes")
+        assert s.mask(t).tolist() == [True, False, False, False, True, False]
+
+    def test_empty_subspace_selects_everything(self):
+        t = lungcancer_like()
+        assert Subspace().mask(t).all()
+
+    def test_repeated_dimension_rejected(self):
+        with pytest.raises(QueryError):
+            Subspace((Filter("X", 1), Filter("X", 2)))
+
+    def test_sibling_detection(self):
+        s1 = Subspace.of(Location="A", Smoking="Yes")
+        s2 = Subspace.of(Location="B", Smoking="Yes")
+        s3 = Subspace.of(Location="B", Smoking="No")
+        assert s1.is_sibling_of(s2)
+        assert not s1.is_sibling_of(s3)
+        assert not s1.is_sibling_of(s1)
+
+    def test_siblings_require_same_dimensions(self):
+        s1 = Subspace.of(Location="A")
+        s2 = Subspace.of(Smoking="Yes")
+        assert not s1.is_sibling_of(s2)
+
+    def test_foreground_and_background(self):
+        s1 = Subspace.of(Location="A", Smoking="Yes")
+        s2 = Subspace.of(Location="B", Smoking="Yes")
+        assert s1.foreground_dimension(s2) == "Location"
+        assert s1.background_dimensions(s2) == ("Smoking",)
+
+    def test_foreground_of_non_siblings_raises(self):
+        with pytest.raises(QueryError):
+            Subspace.of(X=1).foreground_dimension(Subspace.of(X=1))
+
+    def test_value_of(self):
+        s = Subspace.of(Location="A")
+        assert s.value_of("Location") == "A"
+        with pytest.raises(QueryError):
+            s.value_of("Smoking")
+
+    def test_str_of_empty(self):
+        assert str(Subspace()) == "⊤"
+
+
+class TestContext:
+    def test_from_siblings(self):
+        s1 = Subspace.of(Location="A", Severity_bin="high")
+        s2 = Subspace.of(Location="B", Severity_bin="high")
+        ctx = Context.from_siblings(s1, s2)
+        assert ctx.foreground == "Location"
+        assert ctx.background == ("Severity_bin",)
+        assert set(ctx.variables) == {"Location", "Severity_bin"}

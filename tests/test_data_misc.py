@@ -1,0 +1,114 @@
+"""Tests for aggregates, discretization and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data import Aggregate, Role, Table, discretize, parse_aggregate, read_csv, write_csv
+from repro.data.discretize import Bin, equal_frequency_edges, equal_width_edges
+from repro.errors import SchemaError
+
+
+class TestAggregate:
+    def test_sum(self):
+        assert Aggregate.SUM.compute(np.array([1.0, 2.0])) == 3.0
+
+    def test_avg(self):
+        assert Aggregate.AVG.compute(np.array([1.0, 3.0])) == 2.0
+
+    def test_count_ignores_values(self):
+        assert Aggregate.COUNT.compute(np.array([5.0, 5.0, 5.0])) == 3.0
+
+    def test_empty_selection_is_zero(self):
+        empty = np.array([])
+        assert Aggregate.AVG.compute(empty) == 0.0
+        assert Aggregate.SUM.compute(empty) == 0.0
+        assert Aggregate.COUNT.compute(empty) == 0.0
+
+    def test_from_sums_consistent_with_compute(self):
+        values = np.array([2.0, 4.0, 6.0])
+        for agg in Aggregate:
+            assert agg.from_sums(values.sum(), values.size) == pytest.approx(
+                agg.compute(values)
+            )
+
+    def test_additivity_flags(self):
+        assert Aggregate.SUM.is_additive
+        assert Aggregate.COUNT.is_additive
+        assert not Aggregate.AVG.is_additive
+
+    def test_parse(self):
+        assert parse_aggregate("avg") is Aggregate.AVG
+        assert parse_aggregate(Aggregate.SUM) is Aggregate.SUM
+        with pytest.raises(ValueError):
+            parse_aggregate("median")
+
+
+class TestDiscretize:
+    def test_equal_width_edges_span_range(self):
+        edges = equal_width_edges(np.array([0.0, 10.0]), 5)
+        assert edges[0] == 0.0 and edges[-1] == 10.0
+        assert len(edges) == 6
+
+    def test_equal_width_constant_column(self):
+        edges = equal_width_edges(np.array([3.0, 3.0]), 2)
+        assert edges[-1] > edges[0]
+
+    def test_equal_frequency_balances_counts(self):
+        values = np.arange(100.0)
+        edges = equal_frequency_edges(values, 4)
+        idx = np.digitize(values, edges[1:-1])
+        counts = np.bincount(idx)
+        assert counts.max() - counts.min() <= 2
+
+    def test_zero_bins_rejected(self):
+        with pytest.raises(SchemaError):
+            equal_width_edges(np.array([1.0]), 0)
+
+    def test_discretize_adds_dimension(self):
+        t = Table.from_columns({"m": list(np.linspace(0, 1, 50))})
+        t2, bins = discretize(t, "m", n_bins=5, method="width")
+        assert "m_bin" in t2.schema
+        assert t2.schema.role("m_bin") is Role.DIMENSION
+        assert len(bins) == 5
+
+    def test_discretize_every_value_lands_in_a_bin(self):
+        t = Table.from_columns({"m": [0.0, 0.5, 1.0, 0.99, 0.01]})
+        t2, bins = discretize(t, "m", n_bins=3, method="width")
+        assert t2.cardinality("m_bin") <= 3
+
+    def test_unknown_method_rejected(self):
+        t = Table.from_columns({"m": [1.0, 2.0]})
+        with pytest.raises(SchemaError):
+            discretize(t, "m", method="magic")
+
+    def test_bin_contains(self):
+        b = Bin(0.0, 1.0)
+        assert 0.5 in b and 1.0 not in b
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        t = Table.from_columns({"d": ["x", "y"], "m": [1.5, 2.5]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back.values("d") == ["x", "y"]
+        assert back.measure_values("m").tolist() == [1.5, 2.5]
+
+    def test_read_respects_explicit_roles(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("year,m\n2020,1.0\n2021,2.0\n")
+        t = read_csv(path, roles={"year": Role.DIMENSION, "m": Role.MEASURE})
+        assert t.schema.role("year") is Role.DIMENSION
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)

@@ -1,0 +1,199 @@
+"""Unit + property tests for WhyQuery and AttributeProfile (Def. 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Aggregate,
+    AttributeProfile,
+    Predicate,
+    Subspace,
+    Table,
+    WhyQuery,
+    candidate_attributes,
+)
+from repro.errors import QueryError
+
+
+def small_table() -> Table:
+    # Two locations, explanation attribute "smoke", measure "sev".
+    return Table.from_columns(
+        {
+            "loc": ["A", "A", "A", "B", "B", "B"],
+            "smoke": ["y", "y", "n", "n", "n", "y"],
+            "other": ["u", "v", "u", "v", "u", "v"],
+            "sev": [3.0, 3.0, 1.0, 1.0, 1.0, 2.0],
+        }
+    )
+
+
+def avg_query() -> WhyQuery:
+    return WhyQuery.create(
+        Subspace.of(loc="A"), Subspace.of(loc="B"), "sev", Aggregate.AVG
+    )
+
+
+class TestWhyQuery:
+    def test_create_rejects_non_siblings(self):
+        with pytest.raises(QueryError):
+            WhyQuery.create(Subspace.of(loc="A"), Subspace.of(loc="A"), "sev")
+
+    def test_delta_avg(self):
+        t = small_table()
+        # AVG(A) = 7/3, AVG(B) = 4/3
+        assert avg_query().delta(t) == pytest.approx(1.0)
+
+    def test_delta_sum(self):
+        t = small_table()
+        q = WhyQuery.create(
+            Subspace.of(loc="A"), Subspace.of(loc="B"), "sev", Aggregate.SUM
+        )
+        assert q.delta(t) == pytest.approx(3.0)
+
+    def test_delta_count(self):
+        t = small_table()
+        q = WhyQuery.create(
+            Subspace.of(loc="A"), Subspace.of(loc="B"), "sev", Aggregate.COUNT
+        )
+        assert q.delta(t) == pytest.approx(0.0)
+
+    def test_delta_with_keep_mask(self):
+        t = small_table()
+        keep = np.array([True, True, True, True, True, False])  # drop last row
+        # AVG(A)=7/3, AVG(B)=1.0
+        assert avg_query().delta(t, keep) == pytest.approx(7.0 / 3.0 - 1.0)
+
+    def test_delta_empty_sibling_treated_as_zero(self):
+        t = small_table()
+        keep = np.array([False, False, False, True, True, True])
+        assert avg_query().delta(t, keep) == pytest.approx(-4.0 / 3.0)
+
+    def test_oriented_swaps_when_negative(self):
+        t = small_table()
+        q = WhyQuery.create(Subspace.of(loc="B"), Subspace.of(loc="A"), "sev")
+        assert q.delta(t) < 0
+        assert q.oriented(t).delta(t) > 0
+
+    def test_context(self):
+        ctx = avg_query().context
+        assert ctx.foreground == "loc"
+        assert ctx.background == ()
+
+    def test_describe_includes_delta(self):
+        assert "Δ" in avg_query().describe(small_table())
+
+    def test_aggregate_parsing_from_string(self):
+        q = WhyQuery.create(Subspace.of(loc="A"), Subspace.of(loc="B"), "sev", "sum")
+        assert q.agg is Aggregate.SUM
+
+
+class TestAttributeProfile:
+    def test_build_collects_group_stats(self):
+        t = small_table()
+        prof = AttributeProfile.build(t, avg_query(), "smoke")
+        assert set(prof.values) == {"y", "n"}
+        i = prof.values.index("y")
+        assert prof.count1[i] == 2 and prof.sum1[i] == 6.0
+        assert prof.count2[i] == 1 and prof.sum2[i] == 2.0
+
+    def test_attribute_equal_to_measure_rejected(self):
+        with pytest.raises(QueryError):
+            AttributeProfile.build(small_table(), avg_query(), "sev")
+
+    def test_delta_full_matches_raw_query(self):
+        t = small_table()
+        prof = AttributeProfile.build(t, avg_query(), "smoke")
+        assert prof.delta_full() == pytest.approx(avg_query().delta(t))
+
+    def test_delta_without_matches_row_level_removal(self):
+        t = small_table()
+        q = avg_query()
+        prof = AttributeProfile.build(t, q, "smoke")
+        removed = prof.selection_of(Predicate.of("smoke", ["y"]))
+        keep_rows = ~Predicate.of("smoke", ["y"]).mask(t)
+        assert prof.delta_without(removed) == pytest.approx(q.delta(t, keep_rows))
+
+    def test_delta_of_single_filter_matches_per_filter_delta(self):
+        t = small_table()
+        prof = AttributeProfile.build(t, avg_query(), "smoke")
+        deltas = prof.per_filter_delta()
+        for i in range(prof.n_filters):
+            sel = np.zeros(prof.n_filters, dtype=bool)
+            sel[i] = True
+            assert prof.delta_of(sel) == pytest.approx(deltas[i])
+
+    def test_delta_of_empty_selection_is_zero(self):
+        prof = AttributeProfile.build(small_table(), avg_query(), "smoke")
+        assert prof.delta_of(np.zeros(prof.n_filters, dtype=bool)) == 0.0
+
+    def test_predicate_roundtrip(self):
+        prof = AttributeProfile.build(small_table(), avg_query(), "smoke")
+        sel = np.array([True] + [False] * (prof.n_filters - 1))
+        pred = prof.predicate(sel)
+        assert prof.selection_of(pred).tolist() == sel.tolist()
+
+    def test_predicate_of_empty_selection_raises(self):
+        prof = AttributeProfile.build(small_table(), avg_query(), "smoke")
+        with pytest.raises(QueryError):
+            prof.predicate(np.zeros(prof.n_filters, dtype=bool))
+
+    def test_selection_of_wrong_dimension_raises(self):
+        prof = AttributeProfile.build(small_table(), avg_query(), "smoke")
+        with pytest.raises(QueryError):
+            prof.selection_of(Predicate.of("other", ["u"]))
+
+
+class TestCandidateAttributes:
+    def test_excludes_context_and_measure(self):
+        t = small_table()
+        assert candidate_attributes(t, avg_query()) == ("smoke", "other")
+
+    def test_extra_exclusions(self):
+        t = small_table()
+        assert candidate_attributes(t, avg_query(), exclude=["smoke"]) == ("other",)
+
+
+@st.composite
+def profile_case(draw):
+    """Random small dataset + AVG/SUM query for consistency properties."""
+    n = draw(st.integers(min_value=4, max_value=60))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**16))
+    agg = draw(st.sampled_from([Aggregate.AVG, Aggregate.SUM]))
+    rng = np.random.default_rng(rng_seed)
+    loc = rng.choice(["A", "B"], size=n).tolist()
+    attr = rng.choice(["p", "q", "r"], size=n).tolist()
+    sev = rng.normal(size=n).tolist()
+    table = Table.from_columns({"loc": loc, "attr": attr, "sev": sev})
+    query = WhyQuery.create(Subspace.of(loc="A"), Subspace.of(loc="B"), "sev", agg)
+    return table, query
+
+
+@given(profile_case(), st.integers(min_value=0, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_profile_delta_without_equals_row_level_delta(case, subset_bits):
+    """Property: group-sum evaluation ≡ raw row-level evaluation of Δ(D−D_P)."""
+    table, query = case
+    prof = AttributeProfile.build(table, query, "attr")
+    m = prof.n_filters
+    removed = np.array([(subset_bits >> i) & 1 == 1 for i in range(m)], dtype=bool)
+    if removed.any():
+        pred = prof.predicate(removed)
+        keep_rows = ~pred.mask(table)
+    else:
+        keep_rows = np.ones(table.n_rows, dtype=bool)
+    assert prof.delta_without(removed) == pytest.approx(
+        query.delta(table, keep_rows), abs=1e-9
+    )
+
+
+@given(profile_case())
+@settings(max_examples=40, deadline=None)
+def test_sum_additivity_of_per_filter_deltas(case):
+    """For SUM, Δ(D) decomposes as the sum of the per-filter Δ_i."""
+    table, query = case
+    if query.agg is not Aggregate.SUM:
+        return
+    prof = AttributeProfile.build(table, query, "attr")
+    assert prof.per_filter_delta().sum() == pytest.approx(prof.delta_full(), abs=1e-9)

@@ -1,0 +1,162 @@
+"""Unit tests for the columnar Table and column types."""
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalColumn, NumericColumn, Role, Schema, Table
+from repro.errors import SchemaError
+
+
+def make_table() -> Table:
+    return Table.from_columns(
+        {
+            "city": ["a", "b", "a", "c"],
+            "state": ["X", "Y", "X", "Y"],
+            "pop": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+
+
+class TestCategoricalColumn:
+    def test_from_values_assigns_codes_in_first_appearance_order(self):
+        col = CategoricalColumn.from_values(["b", "a", "b", "c"])
+        assert col.categories == ("b", "a", "c")
+        assert col.codes.tolist() == [0, 1, 0, 2]
+
+    def test_cardinality_counts_categories(self):
+        col = CategoricalColumn.from_values(["x", "y", "x"])
+        assert col.cardinality == 2
+
+    def test_decode_roundtrips(self):
+        values = ["p", "q", "p", "r", "q"]
+        assert CategoricalColumn.from_values(values).decode() == values
+
+    def test_code_of_unknown_value_raises(self):
+        col = CategoricalColumn.from_values(["x"])
+        with pytest.raises(SchemaError):
+            col.code_of("nope")
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(np.array([0, 5]), ("only",))
+
+    def test_take_preserves_categories(self):
+        col = CategoricalColumn.from_values(["a", "b", "c"])
+        sub = col.take(np.array([2]))
+        assert sub.categories == ("a", "b", "c")
+        assert sub.decode() == ["c"]
+
+
+class TestNumericColumn:
+    def test_values_coerced_to_float64(self):
+        col = NumericColumn.from_values([1, 2, 3])
+        assert col.values.dtype == np.float64
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SchemaError):
+            NumericColumn(np.zeros((2, 2)))
+
+
+class TestSchema:
+    def test_dimension_and_measure_partition(self):
+        t = make_table()
+        assert t.dimensions == ("city", "state")
+        assert t.measures == ("pop",)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"), {"a": Role.DIMENSION})
+
+    def test_missing_role_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "b"), {"a": Role.DIMENSION})
+
+    def test_require_role_mismatch_raises(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.schema.require("pop", Role.DIMENSION)
+
+    def test_contains(self):
+        t = make_table()
+        assert "city" in t.schema
+        assert "nope" not in t.schema
+
+
+class TestTable:
+    def test_role_inference_strings_vs_numbers(self):
+        t = make_table()
+        assert t.schema.role("city") is Role.DIMENSION
+        assert t.schema.role("pop") is Role.MEASURE
+
+    def test_bool_columns_are_dimensions(self):
+        t = Table.from_columns({"flag": [True, False]})
+        assert t.schema.role("flag") is Role.DIMENSION
+
+    def test_explicit_roles_override_inference(self):
+        t = Table.from_columns(
+            {"year": [2020, 2021]}, roles={"year": Role.DIMENSION}
+        )
+        assert t.schema.role("year") is Role.DIMENSION
+        assert t.categories("year") == (2020, 2021)
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns({"a": ["x"], "b": [1.0, 2.0]})
+
+    def test_select_by_mask(self):
+        t = make_table()
+        sub = t.select(np.array([True, False, True, False]))
+        assert sub.n_rows == 2
+        assert sub.values("city") == ["a", "a"]
+
+    def test_select_keeps_category_table(self):
+        t = make_table()
+        sub = t.select(np.array([False, True, False, False]))
+        assert sub.cardinality("city") == 3
+
+    def test_measure_values(self):
+        t = make_table()
+        assert t.measure_values("pop").tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_measure_values_on_dimension_raises(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.measure_values("city")
+
+    def test_codes_on_measure_raises(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.codes("pop")
+
+    def test_with_column_appends(self):
+        t = make_table().with_column("country", ["u", "u", "v", "v"])
+        assert "country" in t.schema
+        assert t.dimensions == ("city", "state", "country")
+
+    def test_with_column_replaces_in_place(self):
+        t = make_table().with_column("pop", [9.0, 9.0, 9.0, 9.0], role=Role.MEASURE)
+        assert t.measure_values("pop").tolist() == [9.0] * 4
+        assert t.schema.columns == ("city", "state", "pop")
+
+    def test_drop_columns(self):
+        t = make_table().drop_columns(["state"])
+        assert t.schema.columns == ("city", "pop")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().drop_columns(["nope"])
+
+    def test_project_reorders(self):
+        t = make_table().project(["pop", "city"])
+        assert t.schema.columns == ("pop", "city")
+
+    def test_from_rows(self):
+        t = Table.from_rows(["x", "y"], [["a", 1.0], ["b", 2.0]])
+        assert t.n_rows == 2
+        assert t.values("x") == ["a", "b"]
+
+    def test_head(self):
+        assert make_table().head(2).n_rows == 2
+
+    def test_repr_mentions_row_count(self):
+        assert "4 rows" in repr(make_table())

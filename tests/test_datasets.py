@@ -1,0 +1,239 @@
+"""Tests for the dataset generators (SYN-A, SYN-B, simulated real data)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Aggregate, Filter, Subspace, WhyQuery
+from repro.datasets import (
+    BayesNet,
+    CAUSAL_BEHAVIOURS,
+    generate_cityinfo,
+    generate_flight,
+    generate_hotel,
+    generate_lungcancer,
+    generate_syn_a,
+    generate_syn_b,
+    generate_web,
+    random_dag,
+    web_truth_graph,
+)
+from repro.errors import DiscoveryError
+from repro.fd import find_functional_dependencies
+from repro.graph import is_dag, is_mag
+
+
+class TestRandomGraphs:
+    def test_random_dag_is_acyclic(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assert is_dag(random_dag(10, 0.3, rng))
+
+    def test_edge_prob_extremes(self):
+        rng = np.random.default_rng(1)
+        empty = random_dag(6, 0.0, rng)
+        full = random_dag(6, 1.0, rng)
+        assert empty.n_edges == 0
+        assert full.n_edges == 15
+
+    def test_bayesnet_rows_match_cpt_support(self):
+        rng = np.random.default_rng(2)
+        dag = random_dag(5, 0.4, rng)
+        net = BayesNet.random(dag, rng, cardinality=3)
+        table = net.sample(500, rng)
+        assert table.n_rows == 500
+        for node in dag.nodes:
+            assert table.cardinality(node) <= 3
+
+    def test_sampling_respects_strong_dependence(self):
+        # Single edge a -> b with a near-deterministic CPT: the sampled data
+        # must show the dependence.
+        rng = np.random.default_rng(3)
+        from repro.graph import MixedGraph
+
+        dag = MixedGraph(["a", "b"])
+        dag.add_directed_edge("a", "b")
+        net = BayesNet.random(dag, rng, cardinality=2)
+        net.cpts["b"] = np.array([[0.95, 0.05], [0.05, 0.95]])
+        table = net.sample(2000, rng)
+        from repro.independence import ChiSquaredTest
+
+        assert not ChiSquaredTest(table).independent("a", "b")
+
+
+class TestSynA:
+    def test_case_shape(self):
+        case = generate_syn_a(n_nodes=10, seed=0, n_rows=500)
+        assert case.table.n_rows == 500
+        assert len(case.observed) == 9  # one latent masked at 5% (min 1)
+        assert is_mag(case.truth_mag)
+        assert len(case.fd_children) == 2 * len(case.injected_fds) / 2
+
+    def test_fd_children_are_real_fds(self):
+        case = generate_syn_a(n_nodes=10, seed=1, n_rows=800)
+        fds = set(
+            (fd.lhs, fd.rhs)
+            for fd in find_functional_dependencies(case.table, max_key_fraction=1.0)
+        )
+        for fd in case.injected_fds:
+            assert (fd.lhs, fd.rhs) in fds
+
+    def test_truth_pag_contains_fd_edges(self):
+        case = generate_syn_a(n_nodes=10, seed=2, n_rows=500)
+        for fd in case.injected_fds:
+            assert case.truth_pag.is_parent(fd.lhs, fd.rhs)
+
+    def test_fd_proportion_monotone_in_children(self):
+        lo = generate_syn_a(n_nodes=10, seed=3, n_rows=300, fd_children_per_leaf=1)
+        hi = generate_syn_a(n_nodes=10, seed=3, n_rows=300, fd_children_per_leaf=3)
+        assert hi.fd_proportion >= lo.fd_proportion
+
+    def test_max_fd_parents_caps_injection(self):
+        case = generate_syn_a(n_nodes=10, seed=4, n_rows=300, max_fd_parents=1)
+        parents = {fd.lhs for fd in case.injected_fds}
+        assert len(parents) <= 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DiscoveryError):
+            generate_syn_a(n_nodes=2, seed=0)
+
+
+class TestSynB:
+    def test_ground_truth_is_counterfactual(self):
+        case = generate_syn_b(n_rows=10_000, seed=0)
+        delta = case.query.delta(case.table)
+        assert delta > 0
+        keep = ~case.ground_truth.mask(case.table)
+        residual = case.query.delta(case.table, keep)
+        assert abs(residual) < 0.15 * delta
+
+    def test_f1_metric(self):
+        from repro.data import Predicate
+
+        case = generate_syn_b(seed=1)
+        assert case.f1_against_truth(case.ground_truth) == 1.0
+        assert case.f1_against_truth(None) == 0.0
+        partial = Predicate.of("Y", [case.abnormal_values[0]])
+        assert 0 < case.f1_against_truth(partial) < 1.0
+        assert case.f1_against_truth(Predicate.of("Y", ["y9"])) == 0.0
+
+    def test_difficulty_knobs(self):
+        easy = generate_syn_b(mu_abnormal=110.0, seed=2)
+        hard = generate_syn_b(mu_abnormal=15.0, seed=2)
+        assert easy.query.delta(easy.table) > hard.query.delta(hard.table)
+
+    def test_cardinality_respected(self):
+        case = generate_syn_b(cardinality=20, k_abnormal=3, seed=3)
+        assert case.table.cardinality("Y") == 20
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(DiscoveryError):
+            generate_syn_b(cardinality=5, k_abnormal=5)
+
+    def test_sum_aggregate_query(self):
+        case = generate_syn_b(agg=Aggregate.SUM, seed=4)
+        assert case.query.agg is Aggregate.SUM
+        assert case.query.delta(case.table) > 0
+
+
+class TestLungCancer:
+    def test_fig1_gap_direction(self):
+        table = generate_lungcancer(n_rows=6000, seed=0)
+        q = WhyQuery.create(
+            Subspace.of(Location="A"), Subspace.of(Location="B"), "LungCancer"
+        )
+        assert q.delta(table) > 0.2
+
+    def test_smoking_raises_severity(self):
+        table = generate_lungcancer(n_rows=6000, seed=0)
+        q = WhyQuery.create(
+            Subspace.of(Smoking="Yes"), Subspace.of(Smoking="No"), "LungCancer"
+        )
+        assert q.delta(table) > 0.5
+
+
+class TestFlight:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_flight(n_rows=30_000, seed=0)
+
+    def test_fig6a_may_exceeds_november(self, table):
+        q = WhyQuery.create(
+            Subspace.of(Month="May"), Subspace.of(Month="Nov"), "DelayMinute"
+        )
+        assert q.delta(table) > 1.0
+
+    def test_fig6b_reversal_under_rain(self, table):
+        q = WhyQuery.create(
+            Subspace.of(Month="May"), Subspace.of(Month="Nov"), "DelayMinute"
+        )
+        rainy = Filter("Rain", "Yes").mask(table)
+        assert q.delta(table, rainy) < 0
+
+    def test_quarter_is_fd_of_month(self, table):
+        from repro.fd import holds
+
+        assert holds(table, "Month", "Quarter")
+
+
+class TestHotel:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_hotel(n_rows=30_000, seed=0)
+
+    def test_july_cancellation_exceeds_january(self, table):
+        q = WhyQuery.create(
+            Subspace.of(ArrivalMonth="Jul"),
+            Subspace.of(ArrivalMonth="Jan"),
+            "IsCanceled",
+        )
+        assert q.delta(table) > 0.03
+
+    def test_short_lead_shrinks_difference(self, table):
+        q = WhyQuery.create(
+            Subspace.of(ArrivalMonth="Jul"),
+            Subspace.of(ArrivalMonth="Jan"),
+            "IsCanceled",
+        )
+        full = q.delta(table)
+        short_lead = table.measure_values("LeadTime") <= 133.0
+        assert q.delta(table, short_lead) < 0.6 * full
+
+
+class TestWeb:
+    def test_paper_shape(self):
+        table = generate_web()
+        assert table.n_rows == 764
+        assert len(table.dimensions) == 29
+
+    def test_truth_graph_edges_into_isblocked(self):
+        g = web_truth_graph()
+        assert set(g.parents("IsBlocked")) == {
+            "SpamContent",
+            "ConfigChanges",
+            "MassMessaging",
+            "AbuseReports",
+        }
+
+    def test_causal_behaviours_correlate_with_blocking(self):
+        from repro.independence import ChiSquaredTest
+
+        table = generate_web(seed=1)
+        test = ChiSquaredTest(table)
+        assert not test.independent("SpamContent", "IsBlocked")
+
+    def test_noise_behaviours_independent(self):
+        from repro.independence import ChiSquaredTest
+
+        table = generate_web(seed=1)
+        test = ChiSquaredTest(table, alpha=0.01)
+        assert test.independent("Behaviour00", "IsBlocked")
+
+
+class TestCityInfo:
+    def test_fds_hold(self):
+        from repro.fd import holds
+
+        table = generate_cityinfo()
+        assert holds(table, "City", "State")
+        assert holds(table, "State", "Country")
+        assert not holds(table, "Country", "State")

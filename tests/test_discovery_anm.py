@@ -1,0 +1,70 @@
+"""Tests for the discrete ANM direction test (suppl. 8.6)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.discovery import AnmDirection, anm_direction, fd_implies_forward_anm
+from repro.errors import DiscoveryError
+
+
+def anm_dataset(n=4000, seed=0) -> Table:
+    """y = f(x) + noise with non-invertible f and skewed x: identifiable."""
+    rng = np.random.default_rng(seed)
+    x = rng.choice(6, size=n, p=[0.3, 0.25, 0.2, 0.1, 0.1, 0.05])
+    f = np.array([0, 2, 1, 5, 3, 4])
+    noise = rng.choice([-1, 0, 1], size=n, p=[0.15, 0.7, 0.15])
+    y = f[x] + noise
+    return Table.from_columns(
+        {"x": [f"x{v}" for v in x], "y": [f"y{v}" for v in y]}
+    )
+
+
+class TestAnmDirection:
+    def test_forward_model_accepted(self):
+        result = anm_direction(anm_dataset(), "x", "y")
+        assert result.p_forward > 0.05
+
+    def test_direction_prefers_causal_order(self):
+        result = anm_direction(anm_dataset(), "x", "y")
+        assert result.direction is AnmDirection.X_TO_Y
+
+    def test_reverse_call_flips_decision(self):
+        result = anm_direction(anm_dataset(), "y", "x")
+        assert result.direction is AnmDirection.Y_TO_X
+
+    def test_independent_pair_is_undecided(self):
+        rng = np.random.default_rng(3)
+        t = Table.from_columns(
+            {
+                "a": [f"a{v}" for v in rng.integers(0, 3, 2000)],
+                "b": [f"b{v}" for v in rng.integers(0, 3, 2000)],
+            }
+        )
+        # Both directions fit trivially (residual ⫫ cause): no decision at
+        # any margin wide enough.
+        result = anm_direction(t, "a", "b", margin=1.0)
+        assert result.direction is AnmDirection.UNDECIDED
+
+    def test_measure_column_rejected(self):
+        t = Table.from_columns({"d": ["a", "b"], "m": [1.0, 2.0]})
+        with pytest.raises(DiscoveryError):
+            anm_direction(t, "d", "m")
+
+
+class TestFdAnmLink:
+    def test_fd_has_zero_noise_forward_anm(self):
+        # City -> State is an FD: the forward ANM has residual 0 everywhere.
+        t = Table.from_columns(
+            {
+                "City": ["sf", "la", "nyc", "sf", "la"],
+                "State": ["CA", "CA", "NY", "CA", "CA"],
+            }
+        )
+        assert fd_implies_forward_anm(t, "City", "State")
+
+    def test_non_fd_has_nonzero_residual(self):
+        t = Table.from_columns(
+            {"X": ["a", "a", "b", "b"], "Y": ["0", "1", "0", "1"]}
+        )
+        assert not fd_implies_forward_anm(t, "X", "Y")

@@ -1,0 +1,139 @@
+"""FCI correctness tests against the m-separation oracle.
+
+The central property: running FCI with a perfect CI oracle on the true MAG
+must return a PAG whose adjacencies equal the MAG's and whose every
+non-circle endpoint mark agrees with the MAG (soundness of R0–R10 and the
+Possible-D-SEP phase).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import fci, possible_d_sep
+from repro.graph import (
+    Endpoint,
+    MixedGraph,
+    adjacency_scores,
+    dag_from_parents,
+    endpoint_scores,
+    latent_projection,
+)
+from repro.independence import OracleCITest
+
+
+class TestFciOracleExamples:
+    def test_chain_all_circles(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        res = fci(("a", "b", "c"), OracleCITest(dag))
+        g = res.pag
+        assert g.has_edge("a", "b") and g.has_edge("b", "c")
+        # Chain MAGs are Markov-equivalent to fork/reverse-chain: every
+        # endpoint is undetermined.
+        for u, v in [("a", "b"), ("b", "a"), ("b", "c"), ("c", "b")]:
+            assert g.mark(u, v) is Endpoint.CIRCLE
+
+    def test_collider_oriented_with_circle_tails(self):
+        dag = dag_from_parents({"c": ["a", "b"]})
+        res = fci(("a", "b", "c"), OracleCITest(dag))
+        g = res.pag
+        assert g.mark("a", "c") is Endpoint.ARROW
+        assert g.mark("b", "c") is Endpoint.ARROW
+        assert g.mark("c", "a") is Endpoint.CIRCLE
+        assert g.mark("c", "b") is Endpoint.CIRCLE
+
+    def test_rule1_propagation(self):
+        # a -> c <- b, c -> d: R1 orients c -> d fully.
+        dag = dag_from_parents({"c": ["a", "b"], "d": ["c"]})
+        res = fci(tuple("abcd"), OracleCITest(dag))
+        g = res.pag
+        assert g.is_parent("c", "d")
+
+    def test_latent_confounder_pag(self):
+        # Fig. 2 enriched: L -> x, L -> y (L latent); u -> x, v -> y observed
+        # instruments make the bidirected edge detectable.
+        dag = dag_from_parents({"x": ["L", "u"], "y": ["L", "v"]})
+        mag = latent_projection(dag, ["x", "y", "u", "v"])
+        assert mag.is_bidirected("x", "y")
+        res = fci(("x", "y", "u", "v"), OracleCITest(mag))
+        g = res.pag
+        # u *-> x <-> y <-* v: arrowheads at x and y on the x-y edge.
+        assert g.mark("x", "y") is Endpoint.ARROW
+        assert g.mark("y", "x") is Endpoint.ARROW
+
+    def test_fci_result_reports_tests(self):
+        dag = dag_from_parents({"b": ["a"]})
+        res = fci(("a", "b"), OracleCITest(dag))
+        assert res.tests_run > 0
+
+
+class TestPossibleDSep:
+    def test_collider_member(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", Endpoint.CIRCLE, Endpoint.ARROW)
+        g.add_edge("c", "b", Endpoint.CIRCLE, Endpoint.ARROW)
+        # b is a collider between a and c: c reachable from a through b.
+        assert possible_d_sep(g, "a") == {"b", "c"}
+
+    def test_noncollider_blocks_without_triangle(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_directed_edge("a", "b")
+        g.add_directed_edge("b", "c")
+        # b has a tail on the b->c edge: definite noncollider, no triangle.
+        assert possible_d_sep(g, "a") == {"b"}
+
+    def test_triangle_extends_reachability(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("a", "c")
+        assert possible_d_sep(g, "a") == {"b", "c"}
+
+
+def _random_projected_mag(seed: int, n_total: int, n_latent: int):
+    rng = np.random.default_rng(seed)
+    names = [f"v{i}" for i in range(n_total)]
+    parent_map = {
+        names[j]: [names[i] for i in range(j) if rng.random() < 0.4]
+        for j in range(n_total)
+    }
+    dag = dag_from_parents(parent_map)
+    latent = set(rng.choice(names, size=n_latent, replace=False).tolist())
+    observed = [v for v in names if v not in latent]
+    return latent_projection(dag, observed), observed
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=4000),
+    n_total=st.integers(min_value=4, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_fci_oracle_soundness_on_projected_mags(seed, n_total):
+    """Adjacency-exactness + endpoint soundness on random projected MAGs."""
+    mag, observed = _random_projected_mag(seed, n_total, n_latent=max(1, n_total // 4))
+    res = fci(tuple(observed), OracleCITest(mag), max_dsep_size=None)
+    adj = adjacency_scores(res.pag, mag)
+    assert adj.precision == 1.0 and adj.recall == 1.0, (
+        f"adjacency mismatch: learned={res.pag!r} truth={mag!r}"
+    )
+    marks = endpoint_scores(res.pag, mag)
+    assert marks.precision == 1.0, (
+        f"unsound endpoint marks: learned={res.pag!r} truth={mag!r}"
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=4000))
+@settings(max_examples=25, deadline=None)
+def test_fci_oracle_on_full_dags_recovers_cpdag_arrows(seed):
+    """Without latents, PAG arrowheads must agree with the DAG."""
+    rng = np.random.default_rng(seed)
+    names = [f"v{i}" for i in range(5)]
+    parent_map = {
+        names[j]: [names[i] for i in range(j) if rng.random() < 0.45]
+        for j in range(5)
+    }
+    dag = dag_from_parents(parent_map)
+    res = fci(tuple(names), OracleCITest(dag), max_dsep_size=None)
+    assert res.pag.same_adjacencies(dag)
+    assert endpoint_scores(res.pag, dag).precision == 1.0

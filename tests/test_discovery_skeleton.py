@@ -1,0 +1,120 @@
+"""Tests for skeleton learning, collider orientation and PC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import learn_skeleton, orient_colliders, pc
+from repro.graph import Endpoint, MixedGraph, dag_from_parents
+from repro.graph.paths import unshielded_triples
+from repro.independence import OracleCITest
+
+
+def oracle_for(parent_map):
+    return OracleCITest(dag_from_parents(parent_map))
+
+
+class TestLearnSkeleton:
+    def test_chain_skeleton(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag))
+        assert result.graph.has_edge("a", "b")
+        assert result.graph.has_edge("b", "c")
+        assert not result.graph.has_edge("a", "c")
+        assert result.sepsets.get("a", "c") == {"b"}
+
+    def test_collider_skeleton_keeps_marginal_independence(self):
+        dag = dag_from_parents({"c": ["a", "b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag))
+        assert not result.graph.has_edge("a", "b")
+        assert result.sepsets.get("a", "b") == set()
+
+    def test_max_depth_zero_only_tests_marginal(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag), max_depth=0)
+        # a ⫫ c | b requires depth 1: the spurious a-c edge survives.
+        assert result.graph.has_edge("a", "c")
+
+    def test_all_edges_circle_marked(self):
+        dag = dag_from_parents({"b": ["a"]})
+        result = learn_skeleton(("a", "b"), OracleCITest(dag))
+        assert result.graph.mark("a", "b") is Endpoint.CIRCLE
+        assert result.graph.mark("b", "a") is Endpoint.CIRCLE
+
+    def test_tests_run_counted(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag))
+        assert result.tests_run > 0
+
+
+class TestOrientColliders:
+    def test_v_structure_oriented(self):
+        dag = dag_from_parents({"c": ["a", "b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag))
+        orient_colliders(result.graph, result.sepsets)
+        assert result.graph.mark("a", "c") is Endpoint.ARROW
+        assert result.graph.mark("b", "c") is Endpoint.ARROW
+        # FCI convention: far endpoints stay circles.
+        assert result.graph.mark("c", "a") is Endpoint.CIRCLE
+
+    def test_chain_left_unoriented(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag))
+        orient_colliders(result.graph, result.sepsets)
+        assert result.graph.mark("a", "b") is Endpoint.CIRCLE
+
+    def test_cpdag_convention_sets_tails(self):
+        dag = dag_from_parents({"c": ["a", "b"]})
+        result = learn_skeleton(("a", "b", "c"), OracleCITest(dag))
+        orient_colliders(result.graph, result.sepsets, as_cpdag=True)
+        assert result.graph.is_parent("a", "c")
+        assert result.graph.is_parent("b", "c")
+
+
+def _random_dag_map(rng, n, p):
+    names = [f"v{i}" for i in range(n)]
+    return {
+        names[j]: [names[i] for i in range(j) if rng.random() < p]
+        for j in range(n)
+    }
+
+
+class TestPC:
+    def test_collider_fully_oriented(self):
+        res = pc(("a", "b", "c"), oracle_for({"c": ["a", "b"]}))
+        assert res.cpdag.is_parent("a", "c")
+        assert res.cpdag.is_parent("b", "c")
+
+    def test_chain_left_undirected(self):
+        res = pc(("a", "b", "c"), oracle_for({"b": ["a"], "c": ["b"]}))
+        g = res.cpdag
+        assert g.mark("a", "b") is Endpoint.TAIL and g.mark("b", "a") is Endpoint.TAIL
+
+    def test_meek_rule1_propagates(self):
+        # a -> c <- b plus c - d: orienting a->c<-b forces c->d (else new
+        # collider at c with d).
+        res = pc(("a", "b", "c", "d"), oracle_for({"c": ["a", "b"], "d": ["c"]}))
+        assert res.cpdag.is_parent("c", "d")
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        n=st.integers(min_value=3, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pc_oracle_soundness(self, seed, n):
+        """With an oracle: skeleton exact; directed edges match the DAG;
+        every v-structure of the DAG is recovered."""
+        rng = np.random.default_rng(seed)
+        dag = dag_from_parents(_random_dag_map(rng, n, 0.4))
+        res = pc(tuple(dag.nodes), OracleCITest(dag))
+        cpdag = res.cpdag
+        assert cpdag.same_adjacencies(dag)
+        for u, v, *_ in cpdag.edges():
+            if cpdag.is_parent(u, v):
+                assert dag.is_parent(u, v)
+            elif cpdag.is_parent(v, u):
+                assert dag.is_parent(v, u)
+        for x, y, z in unshielded_triples(dag):
+            if dag.is_parent(x, y) and dag.is_parent(z, y):
+                assert cpdag.is_parent(x, y) and cpdag.is_parent(z, y)

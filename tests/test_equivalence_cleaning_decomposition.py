@@ -1,0 +1,186 @@
+"""Tests for MAG equivalence, missing-value cleaning, SUM decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.data import Aggregate, AttributeProfile, Subspace, Table, WhyQuery
+from repro.data.cleaning import drop_missing, missing_mask, summarize_missing
+from repro.core.decomposition import count_based_share, decompose_sum_delta
+from repro.discovery import fci
+from repro.errors import ExplanationError, GraphError
+from repro.graph import Endpoint, MixedGraph, dag_from_parents
+from repro.graph.equivalence import (
+    enumerate_mags_in_class,
+    invariant_marks,
+    markov_equivalent,
+    same_unshielded_colliders,
+)
+from repro.independence import OracleCITest
+
+
+class TestMarkovEquivalence:
+    def test_chain_fork_equivalent(self):
+        chain = dag_from_parents({"b": ["a"], "c": ["b"]})
+        fork = dag_from_parents({"a": ["b"], "c": ["b"]})
+        assert markov_equivalent(chain, fork)
+
+    def test_collider_not_equivalent_to_chain(self):
+        chain = dag_from_parents({"b": ["a"], "c": ["b"]})
+        collider = dag_from_parents({"b": ["a", "c"]})
+        assert not markov_equivalent(chain, collider)
+
+    def test_different_skeletons_not_equivalent(self):
+        g1 = dag_from_parents({"b": ["a"], "c": []})
+        g2 = dag_from_parents({"b": ["a"], "c": ["b"]})
+        assert not markov_equivalent(g1, g2)
+
+    def test_non_mag_rejected(self):
+        g = MixedGraph(["a", "b"])
+        g.add_edge("a", "b")  # circle marks
+        with pytest.raises(GraphError):
+            markov_equivalent(g, g)
+
+    def test_same_unshielded_colliders_detects_difference(self):
+        collider = dag_from_parents({"b": ["a", "c"]})
+        chain = dag_from_parents({"b": ["a"], "c": ["b"]})
+        assert not same_unshielded_colliders(collider, chain)
+
+    def test_equivalence_is_reflexive_and_symmetric(self):
+        g = dag_from_parents({"b": ["a"], "c": ["b"], "d": ["b"]})
+        h = dag_from_parents({"a": ["b"], "c": ["b"], "d": ["b"]})
+        assert markov_equivalent(g, g)
+        assert markov_equivalent(g, h) == markov_equivalent(h, g)
+
+
+class TestEnumerateClass:
+    def test_chain_pag_resolves_to_equivalent_mags(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        pag = fci(("a", "b", "c"), OracleCITest(dag)).pag
+        mags = enumerate_mags_in_class(pag)
+        assert len(mags) >= 3  # chain, reverse chain, fork (+ possible ↔ variants)
+        for mag in mags:
+            assert mag.same_adjacencies(dag)
+
+    def test_truth_is_in_the_enumerated_class(self):
+        dag = dag_from_parents({"c": ["a", "b"], "d": ["c"]})
+        pag = fci(tuple("abcd"), OracleCITest(dag)).pag
+        mags = enumerate_mags_in_class(pag)
+        assert any(m == dag for m in mags)
+
+    def test_invariant_marks_match_pag_claims(self):
+        """Def. 2.8 condition 2: every non-circle PAG mark is invariant in
+        the class, verified by brute-force enumeration."""
+        dag = dag_from_parents({"c": ["a", "b"], "d": ["c"]})
+        pag = fci(tuple("abcd"), OracleCITest(dag)).pag
+        mags = enumerate_mags_in_class(pag)
+        equivalent = [m for m in mags if markov_equivalent(m, dag)]
+        invariants = invariant_marks(equivalent)
+        for u, v, mark_u, mark_v in pag.edges():
+            if mark_v is not Endpoint.CIRCLE:
+                assert invariants.get((u, v)) == mark_v
+            if mark_u is not Endpoint.CIRCLE:
+                assert invariants.get((v, u)) == mark_u
+
+    def test_limit_guard(self):
+        g = MixedGraph([f"v{i}" for i in range(10)])
+        for i in range(9):
+            g.add_edge(f"v{i}", f"v{i+1}")
+        with pytest.raises(GraphError):
+            enumerate_mags_in_class(g, limit=4)
+
+
+class TestCleaning:
+    def make_dirty(self) -> Table:
+        return Table.from_columns(
+            {
+                "d": ["a", None, "b", "", "c"],
+                "m": [1.0, 2.0, float("nan"), 4.0, 5.0],
+            }
+        )
+
+    def test_missing_mask(self):
+        mask = missing_mask(self.make_dirty())
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_drop_missing(self):
+        clean = drop_missing(self.make_dirty())
+        assert clean.n_rows == 2
+        assert clean.values("d") == ["a", "c"]
+
+    def test_summarize_missing(self):
+        summary = summarize_missing(self.make_dirty())
+        assert summary == {"d": 2, "m": 1}
+
+    def test_clean_table_returned_unchanged(self):
+        t = Table.from_columns({"d": ["a", "b"], "m": [1.0, 2.0]})
+        assert drop_missing(t) is t
+
+    def test_infinite_measures_dropped(self):
+        t = Table.from_columns({"m": [1.0, float("inf"), 3.0]})
+        assert drop_missing(t).n_rows == 2
+
+
+class TestSumDecomposition:
+    def make_profile(self, count_driven: bool) -> AttributeProfile:
+        rng = np.random.default_rng(0)
+        n = 6000
+        f = rng.integers(0, 2, size=n)
+        y = rng.integers(0, 4, size=n)
+        if count_driven:
+            # Same conditional mean everywhere; counts differ: keep y=0
+            # much likelier under f=1.
+            y = np.where(
+                (f == 1) & (rng.random(n) < 0.5), 0, y
+            )
+            z = rng.normal(10.0, 1.0, size=n)
+        else:
+            # Same counts; the mean of y=0 differs by sibling.
+            z = rng.normal(10.0, 1.0, size=n) + 8.0 * ((y == 0) & (f == 1))
+        table = Table.from_columns(
+            {
+                "F": [f"f{v}" for v in f],
+                "Y": [f"y{v}" for v in y],
+                "Z": z,
+            }
+        )
+        query = WhyQuery.create(
+            Subspace.of(F="f1"), Subspace.of(F="f0"), "Z", Aggregate.SUM
+        )
+        return AttributeProfile.build(table, query, "Y")
+
+    def test_components_sum_to_delta(self):
+        profile = self.make_profile(count_driven=False)
+        deltas = profile.per_filter_delta()
+        for part, delta in zip(decompose_sum_delta(profile), deltas):
+            assert part.count_effect + part.mean_effect == pytest.approx(
+                delta, abs=1e-6
+            )
+            assert part.total == pytest.approx(delta, abs=1e-6)
+
+    def test_count_driven_attribute_flagged(self):
+        share = count_based_share(self.make_profile(count_driven=True))
+        assert share > 0.8
+
+    def test_mean_driven_attribute_not_flagged(self):
+        share = count_based_share(self.make_profile(count_driven=False))
+        assert share < 0.6
+
+    def test_avg_query_rejected(self):
+        profile = self.make_profile(count_driven=False)
+        avg_profile = AttributeProfile(
+            query=WhyQuery.create(
+                Subspace.of(F="f1"), Subspace.of(F="f0"), "Z", Aggregate.AVG
+            ),
+            attribute=profile.attribute,
+            values=profile.values,
+            count1=profile.count1,
+            sum1=profile.sum1,
+            count2=profile.count2,
+            sum2=profile.sum2,
+        )
+        with pytest.raises(ExplanationError):
+            decompose_sum_delta(avg_profile)
+
+    def test_filter_share_bounds(self):
+        for part in decompose_sum_delta(self.make_profile(count_driven=True)):
+            assert 0.0 <= part.count_share <= 1.0

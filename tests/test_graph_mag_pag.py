@@ -1,0 +1,258 @@
+"""Tests for MAG validity, PAG semantics, latent projection and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    Endpoint,
+    MixedGraph,
+    adjacency_scores,
+    endpoint_scores,
+    is_almost_ancestor,
+    is_almost_parent,
+    is_ancestor,
+    is_ancestral,
+    is_mag,
+    is_maximal,
+    is_valid_pag_edge,
+    latent_projection,
+    moralize,
+    score_graph,
+    skeleton,
+    structural_hamming_distance,
+    undetermined_endpoint_count,
+    validate_mag,
+)
+from repro.graph.dag import dag_from_parents
+from repro.graph.paths import inducing_path_exists
+
+
+class TestMagValidity:
+    def test_simple_dag_is_mag(self):
+        g = dag_from_parents({"b": ["a"], "c": ["b"]})
+        assert is_mag(g)
+
+    def test_almost_directed_cycle_rejected(self):
+        g = MixedGraph(["x", "y", "z"])
+        g.add_directed_edge("x", "y")
+        g.add_directed_edge("y", "z")
+        g.add_bidirected_edge("z", "x")
+        assert not is_ancestral(g)
+        with pytest.raises(GraphError):
+            validate_mag(g)
+
+    def test_directed_cycle_rejected(self):
+        g = MixedGraph(["x", "y"])
+        g.add_directed_edge("x", "y")
+        g.add_node("z")
+        g.add_directed_edge("y", "z")
+        g.add_directed_edge("z", "x")
+        assert not is_ancestral(g)
+
+    def test_circle_marks_rejected(self):
+        g = MixedGraph(["x", "y"])
+        g.add_edge("x", "y")  # o-o
+        with pytest.raises(GraphError):
+            validate_mag(g)
+
+    def test_collider_chain_is_maximal_when_colliders_are_not_anchors(self):
+        g = MixedGraph(["x", "m", "y", "s"])
+        g.add_bidirected_edge("x", "m")
+        g.add_bidirected_edge("m", "y")
+        g.add_directed_edge("m", "s")
+        # x ↔ m ↔ y: m is a collider and not an ancestor of x or y, so the
+        # empty set m-separates x and y — the graph is maximal.
+        assert is_maximal(g)
+
+    def test_primitive_inducing_path_breaks_maximality(self):
+        # Classic non-maximal ancestral graph: x ↔ w1 ↔ w2 ↔ y with
+        # w1 → y and w2 → x.  The path (x, w1, w2, y) is a primitive
+        # inducing path: every non-endpoint is a collider and an ancestor of
+        # an endpoint, so no set m-separates x from y, yet they are
+        # non-adjacent.
+        g = MixedGraph(["x", "w1", "w2", "y"])
+        g.add_bidirected_edge("x", "w1")
+        g.add_bidirected_edge("w1", "w2")
+        g.add_bidirected_edge("w2", "y")
+        g.add_directed_edge("w1", "y")
+        g.add_directed_edge("w2", "x")
+        assert is_ancestral(g)
+        assert not is_maximal(g)
+        assert not is_mag(g)
+
+
+class TestPagSemantics:
+    def test_valid_pag_edges(self):
+        assert is_valid_pag_edge(Endpoint.CIRCLE, Endpoint.ARROW)
+        assert is_valid_pag_edge(Endpoint.TAIL, Endpoint.ARROW)
+        assert is_valid_pag_edge(Endpoint.ARROW, Endpoint.ARROW)
+
+    def test_almost_parent(self):
+        g = MixedGraph(["x", "y"])
+        g.add_edge("x", "y", Endpoint.CIRCLE, Endpoint.ARROW)  # x o-> y
+        assert is_almost_parent(g, "x", "y")
+        assert not is_almost_parent(g, "y", "x")
+
+    def test_parent_is_not_almost_parent(self):
+        g = MixedGraph(["x", "y"])
+        g.add_directed_edge("x", "y")
+        assert not is_almost_parent(g, "x", "y")
+
+    def test_ancestor_via_directed_path(self):
+        g = dag_from_parents({"b": ["a"], "c": ["b"]})
+        assert is_ancestor(g, "a", "c")
+        assert not is_ancestor(g, "c", "a")
+        assert not is_ancestor(g, "a", "a")
+
+    def test_almost_ancestor_through_circle_arrows(self):
+        g = MixedGraph(["x", "m", "y"])
+        g.add_edge("x", "m", Endpoint.CIRCLE, Endpoint.ARROW)
+        g.add_edge("m", "y", Endpoint.CIRCLE, Endpoint.ARROW)
+        assert is_almost_ancestor(g, "x", "y")
+        assert not is_almost_ancestor(g, "y", "x")
+
+    def test_bidirected_edge_is_not_almost_ancestor(self):
+        g = MixedGraph(["x", "y"])
+        g.add_bidirected_edge("x", "y")
+        assert not is_almost_ancestor(g, "x", "y")
+
+    def test_skeleton_has_all_circles(self):
+        g = dag_from_parents({"b": ["a"]})
+        s = skeleton(g)
+        assert s.mark("a", "b") is Endpoint.CIRCLE
+        assert s.mark("b", "a") is Endpoint.CIRCLE
+
+    def test_undetermined_endpoint_count(self):
+        g = MixedGraph(["x", "y"])
+        g.add_edge("x", "y", Endpoint.CIRCLE, Endpoint.ARROW)
+        assert undetermined_endpoint_count(g) == 1
+
+
+class TestLatentProjection:
+    def test_hidden_confounder_becomes_bidirected(self):
+        # Fig. 2: Z -> X, Z -> Y with Z latent  =>  X <-> Y.
+        dag = dag_from_parents({"X": ["Z"], "Y": ["Z"]})
+        mag = latent_projection(dag, ["X", "Y"])
+        assert mag.is_bidirected("X", "Y")
+
+    def test_hidden_mediator_becomes_directed(self):
+        # X -> L -> Y with L latent => X -> Y (X remains an ancestor).
+        dag = dag_from_parents({"L": ["X"], "Y": ["L"]})
+        mag = latent_projection(dag, ["X", "Y"])
+        assert mag.is_parent("X", "Y")
+
+    def test_no_spurious_edges_without_latents(self):
+        dag = dag_from_parents({"b": ["a"], "c": ["b"]})
+        mag = latent_projection(dag, ["a", "b", "c"])
+        assert mag.same_adjacencies(dag)
+        assert mag.is_parent("a", "b") and mag.is_parent("b", "c")
+        assert not mag.has_edge("a", "c")
+
+    def test_latent_chain_disappears(self):
+        # a -> L, L -> b, plus separate c: no edge between a/c or b/c.
+        dag = dag_from_parents({"L": ["a"], "b": ["L"], "c": []})
+        mag = latent_projection(dag, ["a", "b", "c"])
+        assert mag.has_edge("a", "b")
+        assert not mag.has_edge("a", "c")
+        assert not mag.has_edge("b", "c")
+
+    def test_unknown_observed_node_rejected(self):
+        dag = dag_from_parents({"b": ["a"]})
+        with pytest.raises(GraphError):
+            latent_projection(dag, ["a", "zzz"])
+
+    def test_projection_is_a_mag(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            dag = _random_dag(rng, 7, 0.3)
+            observed = list(dag.nodes)[:5]
+            mag = latent_projection(dag, observed)
+            assert is_mag(mag)
+
+
+def _random_dag(rng, n, p):
+    nodes = [f"v{i}" for i in range(n)]
+    g = MixedGraph(nodes)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_directed_edge(nodes[i], nodes[j])
+    return g
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=3000),
+    n=st.integers(min_value=3, max_value=7),
+)
+@settings(max_examples=60, deadline=None)
+def test_projection_adjacency_matches_inducing_paths(seed, n):
+    """Cross-check: d-separation adjacency criterion ≡ inducing-path search."""
+    rng = np.random.default_rng(seed)
+    dag = _random_dag(rng, n, 0.4)
+    nodes = list(dag.nodes)
+    n_latent = max(1, n // 4)
+    latent = set(nodes[:n_latent])
+    observed = [v for v in nodes if v not in latent]
+    mag = latent_projection(dag, observed)
+    for i, x in enumerate(observed):
+        for y in observed[i + 1 :]:
+            assert mag.has_edge(x, y) == inducing_path_exists(dag, x, y, latent)
+
+
+class TestMoralize:
+    def test_parents_married(self):
+        dag = dag_from_parents({"c": ["a", "b"]})
+        moral = moralize(dag)
+        assert moral.has_edge("a", "b")
+
+
+class TestMetrics:
+    def test_perfect_recovery(self):
+        g = dag_from_parents({"b": ["a"], "c": ["b"]})
+        s = score_graph(g, g)
+        assert s.adjacency.f1 == 1.0
+        assert s.endpoint.f1 == 1.0
+        assert s.combined.f1 == 1.0
+        assert structural_hamming_distance(g, g) == 0
+
+    def test_missing_edge_hurts_recall(self):
+        truth = dag_from_parents({"b": ["a"], "c": ["b"]})
+        learned = dag_from_parents({"b": ["a"], "c": []})
+        adj = adjacency_scores(learned, truth)
+        assert adj.precision == 1.0
+        assert adj.recall == pytest.approx(0.5)
+
+    def test_extra_edge_hurts_precision(self):
+        truth = dag_from_parents({"b": ["a"], "c": []})
+        learned = dag_from_parents({"b": ["a"], "c": ["a"]})
+        adj = adjacency_scores(learned, truth)
+        assert adj.recall == 1.0
+        assert adj.precision == pytest.approx(0.5)
+
+    def test_wrong_orientation_hurts_endpoint_score(self):
+        truth = dag_from_parents({"b": ["a"]})
+        learned = dag_from_parents({"a": ["b"]})
+        e = endpoint_scores(learned, truth)
+        assert e.precision == 0.0
+
+    def test_circles_are_not_claimed_marks(self):
+        truth = dag_from_parents({"b": ["a"]})
+        learned = MixedGraph(["a", "b"])
+        learned.add_edge("a", "b")  # o-o: no orientation claims
+        e = endpoint_scores(learned, truth)
+        assert e.precision == 1.0  # vacuous
+        assert e.recall == 0.0
+
+    def test_shd_counts_mark_differences(self):
+        truth = dag_from_parents({"b": ["a"]})
+        learned = MixedGraph(["a", "b"])
+        learned.add_edge("a", "b", Endpoint.CIRCLE, Endpoint.ARROW)
+        assert structural_hamming_distance(learned, truth) == 1
+
+    def test_empty_graphs_score_perfect(self):
+        g = MixedGraph(["a", "b"])
+        s = score_graph(g, g)
+        assert s.adjacency.f1 == 1.0

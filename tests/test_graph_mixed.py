@@ -1,0 +1,180 @@
+"""Unit tests for MixedGraph, endpoints, and DAG utilities."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Endpoint,
+    MixedGraph,
+    dag_from_parents,
+    depths,
+    edge_symbol,
+    is_dag,
+    topological_sort,
+    validate_dag,
+)
+
+
+def chain() -> MixedGraph:
+    g = MixedGraph(["a", "b", "c"])
+    g.add_directed_edge("a", "b")
+    g.add_directed_edge("b", "c")
+    return g
+
+
+class TestEndpoints:
+    def test_edge_symbols(self):
+        assert edge_symbol(Endpoint.TAIL, Endpoint.ARROW) == "-->"
+        assert edge_symbol(Endpoint.ARROW, Endpoint.ARROW) == "<->"
+        assert edge_symbol(Endpoint.CIRCLE, Endpoint.ARROW) == "o->"
+        assert edge_symbol(Endpoint.CIRCLE, Endpoint.CIRCLE) == "o-o"
+
+
+class TestMixedGraphBasics:
+    def test_add_and_query_edge_marks(self):
+        g = chain()
+        assert g.mark("a", "b") is Endpoint.ARROW
+        assert g.mark("b", "a") is Endpoint.TAIL
+
+    def test_duplicate_edge_rejected(self):
+        g = chain()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        g = MixedGraph(["a"])
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_unknown_node_rejected(self):
+        g = MixedGraph(["a"])
+        with pytest.raises(GraphError):
+            g.add_edge("a", "zzz")
+
+    def test_remove_edge(self):
+        g = chain()
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_remove_missing_edge_raises(self):
+        g = chain()
+        with pytest.raises(GraphError):
+            g.remove_edge("a", "c")
+
+    def test_remove_node_drops_incident_edges(self):
+        g = chain()
+        g.remove_node("b")
+        assert g.n_edges == 0
+        assert not g.has_node("b")
+
+    def test_edges_iterates_each_once(self):
+        g = chain()
+        assert g.n_edges == 2
+        assert len(list(g.edges())) == 2
+
+    def test_orient(self):
+        g = MixedGraph(["x", "y"])
+        g.add_edge("x", "y")  # o-o
+        g.orient("x", "y")
+        assert g.is_parent("x", "y")
+
+    def test_parent_child_queries(self):
+        g = chain()
+        assert g.parents("b") == ("a",)
+        assert g.children("b") == ("c",)
+        assert g.is_parent("a", "b")
+        assert not g.is_parent("b", "a")
+
+    def test_bidirected(self):
+        g = MixedGraph(["x", "y"])
+        g.add_bidirected_edge("x", "y")
+        assert g.is_bidirected("x", "y")
+        assert g.parents("y") == ()
+
+    def test_into_and_out_of(self):
+        g = chain()
+        assert g.is_into("a", "b")
+        assert not g.is_into("b", "a")
+        assert g.is_out_of("a", "b")
+
+    def test_collider_classification(self):
+        g = MixedGraph(["x", "y", "z"])
+        g.add_directed_edge("x", "y")
+        g.add_directed_edge("z", "y")
+        assert g.is_collider("x", "y", "z")
+        assert not g.is_definite_noncollider("x", "y", "z")
+
+    def test_definite_noncollider_with_tail(self):
+        g = chain()
+        assert g.is_definite_noncollider("a", "b", "c")
+
+    def test_ancestors_include_self(self):
+        g = chain()
+        assert g.ancestors("c") == {"a", "b", "c"}
+        assert g.descendants("a") == {"a", "b", "c"}
+
+    def test_possible_parents_with_circles(self):
+        g = MixedGraph(["x", "y"])
+        g.add_edge("x", "y", Endpoint.CIRCLE, Endpoint.CIRCLE)
+        assert g.possible_parents("y") == ("x",)
+        g.set_mark(y := "y", "x", Endpoint.ARROW)  # x <-o y: x no longer possible parent?
+        # mark at x is ARROW now -> x cannot be a parent of y
+        assert g.possible_parents(y) == ()
+
+    def test_possible_ancestors_of_set(self):
+        g = MixedGraph(["x", "y", "z"])
+        g.add_edge("x", "y", Endpoint.CIRCLE, Endpoint.CIRCLE)
+        g.add_directed_edge("y", "z")
+        assert g.possible_ancestors_of_set({"z"}) == {"x", "y", "z"}
+
+    def test_copy_and_equality(self):
+        g = chain()
+        h = g.copy()
+        assert g == h
+        h.set_mark("a", "b", Endpoint.CIRCLE)
+        assert g != h
+
+    def test_subgraph(self):
+        g = chain()
+        sub = g.subgraph(["a", "b"])
+        assert sub.n_edges == 1 and sub.has_edge("a", "b")
+
+    def test_same_adjacencies(self):
+        g = chain()
+        h = chain()
+        h.set_mark("a", "b", Endpoint.CIRCLE)
+        assert g.same_adjacencies(h)
+
+
+class TestDagUtilities:
+    def test_topological_sort_respects_edges(self):
+        order = topological_sort(chain())
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        g = MixedGraph(["a", "b"])
+        g.add_directed_edge("a", "b")
+        g.add_node("c")
+        g.add_directed_edge("b", "c")
+        g.add_directed_edge("c", "a")
+        with pytest.raises(GraphError):
+            topological_sort(g)
+        assert not is_dag(g)
+
+    def test_is_dag_rejects_circles(self):
+        g = MixedGraph(["a", "b"])
+        g.add_edge("a", "b")  # o-o
+        assert not is_dag(g)
+
+    def test_validate_dag_passes_on_chain(self):
+        validate_dag(chain())
+
+    def test_depths(self):
+        d = depths(chain())
+        assert d == {"a": 0, "b": 1, "c": 2}
+
+    def test_dag_from_parents(self):
+        g = dag_from_parents({"c": ["a", "b"], "b": ["a"]})
+        assert set(g.parents("c")) == {"a", "b"}
+        assert g.parents("a") == ()

@@ -1,0 +1,187 @@
+"""Tests for m-/d-separation, including a brute-force cross-check.
+
+The brute-force reference enumerates all simple paths and applies the
+blocking definition (Sec. 2.2) literally; the walk-based implementation in
+`repro.graph.separation` must agree on random MAGs.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import Endpoint, MixedGraph, d_separated, m_connected, m_separated
+
+
+def fig1_graph() -> MixedGraph:
+    """The lung-cancer causal graph of Fig. 1(c), fully oriented."""
+    g = MixedGraph(
+        ["Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival"]
+    )
+    g.add_directed_edge("Location", "Smoking")
+    g.add_directed_edge("Stress", "Smoking")
+    g.add_directed_edge("Smoking", "LungCancer")
+    g.add_directed_edge("LungCancer", "Surgery")
+    g.add_directed_edge("LungCancer", "Survival")
+    return g
+
+
+class TestMSeparationOnFig1:
+    def test_smoking_blocks_location_from_lungcancer(self):
+        # Ex. 2.7: LungCancer ⫫ Location | Smoking
+        g = fig1_graph()
+        assert m_separated(g, "Location", "LungCancer", {"Smoking"})
+
+    def test_location_connected_to_lungcancer_marginally(self):
+        g = fig1_graph()
+        assert m_connected(g, "Location", "LungCancer")
+
+    def test_collider_blocks_marginally(self):
+        # Location -> Smoking <- Stress: blocked when Smoking not conditioned.
+        g = fig1_graph()
+        assert m_separated(g, "Location", "Stress")
+
+    def test_conditioning_on_collider_opens(self):
+        g = fig1_graph()
+        assert m_connected(g, "Location", "Stress", {"Smoking"})
+
+    def test_conditioning_on_collider_descendant_opens(self):
+        g = fig1_graph()
+        assert m_connected(g, "Location", "Stress", {"Surgery"})
+
+    def test_surgery_survival_blocked_by_lungcancer(self):
+        g = fig1_graph()
+        assert m_separated(g, "Surgery", "Survival", {"LungCancer"})
+        assert m_connected(g, "Surgery", "Survival")
+
+
+class TestBidirectedSemantics:
+    def test_bidirected_edge_connects(self):
+        g = MixedGraph(["x", "y"])
+        g.add_bidirected_edge("x", "y")
+        assert m_connected(g, "x", "y")
+
+    def test_bidirected_chain_collider(self):
+        # x <-> m <-> y: m is a collider; blocked marginally, open given m.
+        g = MixedGraph(["x", "m", "y"])
+        g.add_bidirected_edge("x", "m")
+        g.add_bidirected_edge("m", "y")
+        assert m_separated(g, "x", "y")
+        assert m_connected(g, "x", "y", {"m"})
+
+
+class TestArgumentValidation:
+    def test_same_node_rejected(self):
+        g = fig1_graph()
+        with pytest.raises(GraphError):
+            m_separated(g, "Smoking", "Smoking")
+
+    def test_endpoint_in_conditioning_set_rejected(self):
+        g = fig1_graph()
+        with pytest.raises(GraphError):
+            m_separated(g, "Location", "Smoking", {"Location"})
+
+    def test_unknown_node_rejected(self):
+        g = fig1_graph()
+        with pytest.raises(GraphError):
+            m_separated(g, "Location", "nope")
+
+
+class TestConservativePagSeparation:
+    def test_circle_edge_counts_as_connecting(self):
+        g = MixedGraph(["x", "m", "y"])
+        g.add_edge("x", "m", Endpoint.CIRCLE, Endpoint.CIRCLE)
+        g.add_edge("m", "y", Endpoint.CIRCLE, Endpoint.CIRCLE)
+        # In some MAG of the class, m is a noncollider: connected marginally.
+        assert m_connected(g, "x", "y", definite=False)
+        # In some MAG, m is a collider: conditioning on m may still connect.
+        assert m_connected(g, "x", "y", {"m"}, definite=False)
+
+    def test_definite_collider_blocks_even_conservatively(self):
+        g = MixedGraph(["x", "m", "y"])
+        g.add_directed_edge("x", "m")
+        g.add_directed_edge("y", "m")
+        assert m_separated(g, "x", "y", definite=False)
+
+
+# ---------------------------------------------------------------------------
+# Brute-force cross-check on random MAG-like graphs
+# ---------------------------------------------------------------------------
+
+
+def _brute_force_m_separated(g: MixedGraph, x, y, z) -> bool:
+    """Enumerate simple paths; apply the Sec. 2.2 blocking definition."""
+    cond = set(z)
+    an_z = g.ancestors_of_set(cond)
+
+    def path_open(path):
+        for i in range(1, len(path) - 1):
+            prev, cur, nxt = path[i - 1], path[i], path[i + 1]
+            collider = g.is_into(prev, cur) and g.is_into(nxt, cur)
+            if collider:
+                if cur not in an_z:
+                    return False
+            else:
+                if cur in cond:
+                    return False
+        return True
+
+    stack = [[x]]
+    while stack:
+        path = stack.pop()
+        head = path[-1]
+        if head == y:
+            if path_open(path):
+                return False
+            continue
+        for nbr in g.neighbors(head):
+            if nbr not in path:
+                stack.append([*path, nbr])
+    return True
+
+
+def _random_ancestral_graph(seed: int, n: int) -> MixedGraph:
+    """Random graph with directed edges following a node order (acyclic) plus
+    a few bidirected edges between order-incomparable nodes — ancestral by
+    construction on small n (we simply avoid adding ↔ between comparable nodes)."""
+    rng = np.random.default_rng(seed)
+    nodes = [f"v{i}" for i in range(n)]
+    g = MixedGraph(nodes)
+    for i, j in combinations(range(n), 2):
+        roll = rng.random()
+        if roll < 0.35:
+            g.add_directed_edge(nodes[i], nodes[j])
+    for i, j in combinations(range(n), 2):
+        if g.has_edge(nodes[i], nodes[j]):
+            continue
+        if rng.random() < 0.1:
+            if nodes[j] not in g.descendants(nodes[i]) and nodes[i] not in g.descendants(nodes[j]):
+                g.add_bidirected_edge(nodes[i], nodes[j])
+    return g
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=6),
+    z_bits=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=120, deadline=None)
+def test_walk_separation_matches_brute_force(seed, n, z_bits):
+    g = _random_ancestral_graph(seed, n)
+    nodes = list(g.nodes)
+    x, y = nodes[0], nodes[1]
+    z = {nodes[i] for i in range(2, n) if (z_bits >> i) & 1}
+    assert m_separated(g, x, y, z) == _brute_force_m_separated(g, x, y, z)
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=50, deadline=None)
+def test_d_separation_symmetry(seed):
+    g = _random_ancestral_graph(seed, 5)
+    nodes = list(g.nodes)
+    assert d_separated(g, nodes[0], nodes[1], {nodes[2]}) == d_separated(
+        g, nodes[1], nodes[0], {nodes[2]}
+    )

@@ -1,0 +1,91 @@
+"""Tests for the group-by engine and the EDA → Why Query hand-off."""
+
+import numpy as np
+import pytest
+
+from repro.data import Aggregate, Table, group_by, why_query_from_top_difference
+from repro.errors import QueryError
+
+
+def sample() -> Table:
+    return Table.from_columns(
+        {
+            "loc": ["A", "A", "B", "B", "C"],
+            "seg": ["x", "y", "x", "y", "x"],
+            "m": [4.0, 2.0, 1.0, 1.0, 10.0],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_avg_by_single_dimension(self):
+        result = group_by(sample(), "loc", "m", Aggregate.AVG)
+        assert result.value_of("A") == pytest.approx(3.0)
+        assert result.value_of("B") == pytest.approx(1.0)
+        assert result.value_of("C") == pytest.approx(10.0)
+
+    def test_sum_and_count(self):
+        result = group_by(sample(), "loc", "m", Aggregate.SUM)
+        assert result.value_of("A") == pytest.approx(6.0)
+        counts = group_by(sample(), "loc", "m", Aggregate.COUNT)
+        assert counts.value_of("B") == 2
+
+    def test_group_counts_recorded(self):
+        result = group_by(sample(), "loc", "m")
+        by_key = {g.key: g.count for g in result.groups}
+        assert by_key == {("A",): 2, ("B",): 2, ("C",): 1}
+
+    def test_multi_dimension_grouping(self):
+        result = group_by(sample(), ["loc", "seg"], "m", Aggregate.SUM)
+        assert result.value_of("A", "x") == pytest.approx(4.0)
+        assert result.value_of("B", "y") == pytest.approx(1.0)
+
+    def test_empty_groups_not_emitted(self):
+        result = group_by(sample(), ["loc", "seg"], "m")
+        keys = {g.key for g in result.groups}
+        assert ("C", "y") not in keys
+
+    def test_missing_group_raises(self):
+        result = group_by(sample(), "loc", "m")
+        with pytest.raises(QueryError):
+            result.value_of("Z")
+
+    def test_no_dimensions_rejected(self):
+        with pytest.raises(QueryError):
+            group_by(sample(), [], "m")
+
+    def test_string_agg_accepted(self):
+        result = group_by(sample(), "loc", "m", "sum")
+        assert result.agg is Aggregate.SUM
+
+    def test_top_differences_ordering(self):
+        result = group_by(sample(), "loc", "m")
+        diffs = result.top_differences(2)
+        assert diffs[0][2] >= diffs[1][2]
+        assert diffs[0][2] == pytest.approx(9.0)  # C vs B
+
+    def test_top_differences_needs_single_dimension(self):
+        result = group_by(sample(), ["loc", "seg"], "m")
+        with pytest.raises(QueryError):
+            result.top_differences()
+
+
+class TestWhyQueryFromTopDifference:
+    def test_largest_gap_becomes_query(self):
+        query = why_query_from_top_difference(sample(), "loc", "m")
+        # C (10.0) vs B (1.0) is the largest gap; s1 must be the higher side.
+        assert query.s1.value_of("loc") == "C"
+        assert query.s2.value_of("loc") == "B"
+        assert query.delta(sample()) > 0
+
+    def test_single_group_rejected(self):
+        t = Table.from_columns({"d": ["only", "only"], "m": [1.0, 2.0]})
+        with pytest.raises(QueryError):
+            why_query_from_top_difference(t, "d", "m")
+
+    def test_agreement_with_group_values(self):
+        t = sample()
+        query = why_query_from_top_difference(t, "loc", "m")
+        result = group_by(t, "loc", "m")
+        expected = result.value_of("C") - result.value_of("B")
+        assert query.delta(t) == pytest.approx(expected)

@@ -1,0 +1,156 @@
+"""Tests for the CI-test substrate (chi², G, Fisher-z, oracle, cache)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.graph import MixedGraph
+from repro.independence import (
+    CachedCITest,
+    ChiSquaredTest,
+    FisherZTest,
+    GTest,
+    OracleCITest,
+)
+
+
+def sample_chain(n=4000, seed=0) -> Table:
+    """X -> M -> Y chain of binary variables with strong dependence."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, size=n)
+    m = np.where(rng.random(n) < 0.9, x, 1 - x)
+    y = np.where(rng.random(n) < 0.9, m, 1 - m)
+    w = rng.integers(0, 2, size=n)  # independent noise column
+    return Table.from_columns(
+        {
+            "X": [str(v) for v in x],
+            "M": [str(v) for v in m],
+            "Y": [str(v) for v in y],
+            "W": [str(v) for v in w],
+        }
+    )
+
+
+class TestChiSquared:
+    def test_dependent_pair_rejected(self):
+        t = sample_chain()
+        assert not ChiSquaredTest(t).independent("X", "M")
+
+    def test_independent_pair_accepted(self):
+        t = sample_chain()
+        assert ChiSquaredTest(t, alpha=0.01).independent("X", "W")
+
+    def test_conditional_independence_of_chain(self):
+        t = sample_chain()
+        test = ChiSquaredTest(t, alpha=0.01)
+        assert test.independent("X", "Y", ["M"])
+        assert not test.independent("X", "Y")
+
+    def test_deterministic_column_yields_p_one(self):
+        # Y is a function of X: conditioning on X makes any test of Y
+        # degenerate (single row per stratum), so dof=0 and p=1.
+        t = Table.from_columns(
+            {
+                "X": ["a", "b", "c", "a", "b", "c"],
+                "Y": ["1", "2", "3", "1", "2", "3"],
+                "Z": ["p", "p", "q", "q", "p", "q"],
+            }
+        )
+        result = ChiSquaredTest(t).test("Y", "Z", ["X"])
+        assert result.p_value == 1.0
+        assert result.dof == 0
+
+    def test_result_records_inputs(self):
+        t = sample_chain(200)
+        r = ChiSquaredTest(t).test("X", "Y", ["M"])
+        assert (r.x, r.y, r.z) == ("X", "Y", ("M",))
+
+    def test_call_counter(self):
+        t = sample_chain(100)
+        test = ChiSquaredTest(t)
+        test.independent("X", "Y")
+        test.independent("X", "M")
+        assert test.calls == 2
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ChiSquaredTest(sample_chain(10), alpha=1.5)
+
+
+class TestGTest:
+    def test_agrees_with_chi2_on_strong_effects(self):
+        t = sample_chain()
+        chi = ChiSquaredTest(t, alpha=0.01)
+        g = GTest(t, alpha=0.01)
+        for args in [("X", "M", ()), ("X", "W", ()), ("X", "Y", ("M",))]:
+            assert chi.independent(*args) == g.independent(*args)
+
+    def test_statistic_positive_for_dependence(self):
+        t = sample_chain()
+        assert GTest(t).test("X", "M").statistic > 0
+
+
+class TestFisherZ:
+    def test_linear_gaussian_chain(self):
+        rng = np.random.default_rng(1)
+        n = 3000
+        x = rng.normal(size=n)
+        m = 2 * x + rng.normal(size=n)
+        y = -m + rng.normal(size=n)
+        w = rng.normal(size=n)
+        t = Table.from_columns({"x": x, "m": m, "y": y, "w": w})
+        test = FisherZTest(t, alpha=0.01)
+        assert not test.independent("x", "y")
+        assert test.independent("x", "y", ["m"])
+        assert test.independent("x", "w")
+
+    def test_dimension_codes_accepted(self):
+        rng = np.random.default_rng(2)
+        n = 2000
+        d = rng.integers(0, 2, size=n)
+        m = d * 3.0 + rng.normal(size=n)
+        t = Table.from_columns({"d": [str(v) for v in d], "m": m})
+        assert not FisherZTest(t).independent("d", "m")
+
+    def test_tiny_sample_returns_p_one(self):
+        t = Table.from_columns({"x": [1.0, 2.0], "y": [2.0, 1.0]})
+        assert FisherZTest(t).test("x", "y", ()).p_value <= 1.0
+        # With z making dof <= 0:
+        t3 = Table.from_columns({"x": [1.0, 2.0, 3.0], "y": [1.0, 2.0, 3.0], "z": [0.0, 1.0, 0.5]})
+        assert FisherZTest(t3).test("x", "y", ["z"]).p_value == 1.0
+
+
+class TestOracle:
+    def test_oracle_matches_graph(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_directed_edge("a", "b")
+        g.add_directed_edge("b", "c")
+        oracle = OracleCITest(g)
+        assert not oracle.independent("a", "c")
+        assert oracle.independent("a", "c", ["b"])
+
+    def test_oracle_p_values_are_binary(self):
+        g = MixedGraph(["a", "b"])
+        oracle = OracleCITest(g)
+        assert oracle.test("a", "b").p_value == 1.0
+
+
+class TestCache:
+    def test_cache_hits_do_not_reach_inner(self):
+        t = sample_chain(500)
+        inner = ChiSquaredTest(t)
+        cached = CachedCITest(inner)
+        r1 = cached.test("X", "Y", ["M"])
+        r2 = cached.test("Y", "X", ["M"])  # symmetric: must hit
+        assert inner.calls == 1
+        assert cached.hits == 1
+        assert r1.p_value == r2.p_value
+
+    def test_clear(self):
+        t = sample_chain(500)
+        inner = ChiSquaredTest(t)
+        cached = CachedCITest(inner)
+        cached.independent("X", "Y")
+        cached.clear()
+        cached.independent("X", "Y")
+        assert inner.calls == 2

@@ -1,0 +1,157 @@
+"""Cross-module integration tests: theory ↔ data ↔ pipeline.
+
+These tests tie the paper's propositions to observable behaviour on
+sampled data, and run the full Fig. 3 pipeline against generators with
+known ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExplanationType, XInsight, translate_variable, XDASemantics
+from repro.data import Aggregate, Filter, Subspace, Table, WhyQuery
+from repro.datasets import generate_syn_b
+from repro.fd import holds
+from repro.graph import dag_from_parents
+from repro.independence import ChiSquaredTest
+
+
+class TestLemma831:
+    """Lemma 8.3.1: X --FD--> Y implies Y ̸⊥ X and Z ⫫ Y | X for any Z."""
+
+    def make(self, n=3000, seed=0) -> Table:
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 6, size=n)
+        y = x // 2  # deterministic function: X --FD--> Y
+        z = rng.integers(0, 3, size=n)
+        w = (x + rng.integers(0, 2, size=n)) % 6  # correlated with X
+        return Table.from_columns(
+            {
+                "X": [f"x{v}" for v in x],
+                "Y": [f"y{v}" for v in y],
+                "Z": [f"z{v}" for v in z],
+                "W": [f"w{v}" for v in w],
+            }
+        )
+
+    def test_fd_holds(self):
+        assert holds(self.make(), "X", "Y")
+
+    def test_y_dependent_on_x(self):
+        test = ChiSquaredTest(self.make())
+        assert not test.independent("X", "Y")
+
+    def test_any_z_independent_of_y_given_x(self):
+        t = self.make()
+        test = ChiSquaredTest(t, alpha=0.01)
+        # Both an unrelated Z and a correlated W: conditioning on X makes
+        # them independent of the FD child (the deterministic stratum
+        # degenerates — dof 0 — which the test reports as independence,
+        # exactly the faithfulness-violation mechanism of Ex. 3.1).
+        assert test.independent("Z", "Y", ["X"])
+        assert test.independent("W", "Y", ["X"])
+
+
+class TestPrincipleOfExplainability:
+    """Sec. 3.2: if X ⫫ M | F then Δ(D) ≈ Δ(D_{X=x}) under AVG."""
+
+    def make(self, n=60_000, seed=1):
+        rng = np.random.default_rng(seed)
+        f = rng.integers(0, 2, size=n)
+        x = rng.integers(0, 3, size=n)  # X ⫫ M | F (X ⫫ everything)
+        m = rng.normal(5.0, 1.0, size=n) + 2.0 * f
+        table = Table.from_columns(
+            {"F": [f"f{v}" for v in f], "X": [f"x{v}" for v in x], "M": m}
+        )
+        query = WhyQuery.create(
+            Subspace.of(F="f1"), Subspace.of(F="f0"), "M", Aggregate.AVG
+        )
+        return table, query
+
+    def test_enforcing_x_leaves_delta_unchanged(self):
+        table, query = self.make()
+        delta = query.delta(table)
+        for value in ("x0", "x1", "x2"):
+            enforced = Filter("X", value).mask(table)
+            assert query.delta(table, enforced) == pytest.approx(
+                delta, rel=0.05
+            )
+
+    def test_translator_prunes_the_separated_variable(self):
+        g = dag_from_parents({"M": ["F"], "X": []})
+        verdict = translate_variable(g, "X", "M", ["F"])
+        assert verdict.semantics is XDASemantics.NO_EXPLAINABILITY
+
+
+class TestPipelineOnSynB:
+    """Full Fig. 3 run against the SYN-B ground truth."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        case = generate_syn_b(n_rows=20_000, seed=13)
+        engine = XInsight(case.table, measure_bins=4).fit()
+        return engine, case
+
+    def test_graph_recovers_x_y_chain(self, fitted):
+        engine, _ = fitted
+        graph = engine.graph
+        assert graph.has_edge("X", "Y")
+        assert graph.has_edge("Y", engine.node_of("Z"))
+        assert not graph.has_edge("X", engine.node_of("Z"))
+
+    def test_y_not_pruned_but_unoriented(self, fitted):
+        # A 3-variable chain has no collider: the MEC leaves every endpoint
+        # a circle, so Table 3 cannot certify Y as causal — but rule ➀ must
+        # not prune it either.
+        engine, case = fitted
+        report = engine.explain(case.query)
+        assert report.translations["Y"].is_explainable
+
+    def test_explanation_matches_ground_truth(self, fitted):
+        engine, case = fitted
+        report = engine.explain(case.query)
+        y_expl = next(e for e in report.explanations if e.attribute == "Y")
+        assert case.f1_against_truth(y_expl.predicate) == 1.0
+
+    def test_background_knowledge_upgrades_y_to_causal(self):
+        """Sec. 5: domain knowledge resolves what observational data cannot
+        — orienting Y → Z makes Y a causal explanation."""
+        from repro.discovery import BackgroundKnowledge
+        from repro.core import xlearner
+
+        case = generate_syn_b(n_rows=20_000, seed=13)
+        engine = XInsight(case.table, measure_bins=4)
+        engine.fit()
+        oriented = xlearner(
+            engine.graph_table,
+            knowledge=BackgroundKnowledge.of(
+                required=[("Y", engine.node_of("Z")), ("X", "Y")]
+            ),
+        )
+        engine._learner = oriented
+        report = engine.explain(case.query)
+        assert report.translations["Y"].is_causal
+        y_expl = next(e for e in report.explanations if e.attribute == "Y")
+        assert y_expl.type is ExplanationType.CAUSAL
+        assert case.f1_against_truth(y_expl.predicate) == 1.0
+
+    def test_contingency_is_complementary(self, fitted):
+        engine, case = fitted
+        report = engine.explain(case.query)
+        y_expl = next(e for e in report.explanations if e.attribute == "Y")
+        if y_expl.contingency is not None:
+            assert not (y_expl.contingency.values & y_expl.predicate.values)
+
+
+class TestOfflineOnlineSplit:
+    def test_online_phase_is_fast(self):
+        """Fig. 3's point: repeated queries reuse the offline artifacts."""
+        import time
+
+        case = generate_syn_b(n_rows=20_000, seed=14)
+        engine = XInsight(case.table, measure_bins=4).fit()
+        start = time.perf_counter()
+        for _ in range(5):
+            engine.explain(case.query)
+        per_query = (time.perf_counter() - start) / 5
+        assert per_query < 0.5

@@ -1,0 +1,197 @@
+"""Direct unit tests of the FCI orientation rules (Alg. 4 / Zhang 2008).
+
+Each rule gets a minimal crafted graph where exactly that rule must fire,
+plus a negative control where its side condition blocks it.
+"""
+
+import pytest
+
+from repro.discovery.orientation import (
+    _rule1,
+    _rule2,
+    _rule3,
+    _rule4,
+    _rule8,
+    _rule9,
+    apply_fci_rules,
+)
+from repro.discovery.skeleton import SepsetMap
+from repro.graph import Endpoint, MixedGraph
+
+A, T, C = Endpoint.ARROW, Endpoint.TAIL, Endpoint.CIRCLE
+
+
+class TestRule1:
+    def make(self):
+        # a *-> b o-o c, a and c non-adjacent.
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", C, A)
+        g.add_edge("b", "c", C, C)
+        return g
+
+    def test_fires(self):
+        g = self.make()
+        assert _rule1(g)
+        assert g.is_parent("b", "c")
+
+    def test_blocked_when_shielded(self):
+        g = self.make()
+        g.add_edge("a", "c", C, C)
+        assert not _rule1(g)
+
+    def test_blocked_without_arrowhead_at_b(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", C, C)
+        g.add_edge("b", "c", C, C)
+        assert not _rule1(g)
+
+
+class TestRule2:
+    def test_fires_on_first_chain_form(self):
+        # a -> b *-> c with a *-o c  =>  a *-> c.
+        g = MixedGraph(["a", "b", "c"])
+        g.add_directed_edge("a", "b")
+        g.add_edge("b", "c", C, A)
+        g.add_edge("a", "c", C, C)
+        assert _rule2(g)
+        assert g.mark("a", "c") is A
+
+    def test_fires_on_second_chain_form(self):
+        # a *-> b -> c with a *-o c.
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", C, A)
+        g.add_directed_edge("b", "c")
+        g.add_edge("a", "c", C, C)
+        assert _rule2(g)
+        assert g.mark("a", "c") is A
+
+    def test_blocked_without_chain(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", C, A)
+        g.add_edge("b", "c", C, A)  # b is not a parent on either edge
+        g.add_edge("a", "c", C, C)
+        assert not _rule2(g)
+
+
+class TestRule3:
+    def test_fires(self):
+        # a *-> b <-* c (collider), a *-o d o-* c, a,c non-adjacent, d *-o b.
+        g = MixedGraph(["a", "b", "c", "d"])
+        g.add_edge("a", "b", C, A)
+        g.add_edge("c", "b", C, A)
+        g.add_edge("a", "d", C, C)
+        g.add_edge("c", "d", C, C)
+        g.add_edge("d", "b", C, C)
+        assert _rule3(g)
+        assert g.mark("d", "b") is A
+
+    def test_blocked_when_a_c_adjacent(self):
+        g = MixedGraph(["a", "b", "c", "d"])
+        g.add_edge("a", "b", C, A)
+        g.add_edge("c", "b", C, A)
+        g.add_edge("a", "d", C, C)
+        g.add_edge("c", "d", C, C)
+        g.add_edge("d", "b", C, C)
+        g.add_edge("a", "c", C, C)
+        assert not _rule3(g)
+
+
+class TestRule4:
+    def make(self, beta_in_sepset: bool):
+        # Discriminating path (theta, alpha, beta, gamma):
+        # theta *-> alpha <-* beta, alpha -> gamma, beta o-* gamma,
+        # theta, gamma non-adjacent.
+        g = MixedGraph(["theta", "alpha", "beta", "gamma"])
+        g.add_edge("theta", "alpha", C, A)
+        g.add_edge("beta", "alpha", C, A)
+        g.add_directed_edge("alpha", "gamma")
+        g.add_edge("beta", "gamma", C, C)  # circle at beta: R4 target
+        sepsets = SepsetMap()
+        sepsets.record(
+            "theta", "gamma", {"beta"} if beta_in_sepset else set()
+        )
+        return g, sepsets
+
+    def test_orients_directed_when_beta_in_sepset(self):
+        g, sepsets = self.make(beta_in_sepset=True)
+        assert _rule4(g, sepsets)
+        assert g.is_parent("beta", "gamma")
+
+    def test_orients_bidirected_when_beta_not_in_sepset(self):
+        g, sepsets = self.make(beta_in_sepset=False)
+        assert _rule4(g, sepsets)
+        assert g.is_bidirected("alpha", "beta")
+        assert g.is_bidirected("beta", "gamma")
+
+    def test_blocked_without_discriminating_path(self):
+        g = MixedGraph(["beta", "gamma"])
+        g.add_edge("beta", "gamma", C, C)
+        assert not _rule4(g, SepsetMap())
+
+
+class TestRule8:
+    def test_fires_on_directed_chain(self):
+        # a -> b -> c and a o-> c  =>  a -> c.
+        g = MixedGraph(["a", "b", "c"])
+        g.add_directed_edge("a", "b")
+        g.add_directed_edge("b", "c")
+        g.add_edge("a", "c", C, A)  # a o-> c
+        assert _rule8(g)
+        assert g.is_parent("a", "c")
+
+    def test_blocked_without_chain(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", C, A)
+        g.add_directed_edge("b", "c")
+        g.add_edge("a", "c", C, A)
+        assert not _rule8(g)
+
+
+class TestRule9:
+    def test_fires_on_uncovered_pd_path(self):
+        # a o-> d plus uncovered p.d. path a o-o b o-o c o-o d with b,d
+        # non-adjacent  =>  a -> d.
+        g = MixedGraph(["a", "b", "c", "d"])
+        g.add_edge("a", "d", C, A)
+        g.add_edge("a", "b", C, C)
+        g.add_edge("b", "c", C, C)
+        g.add_edge("c", "d", C, C)
+        assert _rule9(g)
+        assert g.is_parent("a", "d")
+
+    def test_blocked_when_second_node_adjacent_to_target(self):
+        g = MixedGraph(["a", "b", "d"])
+        g.add_edge("a", "d", C, A)
+        g.add_edge("a", "b", C, C)
+        g.add_edge("b", "d", C, C)  # b adjacent to d: covered
+        assert not _rule9(g)
+
+
+class TestRuleInteraction:
+    def test_marks_never_flip_between_arrow_and_tail(self):
+        """Soundness invariant: once a rule sets a non-circle mark, later
+        rules may never overwrite it with the opposite mark."""
+        g = MixedGraph(["a", "b", "c", "d"])
+        g.add_edge("a", "b", C, A)
+        g.add_edge("b", "c", C, C)
+        g.add_edge("c", "d", C, C)
+        g.add_edge("a", "d", C, C)
+        sepsets = SepsetMap()
+        snapshots = {}
+        for u, v, mark_u, mark_v in g.edges():
+            snapshots[(u, v)] = mark_v
+            snapshots[(v, u)] = mark_u
+        apply_fci_rules(g, sepsets)
+        for (u, v), before in snapshots.items():
+            after = g.mark(u, v)
+            if before is not C:
+                assert after is before
+
+    def test_fixpoint_is_stable(self):
+        g = MixedGraph(["a", "b", "c"])
+        g.add_edge("a", "b", C, A)
+        g.add_edge("b", "c", C, C)
+        apply_fci_rules(g, SepsetMap())
+        snapshot = g.copy()
+        apply_fci_rules(g, SepsetMap())
+        assert g == snapshot

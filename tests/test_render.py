@@ -1,0 +1,68 @@
+"""Tests for graph rendering (edge lists, DOT, adjacency text)."""
+
+from repro.graph import Endpoint, MixedGraph, adjacency_text, edge_list, to_dot, to_text
+from repro.graph.dag import dag_from_parents
+
+
+def sample() -> MixedGraph:
+    g = MixedGraph(["a", "b", "c"])
+    g.add_directed_edge("a", "b")
+    g.add_edge("b", "c", Endpoint.CIRCLE, Endpoint.ARROW)  # b o-> c
+    return g
+
+
+class TestEdgeList:
+    def test_sorted_and_canonical(self):
+        lines = edge_list(sample())
+        assert lines == ["a --> b", "b o-> c"]
+
+    def test_orientation_preserved_regardless_of_node_order(self):
+        g = MixedGraph(["z", "a"])
+        g.add_directed_edge("z", "a")
+        assert edge_list(g) == ["a <-- z"]
+
+    def test_empty_graph(self):
+        assert edge_list(MixedGraph(["x"])) == []
+
+
+class TestToText:
+    def test_contains_title_nodes_and_edges(self):
+        text = to_text(sample(), title="demo")
+        assert text.startswith("demo")
+        assert "nodes: a, b, c" in text
+        assert "a --> b" in text
+
+    def test_no_edges_marker(self):
+        assert "(no edges)" in to_text(MixedGraph(["x"]))
+
+
+class TestToDot:
+    def test_dot_structure(self):
+        dot = to_dot(sample(), name="g1")
+        assert dot.startswith("digraph g1 {")
+        assert dot.endswith("}")
+        assert '"a" -> "b" [arrowtail=none, arrowhead=normal];' in dot
+
+    def test_circle_marks_render_as_odot(self):
+        dot = to_dot(sample())
+        assert "arrowtail=odot" in dot
+
+    def test_all_nodes_declared(self):
+        dot = to_dot(sample())
+        for node in ("a", "b", "c"):
+            assert f'"{node}";' in dot
+
+
+class TestAdjacencyText:
+    def test_marks_visible(self):
+        text = adjacency_text(sample())
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        # Row a, column b: mark at b on edge a-b is '>'.
+        row_a = lines[1]
+        assert ">" in row_a
+
+    def test_non_adjacent_cells_are_dots(self):
+        g = dag_from_parents({"b": ["a"], "c": []})
+        text = adjacency_text(g)
+        assert "." in text

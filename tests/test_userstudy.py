@@ -1,0 +1,100 @@
+"""Tests for the simulated user-study harness (Tables 5 and 7 protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CausalRole, Explanation, ExplanationType
+from repro.data import Predicate
+from repro.datasets import web_truth_graph
+from repro.userstudy import (
+    ClaimVerdict,
+    claim_assessment,
+    explanation_assessment,
+    recruit_experts,
+)
+
+
+def make_explanation(attribute, kind=ExplanationType.CAUSAL, responsibility=0.8):
+    return Explanation(
+        type=kind,
+        predicate=Predicate.of(attribute, ["1"]),
+        responsibility=responsibility,
+        attribute=attribute,
+        role=CausalRole.PARENT,
+    )
+
+
+@pytest.fixture()
+def experts():
+    return recruit_experts(web_truth_graph(), n_experts=6, seed=0)
+
+
+class TestSimulatedExpert:
+    def test_true_causal_explanation_scores_high(self, experts):
+        e = make_explanation("SpamContent")
+        scores = [x.score_explanation(e, "IsBlocked") for x in experts]
+        assert np.mean(scores) >= 3.0
+
+    def test_false_causal_claim_scores_low(self, experts):
+        e = make_explanation("Behaviour00")  # independent noise column
+        scores = [x.score_explanation(e, "IsBlocked") for x in experts]
+        assert np.mean(scores) <= 3.0
+
+    def test_honest_non_causal_scores_well(self, experts):
+        e = make_explanation("Behaviour00", kind=ExplanationType.NON_CAUSAL)
+        scores = [x.score_explanation(e, "IsBlocked") for x in experts]
+        assert np.mean(scores) >= 3.0
+
+    def test_scores_clipped_to_range(self, experts):
+        e = make_explanation("SpamContent", responsibility=1.0)
+        for expert in experts:
+            assert 0 <= expert.score_explanation(e, "IsBlocked") <= 5
+
+    def test_claim_assessment_mostly_reasonable_on_truth(self, experts):
+        verdicts = [x.assess_claim("SpamContent", "IsBlocked") for x in experts]
+        n_reasonable = sum(v is ClaimVerdict.REASONABLE for v in verdicts)
+        assert n_reasonable >= 4
+
+    def test_false_claims_rejected(self, experts):
+        verdicts = [x.assess_claim("Behaviour00", "IsBlocked") for x in experts]
+        n_not_reasonable = sum(v is ClaimVerdict.NOT_REASONABLE for v in verdicts)
+        assert n_not_reasonable >= 3
+
+
+class TestExplanationAssessment:
+    def test_table5_shape(self, experts):
+        items = [
+            (make_explanation("SpamContent"), "IsBlocked"),
+            (make_explanation("ConfigChanges"), "IsBlocked"),
+            (make_explanation("MassMessaging"), "IsBlocked"),
+            (make_explanation("AbuseReports"), "IsBlocked"),
+        ]
+        table5 = explanation_assessment(items, experts)
+        assert table5.scores.shape == (6, 4)
+        assert table5.means.shape == (4,)
+        assert table5.positive_fraction > 0.7
+
+    def test_to_rows_includes_mean_and_std(self, experts):
+        items = [(make_explanation("SpamContent"), "IsBlocked")]
+        rows = explanation_assessment(items, experts).to_rows()
+        assert rows[-2][0] == "mean"
+        assert rows[-1][0] == "std"
+        assert len(rows) == 1 + 6 + 2  # header + experts + mean + std
+
+
+class TestClaimAssessment:
+    def test_table7_shape_and_majority(self, experts):
+        truth = web_truth_graph()
+        claims = [(p, "IsBlocked") for p in truth.parents("IsBlocked")]
+        claims += [("NewAccount", "IsBlocked"), ("ScriptedClient", "IsBlocked")]
+        table7 = claim_assessment(claims, experts)
+        assert table7.total_responses == 6 * len(claims)
+        # The paper: 83.3% reasonable, 6.3% not reasonable on true claims.
+        assert table7.reasonable_fraction > 0.6
+        assert table7.not_reasonable_fraction < 0.3
+
+    def test_to_rows(self, experts):
+        table7 = claim_assessment([("SpamContent", "IsBlocked")], experts)
+        rows = table7.to_rows()
+        assert rows[1][0] == "# Reasonable"
+        assert len(rows) == 4

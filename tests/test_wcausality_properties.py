@@ -1,0 +1,104 @@
+"""Property-based tests pinning the W-causality definitions (Defs. 3.4–3.5).
+
+These run the exact brute-force machinery on random small datasets and
+check the definitional invariants directly — independent of any search
+heuristic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.xplainer import brute_force_search, exact_responsibility
+from repro.data import Aggregate, AttributeProfile, Subspace, Table, WhyQuery
+
+
+@st.composite
+def random_profile(draw):
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    m = draw(st.integers(min_value=2, max_value=5))
+    agg = draw(st.sampled_from([Aggregate.SUM, Aggregate.AVG]))
+    rng = np.random.default_rng(seed)
+    n = 300
+    f = rng.integers(0, 2, size=n)
+    y = rng.integers(0, m, size=n)
+    shift = rng.uniform(0.0, 5.0, size=m)
+    z = rng.normal(4.0, 1.0, size=n) + shift[y] * (f == 1)
+    table = Table.from_columns(
+        {"F": [f"f{v}" for v in f], "Y": [f"y{v}" for v in y], "Z": z}
+    )
+    query = WhyQuery.create(
+        Subspace.of(F="f1"), Subspace.of(F="f0"), "Z", agg
+    ).oriented(table)
+    profile = AttributeProfile.build(table, query, "Y")
+    delta = profile.delta_full()
+    return profile, delta
+
+
+@given(random_profile())
+@settings(max_examples=40, deadline=None)
+def test_responsibility_in_unit_interval(case):
+    """Def. 3.5: ρ ∈ {0} ∪ (0, 1]."""
+    profile, delta = case
+    if delta <= 0:
+        return
+    epsilon = 0.1 * delta
+    m = profile.n_filters
+    for bits in range(1, 1 << m):
+        selected = np.array([(bits >> i) & 1 == 1 for i in range(m)], dtype=bool)
+        rho, gamma = exact_responsibility(profile, selected, epsilon)
+        assert 0.0 <= rho <= 1.0
+        if rho == 1.0:
+            assert gamma is not None
+
+
+@given(random_profile())
+@settings(max_examples=40, deadline=None)
+def test_counterfactual_iff_rho_one_with_empty_gamma(case):
+    """Def. 3.4: P is counterfactual iff Δ(D−D_P) ≤ ε — equivalently the
+    empty contingency is valid, giving |Γ|_W = 0 and ρ = 1."""
+    profile, delta = case
+    if delta <= 0:
+        return
+    epsilon = 0.1 * delta
+    m = profile.n_filters
+    for bits in range(1, (1 << m) - 1):
+        selected = np.array([(bits >> i) & 1 == 1 for i in range(m)], dtype=bool)
+        counterfactual = profile.delta_without(selected) <= epsilon
+        rho, gamma = exact_responsibility(profile, selected, epsilon)
+        if counterfactual:
+            assert rho == 1.0
+            assert gamma is not None and gamma.size == 0
+
+
+@given(random_profile())
+@settings(max_examples=30, deadline=None)
+def test_brute_force_optimum_is_an_actual_cause(case):
+    """The returned optimum must itself satisfy Def. 3.4."""
+    profile, delta = case
+    if delta <= 0:
+        return
+    epsilon = 0.1 * delta
+    sigma = 1.0 / profile.n_filters
+    best = brute_force_search(profile, epsilon, sigma)
+    if best is None:
+        return
+    selected = profile.selection_of(best.predicate)
+    rho, _ = exact_responsibility(profile, selected, epsilon)
+    assert rho > 0.0
+    assert best.responsibility == pytest.approx(rho)
+
+
+@given(random_profile())
+@settings(max_examples=30, deadline=None)
+def test_contingency_disjoint_from_predicate(case):
+    """Def. 3.4 side condition: P ∩ Γ = ∅."""
+    profile, delta = case
+    if delta <= 0:
+        return
+    epsilon = 0.1 * delta
+    best = brute_force_search(profile, epsilon, 1.0 / profile.n_filters)
+    if best is None or best.contingency is None:
+        return
+    assert not (best.predicate.values & best.contingency.values)
