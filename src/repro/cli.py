@@ -78,12 +78,11 @@ def cmd_discover(args: argparse.Namespace) -> int:
 
         graph = fci_from_table(table, alpha=args.alpha, max_depth=args.max_depth).pag
     else:
-        from repro.discovery.pc import pc
-        from repro.independence.cache import CachedCITest
-        from repro.independence.contingency import ChiSquaredTest
+        from repro.discovery.pc import pc_from_table
 
-        ci = CachedCITest(ChiSquaredTest(table, alpha=args.alpha))
-        graph = pc(table.dimensions, ci, max_depth=args.max_depth).cpdag
+        graph = pc_from_table(
+            table, alpha=args.alpha, max_depth=args.max_depth
+        ).cpdag
     for line in edge_list(graph):
         print(line)
     return 0

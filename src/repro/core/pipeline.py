@@ -61,6 +61,7 @@ class XInsight:
     _graph_table: Table | None = None
     _aliases: dict[str, str] = field(default_factory=dict)
     _learner: XLearnerResult | None = None
+    _ci_test: CITest | None = None
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -83,6 +84,13 @@ class XInsight:
             columns = graph_table.dimensions
         self._graph_table = graph_table
         self._aliases = aliases
+        if ci_test is None:
+            # One columnar encoding + strata cache shared by every CI probe
+            # of the offline phase (see repro.independence.engine).
+            from repro.discovery.fci import default_ci_test
+
+            ci_test = default_ci_test(graph_table, alpha=self.alpha)
+        self._ci_test = ci_test
         self._learner = xlearner(
             graph_table,
             columns=columns,
@@ -98,6 +106,11 @@ class XInsight:
         if self._learner is None:
             raise QueryError("call fit() before querying (offline phase missing)")
         return self._learner
+
+    @property
+    def ci_test(self) -> CITest | None:
+        """The CI test the offline phase ran with (None before ``fit``)."""
+        return self._ci_test
 
     @property
     def graph_table(self) -> Table:

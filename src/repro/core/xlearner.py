@@ -22,14 +22,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.data.table import Table
-from repro.discovery.fci import FCIResult, fci
+from repro.discovery.fci import FCIResult, default_ci_test, fci
 from repro.errors import DiscoveryError
 from repro.fd.graph import FDGraph, fd_graph_from_table
 from repro.graph.dag import depths
 from repro.graph.mixed_graph import MixedGraph
 from repro.independence.base import CITest
-from repro.independence.cache import CachedCITest
-from repro.independence.contingency import ChiSquaredTest
 
 
 @dataclass
@@ -106,7 +104,10 @@ def xlearner(
     if fd_graph is None:
         fd_graph = fd_graph_from_table(table, columns, tolerance=fd_tolerance)
     if ci_test is None:
-        ci_test = CachedCITest(ChiSquaredTest(table, alpha=alpha))
+        # The vectorized columnar engine: skeleton learning batches its
+        # probes through it depth by depth (parity with the per-stratum
+        # χ² baseline is enforced by tests/test_ci_engine.py).
+        ci_test = default_ci_test(table, alpha=alpha)
 
     cardinality = {c: table.cardinality(c) for c in columns if c in table.dimensions}
 

@@ -1,10 +1,16 @@
 """Constraint-based causal discovery substrate (PC, FCI, discrete ANM)."""
 
 from repro.discovery.anm import AnmDirection, AnmResult, anm_direction, fd_implies_forward_anm
-from repro.discovery.fci import FCIResult, fci, fci_from_table, possible_d_sep
+from repro.discovery.fci import (
+    FCIResult,
+    default_ci_test,
+    fci,
+    fci_from_table,
+    possible_d_sep,
+)
 from repro.discovery.knowledge import BackgroundKnowledge, apply_background_knowledge
 from repro.discovery.orientation import apply_fci_rules
-from repro.discovery.pc import PCResult, pc
+from repro.discovery.pc import PCResult, pc, pc_from_table
 from repro.discovery.skeleton import (
     SepsetMap,
     SkeletonResult,
@@ -23,11 +29,13 @@ __all__ = [
     "SkeletonResult",
     "anm_direction",
     "apply_fci_rules",
+    "default_ci_test",
     "fci",
     "fci_from_table",
     "fd_implies_forward_anm",
     "learn_skeleton",
     "orient_colliders",
     "pc",
+    "pc_from_table",
     "possible_d_sep",
 ]

@@ -130,21 +130,39 @@ def fci(
     return FCIResult(graph, sepsets, ci_test.calls - start_calls)
 
 
+def default_ci_test(table, alpha: float = 0.05, vectorized: bool = True) -> CITest:
+    """The default discovery CI test for a Table: cached χ².
+
+    ``vectorized=True`` (the default) uses the batched columnar engine of
+    :mod:`repro.independence.engine`, which skeleton learning drives with
+    per-depth probe batches; ``vectorized=False`` selects the per-stratum
+    baseline (kept for parity testing and benchmarking).
+    """
+    from repro.independence.cache import CachedCITest
+
+    if vectorized:
+        from repro.independence.engine import VectorizedChiSquaredTest
+
+        return CachedCITest(VectorizedChiSquaredTest(table, alpha=alpha))
+    from repro.independence.contingency import ChiSquaredTest
+
+    return CachedCITest(ChiSquaredTest(table, alpha=alpha))
+
+
 def fci_from_table(
     table,
     ci_test_factory=None,
     alpha: float = 0.05,
     columns: Sequence[str] | None = None,
+    vectorized: bool = True,
     **kwargs,
 ) -> FCIResult:
-    """Convenience entry point: FCI on a Table with a χ² test by default."""
-    from repro.independence.cache import CachedCITest
-    from repro.independence.contingency import ChiSquaredTest
-
+    """Convenience entry point: FCI on a Table with a cached χ² test
+    (vectorized engine by default)."""
     if columns is None:
         columns = table.dimensions
     if ci_test_factory is None:
-        ci_test = CachedCITest(ChiSquaredTest(table, alpha=alpha))
+        ci_test = default_ci_test(table, alpha=alpha, vectorized=vectorized)
     else:
         ci_test = ci_test_factory(table)
     return fci(tuple(columns), ci_test, **kwargs)

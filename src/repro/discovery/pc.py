@@ -73,6 +73,23 @@ def _meek_fires(g: MixedGraph, b: Node, c: Node) -> bool:
     return False
 
 
+def pc_from_table(
+    table,
+    alpha: float = 0.05,
+    columns: Sequence[str] | None = None,
+    vectorized: bool = True,
+    **kwargs,
+) -> PCResult:
+    """Convenience entry point: PC on a Table with a cached χ² test
+    (vectorized engine by default), mirroring ``fci_from_table``."""
+    from repro.discovery.fci import default_ci_test
+
+    if columns is None:
+        columns = table.dimensions
+    ci_test = default_ci_test(table, alpha=alpha, vectorized=vectorized)
+    return pc(tuple(columns), ci_test, **kwargs)
+
+
 def pc(
     nodes: Sequence[Node],
     ci_test: CITest,

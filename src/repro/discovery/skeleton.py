@@ -4,13 +4,27 @@ Implements the PC-stable variant (neighbor sets frozen per depth) so the
 output is independent of node iteration order, then returns the undirected
 skeleton (as circle-circle edges) together with the separating sets that
 the orientation phases (R0/R4) consume.
+
+Probing comes in two flavors with identical output:
+
+* **Sequential** — the classic inner loop: probe subsets one at a time and
+  stop at the first independence (used for tests without native batching,
+  e.g. the m-separation oracle).
+* **Batched** — all candidate ``(x, y | Z)`` probes of a depth level are
+  emitted as one batch to a vectorized engine
+  (:class:`~repro.independence.engine.BatchCITester`, usually behind a
+  :class:`~repro.independence.cache.CachedCITest`), then the PC-stable
+  visit order is replayed over the precomputed verdicts.  Because CI tests
+  are pure, evaluating probes past the first independence cannot change
+  which edge is removed or which sepset is recorded — the skeleton and
+  SepsetMap are byte-identical to the sequential path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from repro.graph.endpoints import Endpoint
 from repro.graph.mixed_graph import MixedGraph
@@ -39,6 +53,10 @@ class SepsetMap:
         z = self.get(x, y)
         return z is not None and member in z
 
+    def items(self) -> Iterator[tuple[frozenset, set[Node]]]:
+        """Iterate (unordered pair, separating set) — parity/inspection hook."""
+        return iter(self._sets.items())
+
     def __len__(self) -> int:
         return len(self._sets)
 
@@ -52,10 +70,31 @@ class SkeletonResult:
     tests_run: int
 
 
+def _depth_visits(
+    nodes: Sequence[Node],
+    frozen_neighbors: dict[Node, set[Node]],
+    depth: int,
+) -> tuple[list[tuple[Node, Node, tuple[tuple[Node, ...], ...]]], bool]:
+    """Ordered (x, y, candidate subsets) visits of one PC-stable depth."""
+    visits: list[tuple[Node, Node, tuple[tuple[Node, ...], ...]]] = []
+    any_candidate = False
+    for x in nodes:
+        for y in frozen_neighbors[x]:
+            pool = frozen_neighbors[x] - {y}
+            if len(pool) < depth:
+                continue
+            any_candidate = True
+            visits.append(
+                (x, y, tuple(combinations(sorted(pool, key=repr), depth)))
+            )
+    return visits, any_candidate
+
+
 def learn_skeleton(
     nodes: Sequence[Node],
     ci_test: CITest,
     max_depth: int | None = None,
+    batch: bool | None = None,
 ) -> SkeletonResult:
     """FCI-SL lines 1–8 (Alg. 3): depth-wise edge removal.
 
@@ -63,12 +102,19 @@ def learn_skeleton(
     ordered pair (X, Y) is probed with all size-``d`` subsets of
     Neighbor(X)\\{Y}; the edge is deleted on the first independence found,
     and the subset recorded as Sepset(X, Y).
+
+    ``batch=None`` (the default) selects per-depth batched probing exactly
+    when ``ci_test.supports_batch`` is true; pass True/False to force a
+    strategy.  Both strategies produce identical skeletons and sepsets
+    (only ``tests_run`` can differ, since the batch path evaluates a pair's
+    whole candidate list up front).
     """
     graph = MixedGraph(nodes)
     for x, y in combinations(nodes, 2):
         graph.add_edge(x, y, Endpoint.CIRCLE, Endpoint.CIRCLE)
     sepsets = SepsetMap()
     start_calls = ci_test.calls
+    use_batch = getattr(ci_test, "supports_batch", False) if batch is None else batch
 
     depth = 0
     while True:
@@ -76,23 +122,37 @@ def learn_skeleton(
             break
         # PC-stable: freeze the adjacency structure for this depth.
         frozen_neighbors = {node: set(graph.neighbors(node)) for node in nodes}
-        any_candidate = False
+        visits, any_candidate = _depth_visits(nodes, frozen_neighbors, depth)
         to_remove: list[tuple[Node, Node, set[Node]]] = []
         removed_pairs: set[frozenset] = set()
-        for x in nodes:
-            for y in frozen_neighbors[x]:
-                pool = frozen_neighbors[x] - {y}
-                if len(pool) < depth:
-                    continue
-                any_candidate = True
+
+        if use_batch:
+            probes = [
+                (x, y, subset) for x, y, subsets in visits for subset in subsets
+            ]
+            results = ci_test.test_batch(probes)
+            verdicts = [r.independent(ci_test.alpha) for r in results]
+            offset = 0
+            for x, y, subsets in visits:
+                pair = frozenset((x, y))
+                if pair not in removed_pairs:
+                    for k, subset in enumerate(subsets):
+                        if verdicts[offset + k]:
+                            to_remove.append((x, y, set(subset)))
+                            removed_pairs.add(pair)
+                            break
+                offset += len(subsets)
+        else:
+            for x, y, subsets in visits:
                 pair = frozenset((x, y))
                 if pair in removed_pairs:
                     continue
-                for subset in combinations(sorted(pool, key=repr), depth):
+                for subset in subsets:
                     if ci_test.independent(x, y, subset):
                         to_remove.append((x, y, set(subset)))
                         removed_pairs.add(pair)
                         break
+
         for x, y, z in to_remove:
             if graph.has_edge(x, y):
                 graph.remove_edge(x, y)

@@ -3,17 +3,27 @@
 from repro.independence.base import CITest, CITestResult
 from repro.independence.cache import CachedCITest
 from repro.independence.contingency import ChiSquaredTest, GTest
+from repro.independence.engine import (
+    BatchCITester,
+    EncodedDataset,
+    VectorizedChiSquaredTest,
+    VectorizedGTest,
+)
 from repro.independence.fisher_z import FisherZTest
 from repro.independence.oracle import OracleCITest
 from repro.independence.permutation import PermutationCITest
 
 __all__ = [
+    "BatchCITester",
     "CITest",
     "CITestResult",
     "CachedCITest",
     "ChiSquaredTest",
+    "EncodedDataset",
     "FisherZTest",
     "GTest",
     "OracleCITest",
     "PermutationCITest",
+    "VectorizedChiSquaredTest",
+    "VectorizedGTest",
 ]

@@ -34,6 +34,10 @@ class CITestResult:
 class CITest(abc.ABC):
     """A conditional-independence decision procedure bound to one dataset."""
 
+    supports_batch = False
+    """True when ``test_batch`` is natively vectorized (not a per-probe
+    loop); batch-aware callers like skeleton learning key off this."""
+
     def __init__(self, alpha: float = 0.05) -> None:
         if not 0 < alpha < 1:
             raise ValueError(f"alpha must be in (0, 1), got {alpha}")
@@ -43,6 +47,12 @@ class CITest(abc.ABC):
     @abc.abstractmethod
     def test(self, x: Var, y: Var, z: Iterable[Var] = ()) -> CITestResult:
         """Run the test and return the full result."""
+
+    def test_batch(
+        self, probes: Iterable[tuple[Var, Var, Iterable[Var]]]
+    ) -> list["CITestResult"]:
+        """Evaluate many probes; the default simply loops :meth:`test`."""
+        return [self.test(x, y, z) for x, y, z in probes]
 
     def independent(self, x: Var, y: Var, z: Iterable[Var] = ()) -> bool:
         """Convenience wrapper: the boolean CI decision at ``self.alpha``."""

@@ -8,6 +8,7 @@ Possible-D-SEP phase).
 
 import numpy as np
 import pytest
+from conftest import random_parent_map
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -94,11 +95,7 @@ class TestPossibleDSep:
 def _random_projected_mag(seed: int, n_total: int, n_latent: int):
     rng = np.random.default_rng(seed)
     names = [f"v{i}" for i in range(n_total)]
-    parent_map = {
-        names[j]: [names[i] for i in range(j) if rng.random() < 0.4]
-        for j in range(n_total)
-    }
-    dag = dag_from_parents(parent_map)
+    dag = dag_from_parents(random_parent_map(rng, n_total, 0.4))
     latent = set(rng.choice(names, size=n_latent, replace=False).tolist())
     observed = [v for v in names if v not in latent]
     return latent_projection(dag, observed), observed
@@ -129,11 +126,7 @@ def test_fci_oracle_on_full_dags_recovers_cpdag_arrows(seed):
     """Without latents, PAG arrowheads must agree with the DAG."""
     rng = np.random.default_rng(seed)
     names = [f"v{i}" for i in range(5)]
-    parent_map = {
-        names[j]: [names[i] for i in range(j) if rng.random() < 0.45]
-        for j in range(5)
-    }
-    dag = dag_from_parents(parent_map)
+    dag = dag_from_parents(random_parent_map(rng, 5, 0.45))
     res = fci(tuple(names), OracleCITest(dag), max_dsep_size=None)
     assert res.pag.same_adjacencies(dag)
     assert endpoint_scores(res.pag, dag).precision == 1.0

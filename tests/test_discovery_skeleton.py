@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from conftest import oracle_for, random_parent_map
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,10 +10,6 @@ from repro.discovery import learn_skeleton, orient_colliders, pc
 from repro.graph import Endpoint, MixedGraph, dag_from_parents
 from repro.graph.paths import unshielded_triples
 from repro.independence import OracleCITest
-
-
-def oracle_for(parent_map):
-    return OracleCITest(dag_from_parents(parent_map))
 
 
 class TestLearnSkeleton:
@@ -72,14 +69,6 @@ class TestOrientColliders:
         assert result.graph.is_parent("b", "c")
 
 
-def _random_dag_map(rng, n, p):
-    names = [f"v{i}" for i in range(n)]
-    return {
-        names[j]: [names[i] for i in range(j) if rng.random() < p]
-        for j in range(n)
-    }
-
-
 class TestPC:
     def test_collider_fully_oriented(self):
         res = pc(("a", "b", "c"), oracle_for({"c": ["a", "b"]}))
@@ -106,7 +95,7 @@ class TestPC:
         """With an oracle: skeleton exact; directed edges match the DAG;
         every v-structure of the DAG is recovered."""
         rng = np.random.default_rng(seed)
-        dag = dag_from_parents(_random_dag_map(rng, n, 0.4))
+        dag = dag_from_parents(random_parent_map(rng, n, 0.4))
         res = pc(tuple(dag.nodes), OracleCITest(dag))
         cpdag = res.cpdag
         assert cpdag.same_adjacencies(dag)

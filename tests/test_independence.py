@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from conftest import make_chain_table
 
 from repro.data import Table
 from repro.graph import MixedGraph
@@ -14,35 +15,15 @@ from repro.independence import (
 )
 
 
-def sample_chain(n=4000, seed=0) -> Table:
-    """X -> M -> Y chain of binary variables with strong dependence."""
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, 2, size=n)
-    m = np.where(rng.random(n) < 0.9, x, 1 - x)
-    y = np.where(rng.random(n) < 0.9, m, 1 - m)
-    w = rng.integers(0, 2, size=n)  # independent noise column
-    return Table.from_columns(
-        {
-            "X": [str(v) for v in x],
-            "M": [str(v) for v in m],
-            "Y": [str(v) for v in y],
-            "W": [str(v) for v in w],
-        }
-    )
-
-
 class TestChiSquared:
-    def test_dependent_pair_rejected(self):
-        t = sample_chain()
-        assert not ChiSquaredTest(t).independent("X", "M")
+    def test_dependent_pair_rejected(self, chain_table):
+        assert not ChiSquaredTest(chain_table).independent("X", "M")
 
-    def test_independent_pair_accepted(self):
-        t = sample_chain()
-        assert ChiSquaredTest(t, alpha=0.01).independent("X", "W")
+    def test_independent_pair_accepted(self, chain_table):
+        assert ChiSquaredTest(chain_table, alpha=0.01).independent("X", "W")
 
-    def test_conditional_independence_of_chain(self):
-        t = sample_chain()
-        test = ChiSquaredTest(t, alpha=0.01)
+    def test_conditional_independence_of_chain(self, chain_table):
+        test = ChiSquaredTest(chain_table, alpha=0.01)
         assert test.independent("X", "Y", ["M"])
         assert not test.independent("X", "Y")
 
@@ -61,12 +42,12 @@ class TestChiSquared:
         assert result.dof == 0
 
     def test_result_records_inputs(self):
-        t = sample_chain(200)
+        t = make_chain_table(200)
         r = ChiSquaredTest(t).test("X", "Y", ["M"])
         assert (r.x, r.y, r.z) == ("X", "Y", ("M",))
 
     def test_call_counter(self):
-        t = sample_chain(100)
+        t = make_chain_table(100)
         test = ChiSquaredTest(t)
         test.independent("X", "Y")
         test.independent("X", "M")
@@ -74,20 +55,18 @@ class TestChiSquared:
 
     def test_invalid_alpha_rejected(self):
         with pytest.raises(ValueError):
-            ChiSquaredTest(sample_chain(10), alpha=1.5)
+            ChiSquaredTest(make_chain_table(10), alpha=1.5)
 
 
 class TestGTest:
-    def test_agrees_with_chi2_on_strong_effects(self):
-        t = sample_chain()
-        chi = ChiSquaredTest(t, alpha=0.01)
-        g = GTest(t, alpha=0.01)
+    def test_agrees_with_chi2_on_strong_effects(self, chain_table):
+        chi = ChiSquaredTest(chain_table, alpha=0.01)
+        g = GTest(chain_table, alpha=0.01)
         for args in [("X", "M", ()), ("X", "W", ()), ("X", "Y", ("M",))]:
             assert chi.independent(*args) == g.independent(*args)
 
-    def test_statistic_positive_for_dependence(self):
-        t = sample_chain()
-        assert GTest(t).test("X", "M").statistic > 0
+    def test_statistic_positive_for_dependence(self, chain_table):
+        assert GTest(chain_table).test("X", "M").statistic > 0
 
 
 class TestFisherZ:
@@ -136,9 +115,8 @@ class TestOracle:
 
 
 class TestCache:
-    def test_cache_hits_do_not_reach_inner(self):
-        t = sample_chain(500)
-        inner = ChiSquaredTest(t)
+    def test_cache_hits_do_not_reach_inner(self, small_chain_table):
+        inner = ChiSquaredTest(small_chain_table)
         cached = CachedCITest(inner)
         r1 = cached.test("X", "Y", ["M"])
         r2 = cached.test("Y", "X", ["M"])  # symmetric: must hit
@@ -146,11 +124,24 @@ class TestCache:
         assert cached.hits == 1
         assert r1.p_value == r2.p_value
 
-    def test_clear(self):
-        t = sample_chain(500)
-        inner = ChiSquaredTest(t)
+    def test_clear(self, small_chain_table):
+        inner = ChiSquaredTest(small_chain_table)
         cached = CachedCITest(inner)
         cached.independent("X", "Y")
         cached.clear()
         cached.independent("X", "Y")
         assert inner.calls == 2
+
+    def test_hits_with_shared_inner(self, small_chain_table):
+        # Regression: the inner test shared across wrappers (or carrying
+        # prior calls) must not skew each wrapper's hit accounting.
+        inner = ChiSquaredTest(small_chain_table)
+        inner.test("X", "W")  # prior traffic before any wrapper exists
+        first = CachedCITest(inner)
+        first.test("X", "Y")
+        second = CachedCITest(inner)  # shares a warm inner test
+        second.test("X", "Y")  # miss for *this* wrapper's empty cache
+        second.test("X", "Y")  # hit
+        first.test("Y", "X")  # hit (canonical key)
+        assert first.hits == 1 and first.misses == 1
+        assert second.hits == 1 and second.misses == 1
