@@ -1,17 +1,23 @@
 """Quickstart: the Fig. 1 lung-cancer walk-through.
 
-Reproduces the paper's running example end to end:
+Reproduces the paper's running example end to end on the two-layer API:
 
 1. load the hypothetical lung-cancer data (Fig. 1(a));
-2. offline phase — XLearner discovers the causal graph (Fig. 1(c));
-3. online phase — ask the Why Query "why is AVG(LungCancer) in Location=A
-   notably higher than in Location=B?" (Fig. 1(b));
+2. offline phase — ``fit_model`` runs FD detection + XLearner once and
+   returns the persistable ``XInsightModel`` artifact (Fig. 1(c)), which
+   ``save``/``load`` round-trips through versioned JSON;
+3. online phase — an ``ExplainSession`` over the (re-loaded) model answers
+   the Why Query "why is AVG(LungCancer) in Location=A notably higher than
+   in Location=B?" (Fig. 1(b));
 4. print the typed, ranked explanations (Fig. 1(e)).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Aggregate, Subspace, WhyQuery, XInsight
+import tempfile
+from pathlib import Path
+
+from repro import Aggregate, Subspace, WhyQuery, XInsightModel, fit_model
 from repro.datasets import generate_lungcancer
 
 
@@ -20,22 +26,30 @@ def main() -> None:
     print(f"dataset: {table}")
 
     # ------------------------------------------------------------------
-    # Offline phase: FD detection + XLearner (Fig. 3, blue).
+    # Offline phase: FD detection + XLearner, once per dataset
+    # (Fig. 3, blue).  The result is an immutable, persistable artifact.
     # ------------------------------------------------------------------
-    engine = XInsight(table, measure_bins=3).fit()
+    model = fit_model(table, measure_bins=3)
     print("\nlearned causal graph (Fig. 1(c)):")
-    print(f"  {engine.graph}")
+    print(f"  {model.pag}")
+
+    path = Path(tempfile.gettempdir()) / "lungcancer_model.json"
+    model.save(path)
+    model = XInsightModel.load(path)
+    print(f"saved + re-loaded the offline artifact: {path}")
 
     # ------------------------------------------------------------------
-    # Online phase: Why Query -> XTranslator + XPlainer (Fig. 3, red).
+    # Online phase: a serving session answers Why Queries against the
+    # loaded model — XTranslator + XPlainer (Fig. 3, red).
     # ------------------------------------------------------------------
+    session = model.session(table)
     query = WhyQuery.create(
         Subspace.of(Location="A"),
         Subspace.of(Location="B"),
         measure="LungCancer",
         agg=Aggregate.AVG,
     )
-    report = engine.explain(query)
+    report = session.explain(query)
     print(f"\n{query.describe(table)}")
 
     print("\nXTranslator verdicts (Fig. 1(d)):")
@@ -51,6 +65,14 @@ def main() -> None:
     top = report.explanations[0]
     print("\nnarrative (Fig. 1(f)):")
     print(" ", top.describe("LungCancer", "Location=A", "Location=B"))
+
+    # Repeated queries against the same session reuse the graph-side work.
+    session.explain_batch([query] * 5)
+    info = session.cache_info()
+    print(
+        f"\nserved {info['queries']} queries with "
+        f"{info['translation_hits']} translation-cache hits"
+    )
 
 
 if __name__ == "__main__":

@@ -5,25 +5,33 @@ Analysis Through The Lens of Causality*, SIGMOD 2023 (PACMMOD 1(2):156).
 
 Quickstart::
 
-    from repro import Subspace, Table, WhyQuery, XInsight
+    from repro import Subspace, Table, WhyQuery, fit_model
 
     table = Table.from_columns({...})
-    engine = XInsight(table).fit()                       # offline phase
-    query = WhyQuery.create(Subspace.of(Location="A"),   # online phase
+    model = fit_model(table)                             # offline phase
+    model.save("model.json")                             # persistable artifact
+    session = model.session(table)                       # online phase
+    query = WhyQuery.create(Subspace.of(Location="A"),
                             Subspace.of(Location="B"),
                             measure="LungCancer", agg="AVG")
-    for explanation in engine.explain(query).top(5):
+    for explanation in session.explain(query).top(5):
         print(explanation.as_row())
+
+The legacy one-object facade (``XInsight(table).fit().explain(query)``)
+remains available and delegates to the model/session layers.
 """
 
 from repro.core import (
+    ExplainSession,
     Explanation,
     ExplanationType,
     XDASemantics,
     XInsight,
+    XInsightModel,
     XInsightReport,
     XPlainerConfig,
     explain_attribute,
+    fit_model,
     translate,
     xlearner,
 )
@@ -48,6 +56,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Aggregate",
     "Endpoint",
+    "ExplainSession",
     "Explanation",
     "ExplanationType",
     "FD",
@@ -60,10 +69,12 @@ __all__ = [
     "WhyQuery",
     "XDASemantics",
     "XInsight",
+    "XInsightModel",
     "XInsightReport",
     "XPlainerConfig",
     "discretize",
     "explain_attribute",
+    "fit_model",
     "fci",
     "fd_graph_from_table",
     "find_functional_dependencies",

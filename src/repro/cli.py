@@ -5,8 +5,18 @@ Usage examples::
     python -m repro fds data.csv
     python -m repro discover data.csv --algorithm xlearner
     python -m repro groupby data.csv --by Location --measure LungCancer
-    python -m repro explain data.csv --s1 Location=A --s2 Location=B \\
-        --measure LungCancer --agg AVG --top 5
+    python -m repro fit data.csv --out model.json
+    python -m repro explain data.csv --model model.json \\
+        --s1 Location=A --s2 Location=B --measure LungCancer --agg AVG --top 5
+    python -m repro batch-explain data.csv --model model.json \\
+        --queries queries.json
+
+``fit`` runs the heavy offline phase once and persists the artifact;
+``explain`` / ``batch-explain`` serve queries against it (``explain``
+without ``--model`` fits in-process, the legacy one-shot workflow).  The
+batch query file is a JSON list of objects like
+``{"s1": {"Location": "A"}, "s2": {"Location": "B"},
+"measure": "LungCancer", "agg": "AVG"}``.
 
 Assignments use ``Dimension=value``; value strings are matched against the
 raw CSV cells (numbers are parsed like the loader does).
@@ -15,10 +25,19 @@ raw CSV cells (numbers are parsed like the loader does).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from collections.abc import Mapping
 from typing import Hashable, Sequence
 
-from repro.core.pipeline import XInsight
+from repro.core.model import (
+    DEFAULT_ALPHA,
+    DEFAULT_MAX_DSEP_SIZE,
+    DEFAULT_MEASURE_BINS,
+    XInsightModel,
+    fit_model,
+)
+from repro.core.session import ExplainSession, XInsightReport
 from repro.data.aggregates import parse_aggregate
 from repro.data.filters import Subspace
 from repro.data.groupby import group_by
@@ -52,6 +71,65 @@ def _parse_assignment(raw: str, table: Table) -> tuple[str, Hashable]:
 def _subspace(assignments: Sequence[str], table: Table) -> Subspace:
     pairs = dict(_parse_assignment(a, table) for a in assignments)
     return Subspace.of(**{str(k): v for k, v in pairs.items()})
+
+
+def _fit_kwargs(args: argparse.Namespace) -> dict:
+    """Offline-phase knobs shared by ``fit`` and the in-process ``explain``."""
+    return {
+        "measure_bins": args.bins,
+        "alpha": args.alpha,
+        "max_depth": args.max_depth,
+        "max_dsep_size": args.max_dsep_size,
+    }
+
+
+def _add_fit_flags(parser: argparse.ArgumentParser) -> None:
+    """Offline-phase flags with the library defaults (one source of truth)."""
+    parser.add_argument("--bins", type=int, default=DEFAULT_MEASURE_BINS)
+    parser.add_argument("--alpha", type=float, default=DEFAULT_ALPHA)
+    parser.add_argument("--max-depth", type=int, default=None)
+    parser.add_argument("--max-dsep-size", type=int, default=DEFAULT_MAX_DSEP_SIZE)
+
+
+def _session_for(args: argparse.Namespace, table: Table) -> ExplainSession:
+    """Serving session from ``--model`` if given, else an in-process fit."""
+    if getattr(args, "model", None):
+        overridden = [
+            flag
+            for flag, value, default in (
+                ("--bins", args.bins, DEFAULT_MEASURE_BINS),
+                ("--alpha", args.alpha, DEFAULT_ALPHA),
+                ("--max-depth", args.max_depth, None),
+                ("--max-dsep-size", args.max_dsep_size, DEFAULT_MAX_DSEP_SIZE),
+            )
+            if value != default
+        ]
+        if overridden:
+            print(
+                f"warning: {', '.join(overridden)} ignored — the saved model "
+                "already fixes the offline-phase parameters (re-run `fit` to "
+                "change them)",
+                file=sys.stderr,
+            )
+        model = XInsightModel.load(args.model)
+    else:
+        print("fitting the offline phase ...", file=sys.stderr)
+        model = fit_model(table, **_fit_kwargs(args))
+    return ExplainSession(model, table)
+
+
+def _print_report(report: XInsightReport, session: ExplainSession, top: int) -> bool:
+    print(report.query.describe(session.graph_table))
+    if not report.explanations:
+        print("no explanations found (try a larger ε or more data)")
+        return False
+    print(f"{'type':<12} {'factor':<16} {'predicate':<44} responsibility")
+    for explanation in report.top(top):
+        print(
+            f"{explanation.type.value:<12} {explanation.attribute:<16} "
+            f"{str(explanation.predicate):<44} {explanation.responsibility:.2f}"
+        )
+    return True
 
 
 def cmd_fds(args: argparse.Namespace) -> int:
@@ -98,26 +176,75 @@ def cmd_groupby(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fit(args: argparse.Namespace) -> int:
+    table = read_csv(args.file)
+    print("fitting the offline phase ...", file=sys.stderr)
+    model = fit_model(table, **_fit_kwargs(args))
+    path = model.save(args.out)
+    print(
+        f"saved model to {path}: {model.pag.n_nodes} nodes, "
+        f"{model.pag.n_edges} edges, {len(model.fd_graph.dependencies)} FDs, "
+        f"{len(model.bin_specs)} discretized measure(s)"
+    )
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     table = read_csv(args.file)
     s1 = _subspace(args.s1, table)
     s2 = _subspace(args.s2, table)
     query = WhyQuery.create(s1, s2, args.measure, parse_aggregate(args.agg))
-    engine = XInsight(table, measure_bins=args.bins, max_depth=args.max_depth)
-    print("fitting the offline phase ...", file=sys.stderr)
-    engine.fit()
-    report = engine.explain(query)
-    print(query.describe(engine.graph_table))
-    if not report.explanations:
-        print("no explanations found (try a larger ε or more data)")
-        return 1
-    print(f"{'type':<12} {'factor':<16} {'predicate':<44} responsibility")
-    for explanation in report.top(args.top):
-        print(
-            f"{explanation.type.value:<12} {explanation.attribute:<16} "
-            f"{str(explanation.predicate):<44} {explanation.responsibility:.2f}"
-        )
-    return 0
+    session = _session_for(args, table)
+    report = session.explain(query)
+    return 0 if _print_report(report, session, args.top) else 1
+
+
+def _query_from_spec(spec: object, table: Table) -> WhyQuery:
+    """Build a WhyQuery from one batch-file entry."""
+    if not isinstance(spec, Mapping):
+        raise ReproError(f"batch query must be a JSON object, got {spec!r}")
+    for key in ("s1", "s2", "measure"):
+        if key not in spec:
+            raise ReproError(f"batch query missing {key!r}: {spec!r}")
+    subspaces = []
+    for side in ("s1", "s2"):
+        if not isinstance(spec[side], Mapping):
+            raise ReproError(
+                f"batch query {side!r} must be a {{dimension: value}} "
+                f"object, got {spec[side]!r}"
+            )
+        assignments = [f"{dim}={value}" for dim, value in spec[side].items()]
+        subspaces.append(_subspace(assignments, table))
+    return WhyQuery.create(
+        subspaces[0], subspaces[1], spec["measure"],
+        parse_aggregate(spec.get("agg", "AVG")),
+    )
+
+
+def cmd_batch_explain(args: argparse.Namespace) -> int:
+    table = read_csv(args.file)
+    try:
+        with open(args.queries, encoding="utf-8") as handle:
+            specs = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read query file {args.queries}: {exc}") from exc
+    if not isinstance(specs, list) or not specs:
+        raise ReproError("query file must hold a non-empty JSON list of queries")
+    queries = [_query_from_spec(spec, table) for spec in specs]
+    session = _session_for(args, table)
+    reports = session.explain_batch(queries)
+    answered = 0
+    for i, report in enumerate(reports, start=1):
+        print(f"--- query {i}/{len(reports)} ---")
+        answered += _print_report(report, session, args.top)
+    info = session.cache_info()
+    print(
+        f"answered {answered}/{len(reports)} queries "
+        f"(translation cache: {info['translation_hits']} hits / "
+        f"{info['translation_misses']} misses)",
+        file=sys.stderr,
+    )
+    return 0 if answered == len(reports) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_disc.add_argument(
         "--algorithm", choices=("xlearner", "fci", "pc"), default="xlearner"
     )
-    p_disc.add_argument("--alpha", type=float, default=0.05)
+    p_disc.add_argument("--alpha", type=float, default=DEFAULT_ALPHA)
     p_disc.add_argument("--max-depth", type=int, default=None)
     p_disc.set_defaults(func=cmd_discover)
 
@@ -145,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_grp.add_argument("--agg", default="AVG")
     p_grp.set_defaults(func=cmd_groupby)
 
+    p_fit = sub.add_parser(
+        "fit", help="run the offline phase and save the model artifact"
+    )
+    p_fit.add_argument("file")
+    p_fit.add_argument("--out", required=True, metavar="MODEL.json")
+    _add_fit_flags(p_fit)
+    p_fit.set_defaults(func=cmd_fit)
+
     p_exp = sub.add_parser("explain", help="answer a Why Query")
     p_exp.add_argument("file")
     p_exp.add_argument("--s1", action="append", required=True, metavar="DIM=VALUE")
@@ -152,9 +287,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--measure", required=True)
     p_exp.add_argument("--agg", default="AVG")
     p_exp.add_argument("--top", type=int, default=5)
-    p_exp.add_argument("--bins", type=int, default=4)
-    p_exp.add_argument("--max-depth", type=int, default=None)
+    p_exp.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="serve against a saved model instead of fitting in-process",
+    )
+    _add_fit_flags(p_exp)
     p_exp.set_defaults(func=cmd_explain)
+
+    p_batch = sub.add_parser(
+        "batch-explain", help="answer a file of Why Queries in one session"
+    )
+    p_batch.add_argument("file")
+    p_batch.add_argument(
+        "--queries", required=True, metavar="QUERIES.json",
+        help="JSON list of {s1, s2, measure[, agg]} objects",
+    )
+    p_batch.add_argument("--top", type=int, default=5)
+    p_batch.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="serve against a saved model instead of fitting in-process",
+    )
+    _add_fit_flags(p_batch)
+    p_batch.set_defaults(func=cmd_batch_explain)
     return parser
 
 

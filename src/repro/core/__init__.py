@@ -4,7 +4,17 @@ from repro.core.changes import ChangeDirection, ChangeReport, explain_change
 from repro.core.multidim import ConjunctionExplanation, explain_conjunction, product_attribute
 from repro.core.decomposition import FilterDecomposition, count_based_share, decompose_sum_delta
 from repro.core.explanation import Explanation, ExplanationType, cross_product
+from repro.core.model import (
+    DEFAULT_ALPHA,
+    DEFAULT_MAX_DSEP_SIZE,
+    DEFAULT_MEASURE_BINS,
+    SCHEMA_VERSION,
+    XInsightModel,
+    fit_model,
+    fit_offline,
+)
 from repro.core.pipeline import XInsight, XInsightReport
+from repro.core.session import ExplainSession, SessionStats
 from repro.core.reporting import (
     explanation_to_dict,
     report_to_dict,
@@ -33,6 +43,15 @@ from repro.core.xtranslator import (
 )
 
 __all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_MAX_DSEP_SIZE",
+    "DEFAULT_MEASURE_BINS",
+    "ExplainSession",
+    "SCHEMA_VERSION",
+    "SessionStats",
+    "XInsightModel",
+    "fit_model",
+    "fit_offline",
     "explanation_to_dict",
     "report_to_dict",
     "report_to_json",

@@ -1,0 +1,280 @@
+"""The offline artifact: a persistable, immutable ``XInsightModel``.
+
+Fig. 3 splits XInsight into a heavy offline phase (FD detection + XLearner,
+once per dataset) and a cheap online phase (per-query translation and
+predicate search).  This module makes the offline output a first-class
+artifact: everything the online phase needs — the learned PAG, the
+separating sets, the FD graph, the measure→bin alias map, and the
+discretization bin edges — bundled with the fit metadata and serialized
+through a versioned JSON schema.
+
+Workflow::
+
+    model = fit_model(table, measure_bins=4)      # heavy, once
+    model.save("model.json")
+    ...
+    model = XInsightModel.load("model.json")      # any process, any time
+    session = model.session(table)                # cheap online serving
+    report = session.explain(query)
+
+The bin specs are stored so that a *loaded* model re-discretizes fresh data
+identically instead of re-fitting the edges — serving data never shifts the
+category boundaries the graph was learned on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.core.xlearner import XLearnerResult, xlearner
+from repro.data.discretize import BinSpec, fit_bins
+from repro.data.table import Table
+from repro.discovery.skeleton import SepsetMap
+from repro.errors import ModelError, SchemaError
+from repro.fd.graph import FDGraph
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.pag import pag_from_dict, pag_to_dict
+from repro.independence.base import CITest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.session import ExplainSession
+    from repro.core.xplainer import XPlainerConfig
+
+FORMAT_NAME = "xinsight-model"
+SCHEMA_VERSION = 1
+
+# The single source of truth for offline-phase defaults; the CLI and the
+# XInsight facade both read these, so they can never drift apart again.
+DEFAULT_MEASURE_BINS = 5
+DEFAULT_ALPHA = 0.05
+DEFAULT_MAX_DSEP_SIZE = 3
+
+
+@dataclass(frozen=True)
+class XInsightModel:
+    """Immutable, fully-serializable output of the offline phase.
+
+    Many :class:`~repro.core.session.ExplainSession` objects can share one
+    model; nothing in the online phase mutates it.
+    """
+
+    pag: MixedGraph
+    """The FD-augmented PAG learned by XLearner."""
+    sepsets: SepsetMap
+    """Separating sets recorded during skeleton learning / D-SEP pruning."""
+    fd_graph: FDGraph
+    """The FD-induced graph G_FD (Sec. 2.1)."""
+    aliases: Mapping[str, str]
+    """Measure → derived bin-column name (graph node of the measure)."""
+    bin_specs: Mapping[str, BinSpec]
+    """Measure → frozen discretization recipe (edges / singleton values)."""
+    columns: tuple[str, ...]
+    """The variables discovery ran over, in order."""
+    alpha: float = DEFAULT_ALPHA
+    max_depth: int | None = None
+    max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE
+    measure_bins: int = DEFAULT_MEASURE_BINS
+
+    # ------------------------------------------------------------------
+    # Online-phase helpers
+    # ------------------------------------------------------------------
+
+    def node_of(self, column: str) -> str:
+        """Graph node standing for a table column (bin alias for measures)."""
+        return self.aliases.get(column, column)
+
+    def transform(self, table: Table) -> Table:
+        """Append the discretized measure companions to ``table``.
+
+        Applies the stored bin specs — never re-fits edges — so fresh data
+        is discretized exactly as the fitted table was.  Specs are applied
+        in the table's measure order, making the derived-column order (and
+        hence candidate iteration order) independent of serialization.
+        """
+        missing = [m for m in self.bin_specs if m not in table.measures]
+        if missing:
+            raise ModelError(
+                f"model expects measure(s) {missing!r} absent from {table!r}"
+            )
+        out = table
+        for measure in table.measures:
+            spec = self.bin_specs.get(measure)
+            if spec is not None:
+                out = spec.apply(out)
+        return out
+
+    def session(
+        self, table: Table, config: "XPlainerConfig | None" = None
+    ) -> "ExplainSession":
+        """Open an online serving session over ``table`` with this model."""
+        from repro.core.session import ExplainSession
+
+        return ExplainSession(self, table, config=config)
+
+    def with_pag(self, pag: MixedGraph) -> "XInsightModel":
+        """A copy with the PAG replaced (e.g. after applying background
+        knowledge, Sec. 5); everything else is shared."""
+        return replace(self, pag=pag)
+
+    # ------------------------------------------------------------------
+    # Versioned JSON persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "schema_version": SCHEMA_VERSION,
+            "pag": pag_to_dict(self.pag),
+            "sepsets": self.sepsets.to_dict(),
+            "fd_graph": self.fd_graph.to_dict(),
+            "aliases": dict(self.aliases),
+            "bin_specs": {m: s.to_dict() for m, s in self.bin_specs.items()},
+            "columns": list(self.columns),
+            "fit": {
+                "alpha": self.alpha,
+                "max_depth": self.max_depth,
+                "max_dsep_size": self.max_dsep_size,
+                "measure_bins": self.measure_bins,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "XInsightModel":
+        if not isinstance(payload, dict):
+            raise ModelError(f"not an {FORMAT_NAME!r} artifact")
+        if payload.get("format") != FORMAT_NAME:
+            raise ModelError(
+                f"not an {FORMAT_NAME!r} artifact "
+                f"(format = {payload.get('format')!r})"
+            )
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ModelError(
+                f"unsupported model schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        try:
+            fit = payload["fit"]
+            return cls(
+                pag=pag_from_dict(payload["pag"]),
+                sepsets=SepsetMap.from_dict(payload["sepsets"]),
+                fd_graph=FDGraph.from_dict(payload["fd_graph"]),
+                aliases=dict(payload["aliases"]),
+                bin_specs={
+                    m: BinSpec.from_dict(s) for m, s in payload["bin_specs"].items()
+                },
+                columns=tuple(payload["columns"]),
+                alpha=float(fit["alpha"]),
+                max_depth=fit["max_depth"],
+                max_dsep_size=fit["max_dsep_size"],
+                measure_bins=int(fit["measure_bins"]),
+            )
+        except (KeyError, TypeError, AttributeError, ValueError, SchemaError) as exc:
+            raise ModelError(f"malformed model artifact: {exc!r}") from exc
+
+    def save(self, path: str | Path) -> Path:
+        """Write the model as versioned JSON; returns the path written."""
+        path = Path(path)
+        try:
+            path.write_text(
+                json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            raise ModelError(f"cannot write model to {path}: {exc}") from exc
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "XInsightModel":
+        """Read a model saved by :meth:`save`."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ModelError(f"no model file at {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"model file {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+def fit_offline(
+    table: Table,
+    columns: Sequence[str] | None = None,
+    ci_test: CITest | None = None,
+    measure_bins: int = DEFAULT_MEASURE_BINS,
+    alpha: float = DEFAULT_ALPHA,
+    max_depth: int | None = None,
+    max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE,
+) -> tuple[XInsightModel, XLearnerResult, CITest, Table]:
+    """Run the offline phase, returning the persistable model plus the
+    in-memory artifacts (full XLearner result, the CI test used, and the
+    already-discretized graph table — sparing callers a second
+    :meth:`XInsightModel.transform` pass over the fit data).
+
+    Most callers want :func:`fit_model`; the extra return values exist for
+    diagnostics and the backward-compatible facade.
+    """
+    graph_table = table
+    aliases: dict[str, str] = {}
+    specs: dict[str, BinSpec] = {}
+    for measure in table.measures:
+        spec = fit_bins(table, measure, n_bins=measure_bins)
+        graph_table = spec.apply(graph_table)
+        aliases[measure] = spec.column
+        specs[measure] = spec
+    if columns is None:
+        columns = graph_table.dimensions
+    columns = tuple(columns)
+    if ci_test is None:
+        # One columnar encoding + strata cache shared by every CI probe
+        # of the offline phase (see repro.independence.engine).
+        from repro.discovery.fci import default_ci_test
+
+        ci_test = default_ci_test(graph_table, alpha=alpha)
+    learner = xlearner(
+        graph_table,
+        columns=columns,
+        ci_test=ci_test,
+        alpha=alpha,
+        max_depth=max_depth,
+        max_dsep_size=max_dsep_size,
+    )
+    model = XInsightModel(
+        pag=learner.pag,
+        sepsets=learner.fci_result.sepsets,
+        fd_graph=learner.fd_graph,
+        aliases=aliases,
+        bin_specs=specs,
+        columns=columns,
+        alpha=alpha,
+        max_depth=max_depth,
+        max_dsep_size=max_dsep_size,
+        measure_bins=measure_bins,
+    )
+    return model, learner, ci_test, graph_table
+
+
+def fit_model(
+    table: Table,
+    columns: Sequence[str] | None = None,
+    ci_test: CITest | None = None,
+    measure_bins: int = DEFAULT_MEASURE_BINS,
+    alpha: float = DEFAULT_ALPHA,
+    max_depth: int | None = None,
+    max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE,
+) -> XInsightModel:
+    """Run the offline phase (discretize, detect FDs, XLearner) once and
+    return the immutable, persistable :class:`XInsightModel`."""
+    model, _learner, _ci_test, _graph_table = fit_offline(
+        table,
+        columns=columns,
+        ci_test=ci_test,
+        measure_bins=measure_bins,
+        alpha=alpha,
+        max_depth=max_depth,
+        max_dsep_size=max_dsep_size,
+    )
+    return model

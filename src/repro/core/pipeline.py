@@ -1,65 +1,62 @@
-"""The end-to-end XInsight pipeline (Fig. 3).
+"""The end-to-end XInsight pipeline (Fig. 3) — backward-compatible facade.
 
-Offline phase: detect FDs and learn the FD-augmented PAG with XLearner
-(heavy; done once per dataset).  Online phase: per Why Query, XTranslator
-classifies every candidate variable and XPlainer searches the optimal
-predicate within each explainable one; results are ranked causal-first by
-the conciseness-regularized score.
+The two phases now live in dedicated layers:
 
-Numeric measures participate in the causal graph through discretized
-companion columns (Sec. 2.1's discretization), tracked via an alias map so
-queries and explanations still speak in terms of the raw measures.
+* offline — :func:`repro.core.model.fit_model` produces an immutable,
+  persistable :class:`~repro.core.model.XInsightModel` (PAG, sepsets, FD
+  graph, alias map, bin edges, fit metadata) with ``save``/``load``;
+* online — :class:`repro.core.session.ExplainSession` serves ``explain`` /
+  ``explain_batch`` over one model with per-session memoization.
+
+:class:`XInsight` remains as a thin wrapper tying the two together for
+scripts that want the one-object workflow: ``fit()`` builds a model (and a
+session over it), ``explain()`` delegates to the session.  New code should
+prefer the model/session surface — it separates the heavy fit from cheap
+serving and lets many sessions share one persisted artifact.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.core.explanation import Explanation, ExplanationType
-from repro.core.xlearner import XLearnerResult, xlearner
-from repro.core.xplainer import XPlainerConfig, explain_attribute
-from repro.core.xtranslator import Translation, XDASemantics, translate
-from repro.data.discretize import discretize
-from repro.data.query import WhyQuery, candidate_attributes
+from repro.core.model import (
+    DEFAULT_ALPHA,
+    DEFAULT_MAX_DSEP_SIZE,
+    DEFAULT_MEASURE_BINS,
+    XInsightModel,
+    fit_offline,
+)
+from repro.core.session import ExplainSession, XInsightReport
+from repro.core.xlearner import XLearnerResult
+from repro.core.xplainer import XPlainerConfig
+from repro.core.xtranslator import Translation
+from repro.data.query import WhyQuery
 from repro.data.table import Table
 from repro.errors import QueryError
-from repro.graph.separation import m_separated
 from repro.independence.base import CITest
 
-
-@dataclass
-class XInsightReport:
-    """Everything the online phase produced for one Why Query."""
-
-    query: WhyQuery
-    delta: float
-    explanations: list[Explanation]
-    translations: dict[str, Translation]
-
-    def top(self, k: int = 5) -> list[Explanation]:
-        return self.explanations[:k]
-
-    def causal(self) -> list[Explanation]:
-        return [e for e in self.explanations if e.type is ExplanationType.CAUSAL]
-
-    def non_causal(self) -> list[Explanation]:
-        return [e for e in self.explanations if e.type is ExplanationType.NON_CAUSAL]
+__all__ = ["XInsight", "XInsightReport"]
 
 
 @dataclass
 class XInsight:
-    """Facade tying XLearner, XTranslator and XPlainer together."""
+    """Facade tying XLearner, XTranslator and XPlainer together.
+
+    Deprecated in favor of ``fit_model(table)`` + ``model.session(table)``;
+    kept as a one-object convenience and for backward compatibility.
+    """
 
     table: Table
     config: XPlainerConfig = field(default_factory=XPlainerConfig)
-    measure_bins: int = 5
-    alpha: float = 0.05
+    measure_bins: int = DEFAULT_MEASURE_BINS
+    alpha: float = DEFAULT_ALPHA
     max_depth: int | None = None
-    max_dsep_size: int | None = 3
+    max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE
 
-    _graph_table: Table | None = None
-    _aliases: dict[str, str] = field(default_factory=dict)
+    _model: XInsightModel | None = None
+    _session: ExplainSession | None = None
     _learner: XLearnerResult | None = None
     _ci_test: CITest | None = None
 
@@ -73,33 +70,56 @@ class XInsight:
         ci_test: CITest | None = None,
     ) -> "XInsight":
         """Run the offline phase: discretize measures, detect FDs, XLearner."""
-        graph_table = self.table
-        aliases: dict[str, str] = {}
-        for measure in self.table.measures:
-            graph_table, _bins = discretize(
-                graph_table, measure, n_bins=self.measure_bins
-            )
-            aliases[measure] = f"{measure}_bin"
-        if columns is None:
-            columns = graph_table.dimensions
-        self._graph_table = graph_table
-        self._aliases = aliases
-        if ci_test is None:
-            # One columnar encoding + strata cache shared by every CI probe
-            # of the offline phase (see repro.independence.engine).
-            from repro.discovery.fci import default_ci_test
-
-            ci_test = default_ci_test(graph_table, alpha=self.alpha)
-        self._ci_test = ci_test
-        self._learner = xlearner(
-            graph_table,
+        model, learner, test, graph_table = fit_offline(
+            self.table,
             columns=columns,
             ci_test=ci_test,
+            measure_bins=self.measure_bins,
             alpha=self.alpha,
             max_depth=self.max_depth,
             max_dsep_size=self.max_dsep_size,
         )
+        self._model = model
+        self._learner = learner
+        self._ci_test = test
+        self._session = ExplainSession(
+            model, self.table, config=self.config, graph_table=graph_table
+        )
         return self
+
+    def _sync_learner(self) -> None:
+        """Legacy escape hatch: callers that swap ``_learner`` (e.g. to
+        apply background knowledge) still get a consistent session."""
+        if (
+            self._learner is not None
+            and self._model is not None
+            and self._learner.pag is not self._model.pag
+        ):
+            self._model = replace(
+                self._model,
+                pag=self._learner.pag,
+                fd_graph=self._learner.fd_graph,
+                sepsets=self._learner.fci_result.sepsets,
+            )
+            self._session = ExplainSession(self._model, self.table, config=self.config)
+
+    @property
+    def model(self) -> XInsightModel:
+        """The persistable offline artifact (``model.save(path)`` to keep it)."""
+        if self._model is None:
+            raise QueryError("call fit() before querying (offline phase missing)")
+        self._sync_learner()
+        assert self._model is not None
+        return self._model
+
+    @property
+    def session(self) -> ExplainSession:
+        """The online serving session over the fitted model."""
+        if self._session is None:
+            raise QueryError("call fit() before querying (offline phase missing)")
+        self._sync_learner()
+        assert self._session is not None
+        return self._session
 
     @property
     def learner(self) -> XLearnerResult:
@@ -116,61 +136,30 @@ class XInsight:
     def graph_table(self) -> Table:
         """The fitted table including the discretized measure companions —
         the table against which explanation predicates are expressed."""
-        if self._graph_table is None:
-            raise QueryError("call fit() before querying (offline phase missing)")
-        return self._graph_table
+        return self.session.graph_table
 
     @property
     def graph(self):
-        return self.learner.pag
+        return self.model.pag
 
     def node_of(self, column: str) -> str:
         """Graph node standing for a table column (bin alias for measures)."""
-        return self._aliases.get(column, column)
+        if self._model is not None:
+            return self._model.node_of(column)
+        return column
 
     # ------------------------------------------------------------------
-    # Online phase
+    # Online phase (delegated to the session)
     # ------------------------------------------------------------------
-
-    def _resolve_candidates(self, query: WhyQuery) -> tuple[str, ...]:
-        assert self._graph_table is not None
-        exclude = [self.node_of(query.measure)]
-        reverse = {bin_col: measure for measure, bin_col in self._aliases.items()}
-        candidates: list[str] = []
-        for column in candidate_attributes(self._graph_table, query, exclude=exclude):
-            # Derived bin columns are surfaced under their measure's name so
-            # explanations read "LeadTime", not "LeadTime_bin" (Fig. 1(e)'s
-            # "Mid ≤ Stress ≤ High" style).
-            name = reverse.get(column, column)
-            if name == query.measure:
-                continue
-            if self.graph.has_node(self.node_of(name)):
-                candidates.append(name)
-        return tuple(dict.fromkeys(candidates))
 
     def translations_for(self, query: WhyQuery) -> dict[str, Translation]:
         """XTranslator output for every candidate variable of the query."""
-        return translate(
-            self.graph,
-            measure=query.measure,
-            context=query.context,
-            variables=self._resolve_candidates(query),
-            aliases=self._aliases,
-        )
+        return self.session.translations_for(query)
 
     def is_homogeneous(self, query: WhyQuery, attribute: str) -> bool:
         """Def. 3.7: the siblings are homogeneous on ``attribute`` iff the
         attribute and the foreground are m-separated given the background."""
-        ctx = query.context
-        graph = self.graph
-        node_x = self.node_of(attribute)
-        node_f = self.node_of(ctx.foreground)
-        background = [
-            self.node_of(b) for b in ctx.background if graph.has_node(self.node_of(b))
-        ]
-        if not graph.has_node(node_x) or not graph.has_node(node_f):
-            return False
-        return m_separated(graph, node_x, node_f, background, definite=False)
+        return self.session.is_homogeneous(query, attribute)
 
     def explain(
         self,
@@ -178,42 +167,28 @@ class XInsight:
         method: str = "auto",
         config: XPlainerConfig | None = None,
     ) -> XInsightReport:
-        """Answer a Why Query with ranked, typed explanations."""
-        if self._learner is None:
-            self.fit()
-        assert self._graph_table is not None
-        query = query.oriented(self._graph_table)
-        delta = query.delta(self._graph_table)
-        translations = self.translations_for(query)
-        config = config or self.config
+        """Answer a Why Query with ranked, typed explanations.
 
-        explanations: list[Explanation] = []
-        for variable, verdict in translations.items():
-            if verdict.semantics is XDASemantics.NO_EXPLAINABILITY:
-                continue
-            attribute = self.node_of(variable)
-            found = explain_attribute(
-                self._graph_table,
-                query,
-                attribute,
-                config=config,
-                method=method,
-                homogeneous=self.is_homogeneous(query, variable),
+        Calling this on an unfitted engine implicitly runs :meth:`fit` —
+        a deprecated convenience kept only on this facade.  The session
+        surface treats an unfitted state as an error instead.
+        """
+        if self._model is None:
+            warnings.warn(
+                "XInsight.explain() on an unfitted engine implicitly runs "
+                "fit(); call fit() explicitly, or use fit_model() + "
+                "ExplainSession for the offline/online split",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            if found is None:
-                continue
-            explanations.append(
-                Explanation(
-                    type=ExplanationType.from_semantics(verdict.semantics),
-                    predicate=found.predicate,
-                    responsibility=found.responsibility,
-                    attribute=variable,
-                    role=verdict.role,
-                    score=found.score,
-                    contingency=found.contingency,
-                )
-            )
-        explanations.sort(
-            key=lambda e: (e.type is not ExplanationType.CAUSAL, -e.score)
-        )
-        return XInsightReport(query, delta, explanations, translations)
+            self.fit()
+        return self.session.explain(query, method=method, config=config)
+
+    def explain_batch(
+        self,
+        queries: Sequence[WhyQuery],
+        method: str = "auto",
+        config: XPlainerConfig | None = None,
+    ) -> list[XInsightReport]:
+        """Batch serving over the fitted model (requires an explicit fit)."""
+        return self.session.explain_batch(queries, method=method, config=config)

@@ -1,0 +1,257 @@
+"""The online phase as a serving session over a fitted model (Fig. 3, red).
+
+An :class:`ExplainSession` binds one immutable
+:class:`~repro.core.model.XInsightModel` to one dataset and answers Why
+Queries.  It is stateless with respect to the model (many sessions can
+share one model; nothing here mutates it) and caches per-session: repeated
+queries against the same (measure, context) skip the candidate resolution,
+XTranslator classification, and m-separation traversals they would
+otherwise redo.  ``explain_batch`` serves a whole query stream against a
+single offline fit — the fit-once / serve-many workflow the paper's
+two-phase architecture is built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+from repro.core.explanation import Explanation, ExplanationType
+from repro.core.model import XInsightModel
+from repro.core.xplainer import XPlainerConfig, explain_attribute
+from repro.core.xtranslator import Translation, XDASemantics, translate
+from repro.data.query import WhyQuery, candidate_attributes
+from repro.data.table import Table
+from repro.graph.mixed_graph import MixedGraph
+from repro.graph.separation import m_separated
+
+# (measure, foreground, background) — everything the graph-side work of a
+# query depends on; two queries sharing it differ only in subspace values.
+ContextKey = tuple[str, str, tuple[str, ...]]
+
+
+@dataclass
+class XInsightReport:
+    """Everything the online phase produced for one Why Query."""
+
+    query: WhyQuery
+    delta: float
+    explanations: list[Explanation]
+    translations: dict[str, Translation]
+
+    def top(self, k: int = 5) -> list[Explanation]:
+        return self.explanations[:k]
+
+    def causal(self) -> list[Explanation]:
+        return [e for e in self.explanations if e.type is ExplanationType.CAUSAL]
+
+    def non_causal(self) -> list[Explanation]:
+        return [e for e in self.explanations if e.type is ExplanationType.NON_CAUSAL]
+
+
+@dataclass
+class SessionStats:
+    """Cache-effectiveness counters of one session (see ``cache_info``)."""
+
+    queries: int = 0
+    translation_hits: int = 0
+    translation_misses: int = 0
+    homogeneity_hits: int = 0
+    homogeneity_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+
+class ExplainSession:
+    """Online serving object: ``explain`` / ``explain_batch`` over a model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`XInsightModel` (in-memory or loaded from disk).
+    table:
+        The data to serve queries against.  The discretized measure
+        companions are appended once, using the model's stored bin specs.
+    config:
+        Default :class:`XPlainerConfig` for this session's searches.
+    graph_table:
+        Optional precomputed ``model.transform(table)`` result (the fit
+        path already has it); computed here when omitted.
+    """
+
+    def __init__(
+        self,
+        model: XInsightModel,
+        table: Table,
+        config: XPlainerConfig | None = None,
+        graph_table: Table | None = None,
+    ) -> None:
+        self.model = model
+        self.table = table
+        self.config = config or XPlainerConfig()
+        self.graph_table: Table = (
+            model.transform(table) if graph_table is None else graph_table
+        )
+        self.stats = SessionStats()
+        self._candidates: dict[ContextKey, tuple[str, ...]] = {}
+        self._translations: dict[ContextKey, dict[str, Translation]] = {}
+        self._homogeneity: dict[tuple[str, str, frozenset], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Model delegation
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> MixedGraph:
+        return self.model.pag
+
+    def node_of(self, column: str) -> str:
+        """Graph node standing for a table column (bin alias for measures)."""
+        return self.model.node_of(column)
+
+    # ------------------------------------------------------------------
+    # Memoized graph-side lookups
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _context_key(query: WhyQuery) -> ContextKey:
+        ctx = query.context
+        return (query.measure, ctx.foreground, tuple(ctx.background))
+
+    def candidates_for(self, query: WhyQuery) -> tuple[str, ...]:
+        """Candidate explanation variables of the query (memoized)."""
+        key = self._context_key(query)
+        cached = self._candidates.get(key)
+        if cached is None:
+            cached = self._resolve_candidates(query)
+            self._candidates[key] = cached
+        return cached
+
+    def _resolve_candidates(self, query: WhyQuery) -> tuple[str, ...]:
+        aliases = self.model.aliases
+        exclude = [self.node_of(query.measure)]
+        reverse = {bin_col: measure for measure, bin_col in aliases.items()}
+        candidates: list[str] = []
+        for column in candidate_attributes(self.graph_table, query, exclude=exclude):
+            # Derived bin columns are surfaced under their measure's name so
+            # explanations read "LeadTime", not "LeadTime_bin" (Fig. 1(e)'s
+            # "Mid ≤ Stress ≤ High" style).
+            name = reverse.get(column, column)
+            if name == query.measure:
+                continue
+            if self.graph.has_node(self.node_of(name)):
+                candidates.append(name)
+        return tuple(dict.fromkeys(candidates))
+
+    def translations_for(self, query: WhyQuery) -> dict[str, Translation]:
+        """XTranslator output for every candidate variable (memoized on the
+        query's (measure, context) — repeated queries reuse the verdicts)."""
+        key = self._context_key(query)
+        cached = self._translations.get(key)
+        if cached is not None:
+            self.stats.translation_hits += 1
+            return dict(cached)
+        self.stats.translation_misses += 1
+        out = translate(
+            self.graph,
+            measure=query.measure,
+            context=query.context,
+            variables=self.candidates_for(query),
+            aliases=self.model.aliases,
+        )
+        self._translations[key] = out
+        return dict(out)
+
+    def is_homogeneous(self, query: WhyQuery, attribute: str) -> bool:
+        """Def. 3.7: the siblings are homogeneous on ``attribute`` iff the
+        attribute and the foreground are m-separated given the background
+        (memoized on the resolved graph nodes)."""
+        ctx = query.context
+        graph = self.graph
+        node_x = self.node_of(attribute)
+        node_f = self.node_of(ctx.foreground)
+        background = frozenset(
+            self.node_of(b) for b in ctx.background if graph.has_node(self.node_of(b))
+        )
+        key = (node_x, node_f, background)
+        cached = self._homogeneity.get(key)
+        if cached is not None:
+            self.stats.homogeneity_hits += 1
+            return cached
+        self.stats.homogeneity_misses += 1
+        if not graph.has_node(node_x) or not graph.has_node(node_f):
+            verdict = False
+        else:
+            verdict = m_separated(graph, node_x, node_f, background, definite=False)
+        self._homogeneity[key] = verdict
+        return verdict
+
+    def cache_info(self) -> dict[str, int]:
+        """Counters plus cache sizes — serving observability in one dict."""
+        info = self.stats.as_dict()
+        info["translation_entries"] = len(self._translations)
+        info["homogeneity_entries"] = len(self._homogeneity)
+        return info
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def explain(
+        self,
+        query: WhyQuery,
+        method: str = "auto",
+        config: XPlainerConfig | None = None,
+    ) -> XInsightReport:
+        """Answer a Why Query with ranked, typed explanations."""
+        self.stats.queries += 1
+        query = query.oriented(self.graph_table)
+        delta = query.delta(self.graph_table)
+        translations = self.translations_for(query)
+        config = config or self.config
+
+        explanations: list[Explanation] = []
+        for variable, verdict in translations.items():
+            if verdict.semantics is XDASemantics.NO_EXPLAINABILITY:
+                continue
+            attribute = self.node_of(variable)
+            found = explain_attribute(
+                self.graph_table,
+                query,
+                attribute,
+                config=config,
+                method=method,
+                homogeneous=self.is_homogeneous(query, variable),
+            )
+            if found is None:
+                continue
+            explanations.append(
+                Explanation(
+                    type=ExplanationType.from_semantics(verdict.semantics),
+                    predicate=found.predicate,
+                    responsibility=found.responsibility,
+                    attribute=variable,
+                    role=verdict.role,
+                    score=found.score,
+                    contingency=found.contingency,
+                )
+            )
+        explanations.sort(
+            key=lambda e: (e.type is not ExplanationType.CAUSAL, -e.score)
+        )
+        return XInsightReport(query, delta, explanations, translations)
+
+    def explain_batch(
+        self,
+        queries: Iterable[WhyQuery],
+        method: str = "auto",
+        config: XPlainerConfig | None = None,
+    ) -> list[XInsightReport]:
+        """Answer a stream of Why Queries against the one fitted model.
+
+        Reports come back in input order; all per-context graph work is
+        shared through the session caches, so a batch of queries over few
+        distinct contexts costs little more than one query per context.
+        """
+        return [self.explain(q, method=method, config=config) for q in queries]

@@ -7,7 +7,7 @@ algebra, aggregates, Why Queries, discretization and CSV I/O.
 from repro.data.aggregates import Aggregate, parse_aggregate
 from repro.data.cleaning import drop_missing, missing_mask, summarize_missing
 from repro.data.column import CategoricalColumn, NumericColumn
-from repro.data.discretize import Bin, discretize
+from repro.data.discretize import Bin, BinSpec, discretize, fit_bins
 from repro.data.groupby import GroupByResult, GroupedValue, group_by, why_query_from_top_difference
 from repro.data.filters import Context, Filter, Predicate, Subspace
 from repro.data.io import read_csv, write_csv
@@ -26,6 +26,7 @@ __all__ = [
     "Aggregate",
     "AttributeProfile",
     "Bin",
+    "BinSpec",
     "CategoricalColumn",
     "Context",
     "Filter",
@@ -38,6 +39,7 @@ __all__ = [
     "WhyQuery",
     "candidate_attributes",
     "discretize",
+    "fit_bins",
     "parse_aggregate",
     "read_csv",
     "write_csv",

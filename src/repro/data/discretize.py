@@ -4,6 +4,12 @@ When a measure is used *as an explanation attribute* (e.g. the "Mid ≤ Stress
 ≤ High" predicate in Fig. 1(e)), its numeric values must first be transformed
 into discrete bins forming a derived categorical variable.  A predicate on
 the derived dimension is then an assertion on ranges.
+
+Fitting the bins and applying them are separate steps: :func:`fit_bins`
+learns a :class:`BinSpec` from data once (the offline phase), and
+``BinSpec.apply`` re-discretizes any table — including fresh data served
+against a persisted :class:`~repro.core.model.XInsightModel` — with the
+exact same edges and labels.
 """
 
 from __future__ import annotations
@@ -53,27 +59,93 @@ def equal_frequency_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
     return edges
 
 
-def discretize(
+@dataclass(frozen=True)
+class BinSpec:
+    """Frozen recipe reproducing one measure's discretization.
+
+    ``method`` is ``"width"`` / ``"frequency"`` for range bins, or
+    ``"singleton"`` when the measure's distinct values were used directly
+    as categories (low-cardinality flags).  The spec is the persistable
+    half of :func:`discretize`: applying it to fresh data yields the same
+    labels the fitted table carried, so a loaded model serves new rows
+    without re-fitting the edges.
+    """
+
+    measure: str
+    column: str
+    method: str
+    bins: tuple[Bin, ...]
+
+    @property
+    def edges(self) -> tuple[float, ...]:
+        """The bin edges (lows plus the final high); empty for singletons."""
+        if self.method == "singleton":
+            return ()
+        return tuple(b.low for b in self.bins) + (self.bins[-1].high,)
+
+    def labels(self, values: np.ndarray) -> list[str]:
+        """Category label of each value, identical to the fit-time labels."""
+        if self.method == "singleton":
+            # Snap to the nearest fitted singleton so fresh data can never
+            # mint a category the graph was not learned on (fit-time values
+            # are themselves singletons, so their labels are unchanged).
+            cats = np.array([b.low for b in self.bins])
+            idx = np.abs(np.asarray(values)[:, None] - cats[None, :]).argmin(axis=1)
+            return [f"={cats[i]:.4g}" for i in idx]
+        edges = np.asarray(self.edges)
+        # np.digitize with right-open bins; values beyond either outer edge
+        # are clamped into the first/last bin, so fresh data out of the
+        # fitted range still maps to a known category.
+        idx = np.digitize(values, edges[1:-1], right=False)
+        return [str(self.bins[i]) for i in idx]
+
+    def apply(self, table: Table) -> Table:
+        """Append the derived dimension column to ``table``."""
+        values = table.measure_values(self.measure)
+        return table.with_column(
+            self.column, self.labels(values), role=Role.DIMENSION
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "measure": self.measure,
+            "column": self.column,
+            "method": self.method,
+            "bins": [[b.low, b.high] for b in self.bins],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BinSpec":
+        method = payload["method"]
+        if method not in ("width", "frequency", "singleton"):
+            raise SchemaError(f"unknown discretization method {method!r}")
+        bins = tuple(Bin(float(lo), float(hi)) for lo, hi in payload["bins"])
+        if not bins:
+            raise SchemaError(
+                f"bin spec for {payload['measure']!r} has no bins"
+            )
+        return cls(
+            measure=payload["measure"],
+            column=payload["column"],
+            method=method,
+            bins=bins,
+        )
+
+
+def fit_bins(
     table: Table,
     measure: str,
     n_bins: int = 5,
     method: str = "frequency",
     new_name: str | None = None,
-) -> tuple[Table, tuple[Bin, ...]]:
-    """Append a derived dimension binning ``measure``.
+) -> BinSpec:
+    """Learn the :class:`BinSpec` discretizing ``measure`` on ``table``.
 
     Parameters
     ----------
     method:
         ``"width"`` for equal-width bins, ``"frequency"`` for equal-frequency
         (quantile) bins — the default, which is robust to skew.
-
-    Returns
-    -------
-    (table, bins):
-        The table with the new dimension column (named ``f"{measure}_bin"``
-        unless overridden) and the bin ranges, ordered to match the
-        category codes of the new column.
     """
     if method not in ("width", "frequency"):
         raise SchemaError(f"unknown discretization method {method!r}")
@@ -85,8 +157,7 @@ def discretize(
         # quantile edges would collapse everything into one bin, so use the
         # distinct values themselves as singleton categories.
         bins = tuple(Bin(float(v), float(v)) for v in distinct)
-        labels = [f"={values[i]:.4g}" for i in range(len(values))]
-        return table.with_column(name, labels, role=Role.DIMENSION), bins
+        return BinSpec(measure, name, "singleton", bins)
     if method == "width":
         edges = equal_width_edges(values, n_bins)
     else:
@@ -94,7 +165,24 @@ def discretize(
     bins = tuple(
         Bin(float(edges[i]), float(edges[i + 1])) for i in range(len(edges) - 1)
     )
-    # np.digitize with right-open bins; clamp the maximum into the last bin.
-    idx = np.digitize(values, edges[1:-1], right=False)
-    labels = [str(bins[i]) for i in idx]
-    return table.with_column(name, labels, role=Role.DIMENSION), bins
+    return BinSpec(measure, name, method, bins)
+
+
+def discretize(
+    table: Table,
+    measure: str,
+    n_bins: int = 5,
+    method: str = "frequency",
+    new_name: str | None = None,
+) -> tuple[Table, tuple[Bin, ...]]:
+    """Append a derived dimension binning ``measure`` (fit + apply in one).
+
+    Returns
+    -------
+    (table, bins):
+        The table with the new dimension column (named ``f"{measure}_bin"``
+        unless overridden) and the bin ranges, ordered to match the
+        category codes of the new column.
+    """
+    spec = fit_bins(table, measure, n_bins=n_bins, method=method, new_name=new_name)
+    return spec.apply(table), spec.bins

@@ -7,7 +7,7 @@ from repro.datasets.hotel import generate_hotel
 from repro.datasets.lungcancer import generate_lungcancer, lungcancer_truth_graph
 from repro.datasets.random_graphs import BayesNet, attach_fd_children, random_dag
 from repro.datasets.syn_a import SynACase, generate_syn_a
-from repro.datasets.syn_b import SynBCase, generate_syn_b
+from repro.datasets.syn_b import SynBCase, generate_syn_b, serving_queries
 from repro.datasets.web import CAUSAL_BEHAVIOURS, generate_web, web_truth_graph
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "generate_lungcancer",
     "generate_syn_a",
     "generate_syn_b",
+    "serving_queries",
     "generate_web",
     "lungcancer_truth_graph",
     "random_dag",

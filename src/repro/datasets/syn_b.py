@@ -55,6 +55,21 @@ class SynBCase:
         return 2 * precision * recall / (precision + recall)
 
 
+def serving_queries(case: SynBCase, n: int) -> list[WhyQuery]:
+    """A serving stream of ``n`` queries for one SYN-B case: many queries
+    cycling over few distinct graph contexts (base query, its reversal,
+    SUM and COUNT variants) — the workload shape of the fit-once /
+    serve-many online phase."""
+    base = case.query
+    variants = [
+        base,
+        WhyQuery(base.s2, base.s1, base.measure, base.agg),
+        WhyQuery.create(base.s1, base.s2, base.measure, Aggregate.SUM),
+        WhyQuery.create(base.s1, base.s2, base.measure, Aggregate.COUNT),
+    ]
+    return [variants[i % len(variants)] for i in range(n)]
+
+
 def generate_syn_b(
     n_rows: int = 10_000,
     cardinality: int = 10,

@@ -60,6 +60,24 @@ class SepsetMap:
     def __len__(self) -> int:
         return len(self._sets)
 
+    def to_dict(self) -> list:
+        """JSON-ready payload: ``[x, y, [z...]]`` triples, sorted for
+        determinism (nodes must be JSON-representable, e.g. strings)."""
+        entries = []
+        for pair, z in self._sets.items():
+            x, y = sorted(pair, key=repr)
+            entries.append([x, y, sorted(z, key=repr)])
+        entries.sort(key=lambda e: (repr(e[0]), repr(e[1])))
+        return entries
+
+    @classmethod
+    def from_dict(cls, payload: list) -> "SepsetMap":
+        """Rebuild a SepsetMap from :meth:`to_dict` output."""
+        out = cls()
+        for x, y, z in payload:
+            out.record(x, y, z)
+        return out
+
 
 @dataclass
 class SkeletonResult:

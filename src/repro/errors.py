@@ -34,3 +34,8 @@ class ExplanationError(ReproError):
 
 class FDError(ReproError):
     """Functional dependency detection or graph construction failed."""
+
+
+class ModelError(ReproError):
+    """An XInsightModel artifact is malformed, unreadable, or from an
+    incompatible schema version."""

@@ -53,6 +53,25 @@ class FDGraph:
     def has_fd(self, lhs: str, rhs: str) -> bool:
         return self.graph.is_parent(lhs, rhs)
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload for model persistence."""
+        return {
+            "graph": self.graph.to_dict(),
+            "dependencies": [[fd.lhs, fd.rhs] for fd in self.dependencies],
+            "redundant": dict(self.redundant),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FDGraph":
+        """Rebuild an FDGraph from :meth:`to_dict` output."""
+        return cls(
+            graph=MixedGraph.from_dict(payload["graph"]),
+            dependencies=tuple(
+                FD(lhs, rhs) for lhs, rhs in payload["dependencies"]
+            ),
+            redundant=dict(payload["redundant"]),
+        )
+
 
 def build_fd_graph(
     attributes: Sequence[str],

@@ -244,6 +244,33 @@ class MixedGraph:
         return out
 
     # ------------------------------------------------------------------
+    # Serialization (node names must be JSON-representable, e.g. strings)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload: nodes in insertion order, edges with marks.
+
+        The payload round-trips through :meth:`from_dict` to an ``==`` graph
+        with the same node order (node order matters to callers that derive
+        iteration order from it).
+        """
+        return {
+            "nodes": list(self._adj),
+            "edges": [
+                [u, v, mark_u.value, mark_v.value]
+                for u, v, mark_u, mark_v in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MixedGraph":
+        """Rebuild a graph from a :meth:`to_dict` payload."""
+        graph = cls(payload["nodes"])
+        for u, v, mark_u, mark_v in payload["edges"]:
+            graph.add_edge(u, v, Endpoint(mark_u), Endpoint(mark_v))
+        return graph
+
+    # ------------------------------------------------------------------
     # Copies, comparison, display
     # ------------------------------------------------------------------
 

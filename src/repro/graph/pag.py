@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.errors import GraphError
 from repro.graph.endpoints import Endpoint
 from repro.graph.mixed_graph import MixedGraph
 
@@ -76,6 +77,34 @@ def is_almost_ancestor(graph: MixedGraph, x: Node, y: Node) -> bool:
                 visited.add(nxt)
                 stack.append(nxt)
     return False
+
+
+def pag_to_dict(graph: MixedGraph) -> dict:
+    """Serialize a PAG, verifying every edge is PAG-representable.
+
+    Thin validation layer over :meth:`MixedGraph.to_dict` used by the
+    persistable :class:`~repro.core.model.XInsightModel` artifact.
+    """
+    payload = graph.to_dict()
+    for u, v, mark_u, mark_v in payload["edges"]:
+        if not is_valid_pag_edge(Endpoint(mark_u), Endpoint(mark_v)):
+            raise GraphError(
+                f"edge {u!r}-{v!r} with marks ({mark_u}, {mark_v}) is not a "
+                "valid PAG edge"
+            )
+    return payload
+
+
+def pag_from_dict(payload: dict) -> MixedGraph:
+    """Rebuild a PAG from :func:`pag_to_dict` output, re-validating edges."""
+    graph = MixedGraph.from_dict(payload)
+    for u, v, mark_u, mark_v in graph.edges():
+        if not is_valid_pag_edge(mark_u, mark_v):
+            raise GraphError(
+                f"edge {u!r}-{v!r} with marks ({mark_u}, {mark_v}) is not a "
+                "valid PAG edge"
+            )
+    return graph
 
 
 def skeleton(graph: MixedGraph) -> MixedGraph:

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+from repro.core import DEFAULT_ALPHA, DEFAULT_MAX_DSEP_SIZE, DEFAULT_MEASURE_BINS
 from repro.data import write_csv
 from repro.datasets import generate_cityinfo, generate_lungcancer
 
@@ -124,3 +127,173 @@ class TestExplainCommand:
             ]
         )
         assert code == 2
+
+
+class TestUnifiedDefaults:
+    """Satellite: CLI and library defaults come from one place."""
+
+    def test_explain_flags_match_library_defaults(self, capsys):
+        parser = build_parser()
+        for command in ("explain", "fit", "batch-explain"):
+            argv = {
+                "explain": [command, "f.csv", "--s1", "a=b", "--s2", "a=c",
+                            "--measure", "m"],
+                "fit": [command, "f.csv", "--out", "m.json"],
+                "batch-explain": [command, "f.csv", "--queries", "q.json"],
+            }[command]
+            args = parser.parse_args(argv)
+            assert args.bins == DEFAULT_MEASURE_BINS, command
+            assert args.alpha == DEFAULT_ALPHA, command
+            assert args.max_dsep_size == DEFAULT_MAX_DSEP_SIZE, command
+            assert args.max_depth is None, command
+
+
+@pytest.fixture(scope="module")
+def lung_model(lungcancer_csv, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-model") / "lung_model.json"
+    assert main(["fit", lungcancer_csv, "--out", str(path), "--bins", "3"]) == 0
+    return str(path)
+
+
+class TestFitCommand:
+    def test_fit_saves_artifact(self, lung_model, capsys):
+        payload = json.loads(open(lung_model).read())
+        assert payload["format"] == "xinsight-model"
+        assert payload["fit"]["measure_bins"] == 3
+
+    def test_explain_serves_saved_model(self, lungcancer_csv, lung_model, capsys):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--model",
+                lung_model,
+                "--s1",
+                "Location=A",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Smoking" in captured.out
+        assert "fitting the offline phase" not in captured.err
+
+    def test_explain_with_missing_model_is_reported(
+        self, lungcancer_csv, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--model",
+                str(tmp_path / "absent.json"),
+                "--s1",
+                "Location=A",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+            ]
+        )
+        assert code == 2
+        assert "no model file" in capsys.readouterr().err
+
+
+class TestBatchExplainCommand:
+    @pytest.fixture()
+    def queries_file(self, tmp_path):
+        specs = [
+            {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+             "measure": "LungCancer", "agg": "AVG"},
+            {"s1": {"Location": "B"}, "s2": {"Location": "A"},
+             "measure": "LungCancer", "agg": "SUM"},
+        ]
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(specs))
+        return str(path)
+
+    def test_batch_serves_all_queries(
+        self, lungcancer_csv, lung_model, queries_file, capsys
+    ):
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", queries_file]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "query 1/2" in captured.out
+        assert "query 2/2" in captured.out
+        assert "answered 2/2" in captured.err
+
+    def test_batch_without_model_fits_once(
+        self, lungcancer_csv, queries_file, capsys
+    ):
+        code = main(["batch-explain", lungcancer_csv, "--queries", queries_file])
+        assert code == 0
+        assert capsys.readouterr().err.count("fitting the offline phase") == 1
+
+    def test_malformed_query_file_is_reported(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text('[{"s1": {"Location": "A"}}]')
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(bad)]
+        )
+        assert code == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_non_object_subspace_is_reported(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad_subspace.json"
+        bad.write_text(
+            '[{"s1": "Location=A", "s2": {"Location": "B"},'
+            ' "measure": "LungCancer"}]'
+        )
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(bad)]
+        )
+        assert code == 2
+        assert "must be a" in capsys.readouterr().err
+
+    def test_non_object_query_entry_is_reported(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad_entry.json"
+        bad.write_text('["s1"]')
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(bad)]
+        )
+        assert code == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_fit_flags_with_model_warn_and_are_ignored(
+        self, lungcancer_csv, lung_model, capsys
+    ):
+        code = main(
+            [
+                "explain",
+                lungcancer_csv,
+                "--model",
+                lung_model,
+                "--bins",
+                "2",
+                "--s1",
+                "Location=A",
+                "--s2",
+                "Location=B",
+                "--measure",
+                "LungCancer",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning: --bins ignored" in captured.err
+        assert "Smoking" in captured.out

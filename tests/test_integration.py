@@ -8,9 +8,16 @@ known ground truth.
 import numpy as np
 import pytest
 
-from repro.core import ExplanationType, XInsight, translate_variable, XDASemantics
+from repro.core import (
+    ExplainSession,
+    ExplanationType,
+    XDASemantics,
+    XInsightModel,
+    fit_model,
+    translate_variable,
+)
 from repro.data import Aggregate, Filter, Subspace, Table, WhyQuery
-from repro.datasets import generate_syn_b
+from repro.datasets import generate_syn_b, serving_queries
 from repro.fd import holds
 from repro.graph import dag_from_parents
 from repro.independence import ChiSquaredTest
@@ -84,74 +91,137 @@ class TestPrincipleOfExplainability:
 
 
 class TestPipelineOnSynB:
-    """Full Fig. 3 run against the SYN-B ground truth."""
+    """Full Fig. 3 run against the SYN-B ground truth (model/session API)."""
 
     @pytest.fixture(scope="class")
     def fitted(self):
         case = generate_syn_b(n_rows=20_000, seed=13)
-        engine = XInsight(case.table, measure_bins=4).fit()
-        return engine, case
+        model = fit_model(case.table, measure_bins=4)
+        return model, model.session(case.table), case
 
     def test_graph_recovers_x_y_chain(self, fitted):
-        engine, _ = fitted
-        graph = engine.graph
+        model, _, _ = fitted
+        graph = model.pag
         assert graph.has_edge("X", "Y")
-        assert graph.has_edge("Y", engine.node_of("Z"))
-        assert not graph.has_edge("X", engine.node_of("Z"))
+        assert graph.has_edge("Y", model.node_of("Z"))
+        assert not graph.has_edge("X", model.node_of("Z"))
 
     def test_y_not_pruned_but_unoriented(self, fitted):
         # A 3-variable chain has no collider: the MEC leaves every endpoint
         # a circle, so Table 3 cannot certify Y as causal — but rule ➀ must
         # not prune it either.
-        engine, case = fitted
-        report = engine.explain(case.query)
+        _, session, case = fitted
+        report = session.explain(case.query)
         assert report.translations["Y"].is_explainable
 
     def test_explanation_matches_ground_truth(self, fitted):
-        engine, case = fitted
-        report = engine.explain(case.query)
+        _, session, case = fitted
+        report = session.explain(case.query)
         y_expl = next(e for e in report.explanations if e.attribute == "Y")
         assert case.f1_against_truth(y_expl.predicate) == 1.0
 
-    def test_background_knowledge_upgrades_y_to_causal(self):
+    def test_background_knowledge_upgrades_y_to_causal(self, fitted):
         """Sec. 5: domain knowledge resolves what observational data cannot
-        — orienting Y → Z makes Y a causal explanation."""
+        — orienting Y → Z makes Y a causal explanation.  On the new surface
+        the re-oriented PAG becomes a *new* immutable model serving a new
+        session; the base model is untouched."""
         from repro.discovery import BackgroundKnowledge
         from repro.core import xlearner
 
-        case = generate_syn_b(n_rows=20_000, seed=13)
-        engine = XInsight(case.table, measure_bins=4)
-        engine.fit()
+        model, session, case = fitted
         oriented = xlearner(
-            engine.graph_table,
+            session.graph_table,
             knowledge=BackgroundKnowledge.of(
-                required=[("Y", engine.node_of("Z")), ("X", "Y")]
+                required=[("Y", model.node_of("Z")), ("X", "Y")]
             ),
         )
-        engine._learner = oriented
-        report = engine.explain(case.query)
+        informed = model.with_pag(oriented.pag)
+        report = informed.session(case.table).explain(case.query)
         assert report.translations["Y"].is_causal
         y_expl = next(e for e in report.explanations if e.attribute == "Y")
         assert y_expl.type is ExplanationType.CAUSAL
         assert case.f1_against_truth(y_expl.predicate) == 1.0
+        # Immutability: the original model still serves the unoriented PAG.
+        assert not model.pag.is_parent("Y", model.node_of("Z"))
 
     def test_contingency_is_complementary(self, fitted):
-        engine, case = fitted
-        report = engine.explain(case.query)
+        _, session, case = fitted
+        report = session.explain(case.query)
         y_expl = next(e for e in report.explanations if e.attribute == "Y")
         if y_expl.contingency is not None:
             assert not (y_expl.contingency.values & y_expl.predicate.values)
 
 
 class TestOfflineOnlineSplit:
-    def test_online_phase_is_fast(self):
+    """The Fig. 3 split as an explicit artifact/session pair, including the
+    ISSUE 2 acceptance criteria (loaded-model parity, discovery-once)."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        return generate_syn_b(n_rows=20_000, seed=14)
+
+    @pytest.fixture(scope="class")
+    def model(self, case):
+        return fit_model(case.table, measure_bins=4)
+
+    def test_online_phase_is_fast(self, case, model):
         """Fig. 3's point: repeated queries reuse the offline artifacts."""
         import time
 
-        case = generate_syn_b(n_rows=20_000, seed=14)
-        engine = XInsight(case.table, measure_bins=4).fit()
+        session = model.session(case.table)
         start = time.perf_counter()
         for _ in range(5):
-            engine.explain(case.query)
+            session.explain(case.query)
         per_query = (time.perf_counter() - start) / 5
         assert per_query < 0.5
+
+    def test_loaded_model_explanations_identical(self, case, model, tmp_path):
+        """save → load round-trips byte-identical explanations: every query
+        answered from the loaded artifact equals the in-memory fit."""
+        loaded = XInsightModel.load(model.save(tmp_path / "syn_b.json"))
+        assert loaded == model
+        fresh = loaded.session(case.table)
+        warm = model.session(case.table)
+        for query in serving_queries(case, 6):
+            a = warm.explain(query)
+            b = fresh.explain(query)
+            assert a.explanations == b.explanations
+            assert a.translations == b.translations
+            assert a.delta == b.delta
+
+    def test_explain_batch_runs_discovery_exactly_once(self, case, monkeypatch):
+        """≥20 queries through one session must never re-enter discovery."""
+        import repro.core.model as model_mod
+
+        calls = {"xlearner": 0}
+        real = model_mod.xlearner
+
+        def counting(*args, **kwargs):
+            calls["xlearner"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(model_mod, "xlearner", counting)
+        model = fit_model(case.table, measure_bins=4)
+        assert calls["xlearner"] == 1
+        session = model.session(case.table)
+        queries = serving_queries(case, 24)
+        reports = session.explain_batch(queries)
+        assert len(reports) == 24
+        assert all(r.explanations for r in reports[:2])
+        assert calls["xlearner"] == 1, "explain_batch re-ran the offline phase"
+        # And the per-context graph work was shared, not redone per query.
+        info = session.cache_info()
+        assert info["translation_misses"] <= 4
+        assert info["translation_hits"] >= 20
+
+    def test_session_on_fresh_rows_uses_stored_bins(self, case, model):
+        """A loaded/shared model re-discretizes *new* data with the stored
+        edges — the serving table never shifts the fitted bins."""
+        fresh_case = generate_syn_b(n_rows=5_000, seed=99)
+        session = model.session(fresh_case.table)
+        bin_col = model.node_of("Z")
+        fitted_categories = set(model.session(case.table).graph_table.categories(bin_col))
+        served_categories = set(session.graph_table.categories(bin_col))
+        assert served_categories <= fitted_categories
+        report = session.explain(fresh_case.query)
+        assert report.explanations
