@@ -17,11 +17,12 @@ or render the markdown table directly::
 """
 
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.bench import BenchTable, fmt_seconds
+from repro.bench import BenchTable, append_trajectory, fmt_seconds
 from repro.datasets.random_graphs import BayesNet, random_dag
 from repro.discovery import learn_skeleton
 from repro.independence import CachedCITest, ChiSquaredTest, VectorizedChiSquaredTest
@@ -32,6 +33,7 @@ N_NODES = 10
 N_ROWS = 5000
 SEED = 7
 TARGET_SPEEDUP = 3.0
+TRAJECTORY = Path(__file__).parent / "BENCH_ci_engine.json"
 
 
 def make_workload(n_nodes: int = N_NODES, n_rows: int = N_ROWS, seed: int = SEED):
@@ -103,6 +105,7 @@ class TestCIEngineSpeed:
             f"new={m['t_new']*1e3:.1f}ms speedup={m['speedup']:.1f}x"
         )
         assert m["parity"], "vectorized engine changed the skeleton or sepsets"
+        append_trajectory(TRAJECTORY, {"bench": "ci_engine_speed", **m})
         assert m["speedup"] >= TARGET_SPEEDUP, (
             f"expected ≥{TARGET_SPEEDUP}× speedup, got {m['speedup']:.2f}×"
         )

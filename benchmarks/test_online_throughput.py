@@ -18,13 +18,12 @@ or render the markdown table directly::
     PYTHONPATH=src python benchmarks/test_online_throughput.py
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.bench import BenchTable, fmt_seconds
+from repro.bench import BenchTable, append_trajectory, fmt_seconds
 from repro.core import ExplainSession, XInsight, fit_model
 from repro.datasets import generate_syn_b, serving_queries
 
@@ -72,20 +71,6 @@ def measure(n_rows: int = N_ROWS, seed: int = SEED) -> dict:
     }
 
 
-def append_trajectory(entry: dict, path: Path = TRAJECTORY) -> None:
-    """Append one run to the BENCH_online.json trajectory (a JSON list)."""
-    history = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = []
-    history.append(entry)
-    path.write_text(json.dumps(history, indent=2) + "\n")
-
-
 def run_experiment() -> BenchTable:
     table = BenchTable(
         "Online serving — explain_batch on a fitted model vs per-query refits",
@@ -124,7 +109,7 @@ class TestOnlineThroughput:
             f"expected ≥{TARGET_SPEEDUP}× over naive refits, "
             f"got {m['speedup']:.1f}×"
         )
-        append_trajectory({"bench": "online_throughput", **m})
+        append_trajectory(TRAJECTORY, {"bench": "online_throughput", **m})
 
 
 if __name__ == "__main__":

@@ -1,5 +1,21 @@
 """Benchmark support utilities."""
 
-from repro.bench.harness import BenchTable, fmt_f1, fmt_float, fmt_seconds, time_call
+from repro.bench.harness import (
+    BenchTable,
+    append_trajectory,
+    bench_env,
+    fmt_f1,
+    fmt_float,
+    fmt_seconds,
+    time_call,
+)
 
-__all__ = ["BenchTable", "fmt_f1", "fmt_float", "fmt_seconds", "time_call"]
+__all__ = [
+    "BenchTable",
+    "append_trajectory",
+    "bench_env",
+    "fmt_f1",
+    "fmt_float",
+    "fmt_seconds",
+    "time_call",
+]

@@ -7,8 +7,11 @@ the paper; ``benchmarks/run_all.py`` collects them into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -19,6 +22,49 @@ def time_call(fn: Callable[[], T]) -> tuple[T, float]:
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def bench_env(workers: int = 1, executor: str = "serial") -> dict:
+    """The execution-environment stamp every ``BENCH_*.json`` entry carries.
+
+    A trajectory number is meaningless without the parallelism it ran
+    under: the worker count, the executor kind, and how many CPUs the box
+    actually had (a 4-worker run on a 1-core container is serial in
+    disguise).
+    """
+    return {
+        "workers": workers,
+        "executor": executor,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def append_trajectory(
+    path: str | Path,
+    entry: dict,
+    workers: int = 1,
+    executor: str = "serial",
+) -> dict:
+    """Append one run to a ``BENCH_*.json`` trajectory (a JSON list).
+
+    The shared writer for every benchmark harness: merges the
+    :func:`bench_env` stamp into ``entry`` (explicit keys in ``entry``
+    win), recovers from a missing or corrupt trajectory file, and returns
+    the entry as written.
+    """
+    path = Path(path)
+    stamped = {**bench_env(workers=workers, executor=executor), **entry}
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(stamped)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return stamped
 
 
 @dataclass

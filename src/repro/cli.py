@@ -13,7 +13,10 @@ Usage examples::
 
 ``fit`` runs the heavy offline phase once and persists the artifact;
 ``explain`` / ``batch-explain`` serve queries against it (``explain``
-without ``--model`` fits in-process, the legacy one-shot workflow).  The
+without ``--model`` fits in-process, the legacy one-shot workflow).
+``fit`` and ``batch-explain`` accept ``--workers N`` / ``--executor
+{serial,thread,process}`` to shard discovery probing and query serving
+across workers (default: the ``REPRO_WORKERS`` env, else serial).  The
 batch query file is a JSON list of objects like
 ``{"s1": {"Location": "A"}, "s2": {"Location": "B"},
 "measure": "LungCancer", "agg": "AVG"}``.
@@ -47,6 +50,7 @@ from repro.data.table import Table
 from repro.errors import ReproError
 from repro.fd.graph import fd_graph_from_table
 from repro.graph.render import edge_list
+from repro.parallel import EXECUTOR_KINDS, REPRO_WORKERS_ENV, executor_scope
 
 
 def _parse_assignment(raw: str, table: Table) -> tuple[str, Hashable]:
@@ -91,8 +95,29 @@ def _add_fit_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-dsep-size", type=int, default=DEFAULT_MAX_DSEP_SIZE)
 
 
-def _session_for(args: argparse.Namespace, table: Table) -> ExplainSession:
-    """Serving session from ``--model`` if given, else an in-process fit."""
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallel-execution flags (see repro.parallel): worker count and kind."""
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard work across N workers "
+        f"(default: the {REPRO_WORKERS_ENV} env, else serial)",
+    )
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default=None,
+        help="worker kind when --workers > 1 (default: process)",
+    )
+
+
+def _executor_scope(args: argparse.Namespace):
+    """The executor resolved from ``--workers`` / ``--executor``."""
+    return executor_scope(args.workers, kind=args.executor)
+
+
+def _session_for(
+    args: argparse.Namespace, table: Table, executor=None
+) -> ExplainSession:
+    """Serving session from ``--model`` if given, else an in-process fit
+    (which shards its discovery probing over ``executor`` when given)."""
     if getattr(args, "model", None):
         overridden = [
             flag
@@ -114,7 +139,7 @@ def _session_for(args: argparse.Namespace, table: Table) -> ExplainSession:
         model = XInsightModel.load(args.model)
     else:
         print("fitting the offline phase ...", file=sys.stderr)
-        model = fit_model(table, **_fit_kwargs(args))
+        model = fit_model(table, executor=executor, **_fit_kwargs(args))
     return ExplainSession(model, table)
 
 
@@ -179,7 +204,8 @@ def cmd_groupby(args: argparse.Namespace) -> int:
 def cmd_fit(args: argparse.Namespace) -> int:
     table = read_csv(args.file)
     print("fitting the offline phase ...", file=sys.stderr)
-    model = fit_model(table, **_fit_kwargs(args))
+    with _executor_scope(args) as ex:
+        model = fit_model(table, executor=ex, **_fit_kwargs(args))
     path = model.save(args.out)
     print(
         f"saved model to {path}: {model.pag.n_nodes} nodes, "
@@ -231,8 +257,9 @@ def cmd_batch_explain(args: argparse.Namespace) -> int:
     if not isinstance(specs, list) or not specs:
         raise ReproError("query file must hold a non-empty JSON list of queries")
     queries = [_query_from_spec(spec, table) for spec in specs]
-    session = _session_for(args, table)
-    reports = session.explain_batch(queries)
+    with _executor_scope(args) as ex:
+        session = _session_for(args, table, executor=ex)
+        reports = session.explain_batch(queries, executor=ex)
     answered = 0
     for i, report in enumerate(reports, start=1):
         print(f"--- query {i}/{len(reports)} ---")
@@ -278,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("file")
     p_fit.add_argument("--out", required=True, metavar="MODEL.json")
     _add_fit_flags(p_fit)
+    _add_parallel_flags(p_fit)
     p_fit.set_defaults(func=cmd_fit)
 
     p_exp = sub.add_parser("explain", help="answer a Why Query")
@@ -308,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve against a saved model instead of fitting in-process",
     )
     _add_fit_flags(p_batch)
+    _add_parallel_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch_explain)
     return parser
 

@@ -208,6 +208,8 @@ def fit_offline(
     alpha: float = DEFAULT_ALPHA,
     max_depth: int | None = None,
     max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE,
+    workers: int | None = None,
+    executor=None,
 ) -> tuple[XInsightModel, XLearnerResult, CITest, Table]:
     """Run the offline phase, returning the persistable model plus the
     in-memory artifacts (full XLearner result, the CI test used, and the
@@ -216,6 +218,11 @@ def fit_offline(
 
     Most callers want :func:`fit_model`; the extra return values exist for
     diagnostics and the backward-compatible facade.
+
+    ``workers`` / ``executor`` parallelize the discovery stage's skeleton
+    probing (see :mod:`repro.parallel`); the fitted model is identical to
+    a serial fit, so parallel-fit artifacts are interchangeable with
+    serial ones.
     """
     graph_table = table
     aliases: dict[str, str] = {}
@@ -241,6 +248,8 @@ def fit_offline(
         alpha=alpha,
         max_depth=max_depth,
         max_dsep_size=max_dsep_size,
+        workers=workers,
+        executor=executor,
     )
     model = XInsightModel(
         pag=learner.pag,
@@ -265,6 +274,8 @@ def fit_model(
     alpha: float = DEFAULT_ALPHA,
     max_depth: int | None = None,
     max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE,
+    workers: int | None = None,
+    executor=None,
 ) -> XInsightModel:
     """Run the offline phase (discretize, detect FDs, XLearner) once and
     return the immutable, persistable :class:`XInsightModel`."""
@@ -276,5 +287,7 @@ def fit_model(
         alpha=alpha,
         max_depth=max_depth,
         max_dsep_size=max_dsep_size,
+        workers=workers,
+        executor=executor,
     )
     return model

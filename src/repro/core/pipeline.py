@@ -68,8 +68,15 @@ class XInsight:
         self,
         columns: Sequence[str] | None = None,
         ci_test: CITest | None = None,
+        workers: int | None = None,
+        executor=None,
     ) -> "XInsight":
-        """Run the offline phase: discretize measures, detect FDs, XLearner."""
+        """Run the offline phase: discretize measures, detect FDs, XLearner.
+
+        ``workers`` / ``executor`` shard the discovery phase's CI probing
+        (see :mod:`repro.parallel`); the fitted state is identical to a
+        serial fit.
+        """
         model, learner, test, graph_table = fit_offline(
             self.table,
             columns=columns,
@@ -78,6 +85,8 @@ class XInsight:
             alpha=self.alpha,
             max_depth=self.max_depth,
             max_dsep_size=self.max_dsep_size,
+            workers=workers,
+            executor=executor,
         )
         self._model = model
         self._learner = learner

@@ -97,6 +97,7 @@ class ExplainSession:
         self._candidates: dict[ContextKey, tuple[str, ...]] = {}
         self._translations: dict[ContextKey, dict[str, Translation]] = {}
         self._homogeneity: dict[tuple[str, str, frozenset], bool] = {}
+        self._shard_task: "ExplainShardTask | None" = None
 
     # ------------------------------------------------------------------
     # Model delegation
@@ -247,11 +248,83 @@ class ExplainSession:
         queries: Iterable[WhyQuery],
         method: str = "auto",
         config: XPlainerConfig | None = None,
+        workers: int | None = None,
+        executor=None,
     ) -> list[XInsightReport]:
         """Answer a stream of Why Queries against the one fitted model.
 
         Reports come back in input order; all per-context graph work is
         shared through the session caches, so a batch of queries over few
         distinct contexts costs little more than one query per context.
+
+        ``workers`` / ``executor`` (see :mod:`repro.parallel`) select the
+        sharded mode: the query list is split into balanced contiguous
+        shards and fanned out across workers that each rebuild a serving
+        session over this session's model artifact exactly once (for
+        process workers, via the same versioned payload ``save``/``load``
+        round-trips through), then the ranked reports are merged back in
+        input order.  Explanations are per-query pure, so sharded output is
+        identical to serial; only this session's translation/homogeneity
+        cache counters stay untouched — the per-worker sessions cache
+        privately.
         """
-        return [self.explain(q, method=method, config=config) for q in queries]
+        queries = list(queries)
+        from repro.parallel import executor_scope, plan_shards
+
+        with executor_scope(workers, executor) as ex:
+            if ex.workers <= 1 or len(queries) <= 1:
+                return [self.explain(q, method=method, config=config) for q in queries]
+            task = self._shard_task_for(config or self.config, method)
+            shards = plan_shards(len(queries), ex.workers)
+            merged = ex.map(task, [s.take(queries) for s in shards])
+        self.stats.queries += len(queries)
+        return [report for chunk in merged for report in chunk]
+
+    def _shard_task_for(
+        self, config: XPlainerConfig, method: str
+    ) -> "ExplainShardTask":
+        """The shard task of this session (cached per (config, method)).
+
+        Task identity is what a :class:`~repro.parallel.ProcessExecutor`
+        keys its worker pool on, so a serving loop that calls
+        ``explain_batch`` repeatedly with one caller-owned executor must
+        get the *same* task object back to keep the pool (and the model
+        payload shipped to each worker) alive across calls.
+        """
+        task = self._shard_task
+        if task is None or task.config != config or task.method != method:
+            task = ExplainShardTask(self.model.to_dict(), self.table, config, method)
+            self._shard_task = task
+        return task
+
+
+class ExplainShardTask:
+    """Picklable :class:`~repro.parallel.ShardTask` for sharded serving.
+
+    Carries the model's versioned payload (the exact dict ``save`` writes)
+    plus the serving table; ``build_state`` rebuilds the model and opens a
+    private :class:`ExplainSession` once per worker, so per-shard pickle
+    traffic is only the query slices out and the reports back — the
+    fit-once / serve-many artifact crosses each worker boundary once.
+    """
+
+    def __init__(
+        self,
+        model_payload: dict,
+        table: Table,
+        config: XPlainerConfig,
+        method: str,
+    ) -> None:
+        self.model_payload = model_payload
+        self.table = table
+        self.config = config
+        self.method = method
+
+    def build_state(self) -> ExplainSession:
+        model = XInsightModel.from_dict(self.model_payload)
+        return ExplainSession(model, self.table, config=self.config)
+
+    def run(
+        self, session: ExplainSession, queries: Iterable[WhyQuery]
+    ) -> list[XInsightReport]:
+        return [session.explain(q, method=self.method) for q in queries]

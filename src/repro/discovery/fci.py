@@ -8,6 +8,7 @@ tests) and with statistical tests on data (benchmarks).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Hashable, Sequence
@@ -95,6 +96,7 @@ def fci(
     max_dsep_size: int | None = 3,
     complete_rules: bool = True,
     use_possible_d_sep: bool = True,
+    executor=None,
 ) -> FCIResult:
     """Run FCI over ``nodes`` and return the PAG.
 
@@ -107,9 +109,15 @@ def fci(
         default 3 follows common practice to keep the phase tractable.
     complete_rules:
         Apply Zhang's full R1–R10 (True) or only R1–R4.
+    executor:
+        Optional :class:`repro.parallel.Executor` sharding the skeleton
+        phase's per-depth probe batches across workers (output identical
+        to serial; see :func:`~repro.discovery.skeleton.learn_skeleton`).
+        The Possible-D-SEP phase stays sequential but re-tests nothing a
+        sharded skeleton already probed when ``ci_test`` caches.
     """
     start_calls = ci_test.calls
-    skel: SkeletonResult = learn_skeleton(nodes, ci_test, max_depth)
+    skel: SkeletonResult = learn_skeleton(nodes, ci_test, max_depth, executor=executor)
     graph = skel.graph
     sepsets = skel.sepsets
 
@@ -128,6 +136,26 @@ def fci(
 
     apply_fci_rules(graph, sepsets, complete_rules=complete_rules)
     return FCIResult(graph, sepsets, ci_test.calls - start_calls)
+
+
+def warn_if_unsharded(ci_test: CITest, executor) -> None:
+    """Warn when a multi-worker request cannot engage.
+
+    Sharded probing rides on the batched skeleton strategy, which needs a
+    ``supports_batch`` CI test; with the sequential first-hit strategy an
+    explicit ``workers>1`` request would silently run serial otherwise.
+    """
+    if (
+        executor is not None
+        and executor.workers > 1
+        and not getattr(ci_test, "supports_batch", False)
+    ):
+        warnings.warn(
+            f"workers={executor.workers} ignored: {type(ci_test).__name__} has "
+            "no native batch support, so skeleton learning uses the sequential "
+            "strategy (use the vectorized engine for sharded probing)",
+            stacklevel=3,
+        )
 
 
 def default_ci_test(table, alpha: float = 0.05, vectorized: bool = True) -> CITest:
@@ -155,14 +183,30 @@ def fci_from_table(
     alpha: float = 0.05,
     columns: Sequence[str] | None = None,
     vectorized: bool = True,
+    workers: int | None = None,
+    executor=None,
     **kwargs,
 ) -> FCIResult:
     """Convenience entry point: FCI on a Table with a cached χ² test
-    (vectorized engine by default)."""
+    (vectorized engine by default).
+
+    ``workers`` / ``executor`` select parallel skeleton probing: pass a
+    worker count (process workers by default; ``workers=None`` reads the
+    ``REPRO_WORKERS`` env, falling back to serial) or a ready-made
+    :class:`repro.parallel.Executor`.  Discovery output is identical to
+    the serial path either way.  Sharding requires the batch-capable
+    engine: with ``vectorized=False`` (or a factory whose test lacks
+    ``supports_batch``) an explicit multi-worker request warns and runs
+    serial.
+    """
+    from repro.parallel import executor_scope
+
     if columns is None:
         columns = table.dimensions
     if ci_test_factory is None:
         ci_test = default_ci_test(table, alpha=alpha, vectorized=vectorized)
     else:
         ci_test = ci_test_factory(table)
-    return fci(tuple(columns), ci_test, **kwargs)
+    with executor_scope(workers, executor) as ex:
+        warn_if_unsharded(ci_test, ex)
+        return fci(tuple(columns), ci_test, executor=ex, **kwargs)

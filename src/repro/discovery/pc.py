@@ -78,26 +78,35 @@ def pc_from_table(
     alpha: float = 0.05,
     columns: Sequence[str] | None = None,
     vectorized: bool = True,
+    workers: int | None = None,
+    executor=None,
     **kwargs,
 ) -> PCResult:
     """Convenience entry point: PC on a Table with a cached χ² test
-    (vectorized engine by default), mirroring ``fci_from_table``."""
-    from repro.discovery.fci import default_ci_test
+    (vectorized engine by default), mirroring ``fci_from_table`` — including
+    its ``workers``/``executor`` kwargs for sharded skeleton probing (which
+    need the batch-capable engine; ``vectorized=False`` with multiple
+    workers warns and runs serial)."""
+    from repro.discovery.fci import default_ci_test, warn_if_unsharded
+    from repro.parallel import executor_scope
 
     if columns is None:
         columns = table.dimensions
     ci_test = default_ci_test(table, alpha=alpha, vectorized=vectorized)
-    return pc(tuple(columns), ci_test, **kwargs)
+    with executor_scope(workers, executor) as ex:
+        warn_if_unsharded(ci_test, ex)
+        return pc(tuple(columns), ci_test, executor=ex, **kwargs)
 
 
 def pc(
     nodes: Sequence[Node],
     ci_test: CITest,
     max_depth: int | None = None,
+    executor=None,
 ) -> PCResult:
     """Run PC-stable and return a CPDAG."""
     start_calls = ci_test.calls
-    skel = learn_skeleton(nodes, ci_test, max_depth)
+    skel = learn_skeleton(nodes, ci_test, max_depth, executor=executor)
     graph = skel.graph
     orient_colliders(graph, skel.sepsets, as_cpdag=True)
     # Remaining circle marks denote undirected CPDAG edges: use tails.

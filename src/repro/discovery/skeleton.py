@@ -18,6 +18,10 @@ Probing comes in two flavors with identical output:
   are pure, evaluating probes past the first independence cannot change
   which edge is removed or which sepset is recorded — the skeleton and
   SepsetMap are byte-identical to the sequential path.
+
+The batched flavor optionally shards each depth's probe batch across the
+workers of a :class:`repro.parallel.Executor`; the replay argument above is
+what makes parallel discovery exact rather than approximate.
 """
 
 from __future__ import annotations
@@ -59,6 +63,19 @@ class SepsetMap:
 
     def __len__(self) -> int:
         return len(self._sets)
+
+    def __eq__(self, other: object) -> bool:
+        """Whole-map equality: same separated pairs, same separating sets.
+
+        The parity suites compare entire skeletons with ``==`` (graphs via
+        :meth:`MixedGraph.__eq__`, sepsets via this) instead of iterating
+        ``items()`` by hand.
+        """
+        if not isinstance(other, SepsetMap):
+            return NotImplemented
+        return self._sets == other._sets
+
+    __hash__ = None  # mutable mapping: unhashable, like dict
 
     def to_dict(self) -> list:
         """JSON-ready payload: ``[x, y, [z...]]`` triples, sorted for
@@ -113,6 +130,7 @@ def learn_skeleton(
     ci_test: CITest,
     max_depth: int | None = None,
     batch: bool | None = None,
+    executor=None,
 ) -> SkeletonResult:
     """FCI-SL lines 1–8 (Alg. 3): depth-wise edge removal.
 
@@ -126,6 +144,14 @@ def learn_skeleton(
     strategy.  Both strategies produce identical skeletons and sepsets
     (only ``tests_run`` can differ, since the batch path evaluates a pair's
     whole candidate list up front).
+
+    ``executor`` (a :class:`repro.parallel.Executor`) shards each depth's
+    probe batch across workers: the per-depth batch is split into balanced
+    contiguous shards, mapped over the executor, and the merged ``(x, y, Z)
+    → CITestResult`` verdicts are replayed in the sequential visit order —
+    so the skeleton and sepsets stay byte-identical to the serial path no
+    matter the worker count.  It only engages on the batched strategy;
+    the sequential strategy's first-hit early exit is inherently ordered.
     """
     graph = MixedGraph(nodes)
     for x, y in combinations(nodes, 2):
@@ -148,7 +174,12 @@ def learn_skeleton(
             probes = [
                 (x, y, subset) for x, y, subsets in visits for subset in subsets
             ]
-            results = ci_test.test_batch(probes)
+            if executor is None or executor.workers <= 1:
+                # Keep the serial call positional-only: tests that override
+                # ``test_batch`` without the executor kwarg stay supported.
+                results = ci_test.test_batch(probes)
+            else:
+                results = ci_test.test_batch(probes, executor=executor)
             verdicts = [r.independent(ci_test.alpha) for r in results]
             offset = 0
             for x, y, subsets in visits:

@@ -48,11 +48,19 @@ class CachedCITest(CITest):
         return result
 
     def test_batch(
-        self, probes: Sequence[tuple[Var, Var, Iterable[Var]]]
+        self,
+        probes: Sequence[tuple[Var, Var, Iterable[Var]]],
+        executor=None,
     ) -> list[CITestResult]:
         """Batch lookup: unseen canonical keys are deduplicated and sent to
         the inner test in one batch, then every probe is answered from the
-        cache (so ``(x, y | z)`` and ``(y, x | z)`` cost one inner test)."""
+        cache (so ``(x, y | z)`` and ``(y, x | z)`` cost one inner test).
+
+        With an ``executor`` the inner batch is sharded across workers and
+        the merged verdicts populate this shared cache — a miss per unique
+        triple regardless of how many workers computed the shard, so the
+        post-parallel replay and the Possible-D-SEP phase are pure hits.
+        """
         probes = [(x, y, tuple(z)) for x, y, z in probes]
         self.calls += len(probes)
         keys = [self.canonical_key(x, y, z) for x, y, z in probes]
@@ -62,7 +70,12 @@ class CachedCITest(CITest):
                 missing[key] = probe
         if missing:
             self.misses += len(missing)
-            results = self.inner.test_batch(list(missing.values()))
+            if executor is None:
+                results = self.inner.test_batch(list(missing.values()))
+            else:
+                results = self.inner.test_batch(
+                    list(missing.values()), executor=executor
+                )
             for key, result in zip(missing, results):
                 self._cache[key] = result
         return [self._cache[key] for key in keys]

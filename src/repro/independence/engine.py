@@ -119,6 +119,24 @@ class EncodedDataset:
         # (sorted z names) -> (compressed stratum codes, n observed strata)
         self._strata_cache: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle the codes, not the derived stratum cache: process workers
+        rebuild strata locally, keeping the payload one array per column."""
+        state = dict(self.__dict__)
+        state["_strata_cache"] = {}
+        return state
+
+    def fork(self) -> "EncodedDataset":
+        """A view sharing the (immutable) code arrays but owning a private
+        stratum cache — one per worker thread, so the unlocked LRU cache is
+        never touched concurrently."""
+        clone = object.__new__(EncodedDataset)
+        clone._codes = self._codes
+        clone._categories = self._categories
+        clone.n_rows = self.n_rows
+        clone._strata_cache = {}
+        return clone
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -293,6 +311,44 @@ def _sparse_stat(
     return float(per_stratum[valid].sum()), float(dof[valid].sum())
 
 
+class CIProbeShardTask:
+    """Picklable :class:`~repro.parallel.ShardTask` evaluating probe shards.
+
+    Ships the encoded dataset and test parameters to each worker exactly
+    once (``build_state`` reconstructs a private :class:`BatchCITester`
+    there); per-shard traffic is only ``(x, y, Z)`` name triples out and
+    :class:`~repro.independence.base.CITestResult` verdicts back.  Workers
+    run the same ``test_batch`` code as the serial path, so the merged
+    verdicts are byte-identical to an unsharded run.
+    """
+
+    def __init__(
+        self,
+        data: EncodedDataset,
+        alpha: float,
+        statistic_kind: str,
+        min_stratum_rows: int,
+        dense_limit: int,
+    ) -> None:
+        self.data = data
+        self.alpha = alpha
+        self.statistic_kind = statistic_kind
+        self.min_stratum_rows = min_stratum_rows
+        self.dense_limit = dense_limit
+
+    def build_state(self) -> "BatchCITester":
+        return BatchCITester(
+            self.data.fork(),
+            alpha=self.alpha,
+            min_stratum_rows=self.min_stratum_rows,
+            statistic_kind=self.statistic_kind,
+            dense_limit=self.dense_limit,
+        )
+
+    def run(self, state: "BatchCITester", probes) -> list[CITestResult]:
+        return state.test_batch(probes)
+
+
 class BatchCITester(CITest):
     """Vectorized contingency CI test with a native batch interface.
 
@@ -326,6 +382,7 @@ class BatchCITester(CITest):
         if self.statistic_kind not in ("chi2", "g"):
             raise ValueError(f"unknown statistic kind {self.statistic_kind!r}")
         self.dense_limit = dense_limit
+        self._shard_task: CIProbeShardTask | None = None
 
     def _stat_dof(self, x: str, y: str, z: tuple[str, ...]) -> tuple[float, float]:
         _, n_strata = self.data.strata(z)
@@ -344,10 +401,32 @@ class BatchCITester(CITest):
         p_value = float(stats.chi2.sf(statistic, dof)) if dof > 0 else 1.0
         return CITestResult(x, y, z, statistic, p_value, dof)
 
+    def shard_task(self) -> CIProbeShardTask:
+        """The picklable per-worker evaluator of this tester (cached, so a
+        long-lived process pool is reused across every depth's batch)."""
+        if self._shard_task is None:
+            self._shard_task = CIProbeShardTask(
+                self.data,
+                self.alpha,
+                self.statistic_kind,
+                self.min_stratum_rows,
+                self.dense_limit,
+            )
+        return self._shard_task
+
     def test_batch(
-        self, probes: Sequence[tuple[Var, Var, Iterable[Var]]]
+        self,
+        probes: Sequence[tuple[Var, Var, Iterable[Var]]],
+        executor=None,
     ) -> list[CITestResult]:
         probes = [(x, y, tuple(z)) for x, y, z in probes]
+        if executor is not None and executor.workers > 1 and len(probes) > 1:
+            from repro.parallel import split
+
+            self.calls += len(probes)
+            shards = split(probes, executor.workers)
+            merged = executor.map(self.shard_task(), shards)
+            return [result for chunk in merged for result in chunk]
         self.calls += len(probes)
         if not probes:
             return []

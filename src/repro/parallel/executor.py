@@ -1,0 +1,247 @@
+"""Pluggable executors: serial, thread-pool and process-pool shard mapping.
+
+The parallel subsystem runs *shard tasks* — small picklable objects obeying
+the :class:`ShardTask` protocol — over the shard payloads produced by
+:mod:`repro.parallel.plan`:
+
+* ``build_state()`` constructs the expensive per-worker state (an encoded
+  dataset, a serving session over a loaded model, ...) **once per worker**;
+* ``run(state, payload)`` evaluates one shard against that state.
+
+Only the task (once, at pool start) and the compact shard payloads /
+verdicts ever cross a process boundary; the heavyweight state never does.
+``Executor.map`` returns shard results in shard order, so merged output is
+independent of worker scheduling — the invariant every parity guarantee in
+this repo is built on.
+
+Executor choice in one line: :class:`SerialExecutor` is the reference
+(and the ``workers <= 1`` fast path), :class:`ThreadExecutor` wins when the
+shard work releases the GIL (numpy-heavy CI batches) or is I/O bound, and
+:class:`ProcessExecutor` wins for Python-heavy work (explanation search)
+and large CPU-bound sweeps.  ``REPRO_WORKERS`` sets the fleet-wide default
+worker count for every entry point that takes ``workers=None``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from repro.errors import ReproError
+
+REPRO_WORKERS_ENV = "REPRO_WORKERS"
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+DEFAULT_KIND = "process"
+
+
+class ShardTask:
+    """Protocol of the work unit an :class:`Executor` maps over shards.
+
+    Subclasses must be picklable (for :class:`ProcessExecutor`) and
+    stateless across ``run`` calls except through the ``state`` object
+    returned by :meth:`build_state` — with per-worker state, no locking is
+    ever needed.
+    """
+
+    def build_state(self) -> Any:
+        """Heavy once-per-worker setup; the default task needs none."""
+        return None
+
+    def run(self, state: Any, payload: Any) -> Any:
+        """Evaluate one shard payload against the worker state."""
+        raise NotImplementedError
+
+
+class Executor(ABC):
+    """Maps a :class:`ShardTask` over shard payloads, preserving order."""
+
+    kind: str = "abstract"
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be ≥ 1, got {workers}")
+        self.workers = workers
+
+    @abstractmethod
+    def map(self, task: ShardTask, payloads: Sequence[Any]) -> list[Any]:
+        """Run ``task`` on every payload; results come back in input order."""
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; a no-op for serial)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """In-process reference executor — the ``workers=1`` path."""
+
+    kind = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(1)
+
+    def map(self, task: ShardTask, payloads: Sequence[Any]) -> list[Any]:
+        state = task.build_state()
+        return [task.run(state, payload) for payload in payloads]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool executor with per-thread task state.
+
+    Each worker thread lazily builds its own state via ``build_state`` —
+    thread-local, so tasks whose state holds unlocked caches (e.g. an
+    :class:`~repro.independence.engine.EncodedDataset` stratum cache) stay
+    race-free without any synchronization.  The pool persists across
+    ``map`` calls; a new task simply rebuilds the thread-local state.
+    """
+
+    kind = "thread"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._local = threading.local()
+
+    def _state_for(self, task: ShardTask) -> Any:
+        if getattr(self._local, "task", None) is not task:
+            self._local.state = task.build_state()
+            self._local.task = task
+        return self._local.state
+
+    def map(self, task: ShardTask, payloads: Sequence[Any]) -> list[Any]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        return list(
+            self._pool.map(lambda p: task.run(self._state_for(task), p), payloads)
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# Per-worker-process globals, installed by the pool initializer.  Each
+# ProcessPoolExecutor owns its worker processes, so two live executors can
+# never collide on these.
+_WORKER_TASK: ShardTask | None = None
+_WORKER_STATE: Any = None
+
+
+def _process_init(task: ShardTask) -> None:
+    global _WORKER_TASK, _WORKER_STATE
+    _WORKER_TASK = task
+    _WORKER_STATE = task.build_state()
+
+
+def _process_run(payload: Any) -> Any:
+    assert _WORKER_TASK is not None, "worker used before initialization"
+    return _WORKER_TASK.run(_WORKER_STATE, payload)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool executor: the task ships to each worker exactly once.
+
+    The pool initializer pickles the task a single time per worker and
+    calls ``build_state`` there, so per-shard traffic is only the compact
+    payload out and the verdicts back.  The pool (and its built state) is
+    reused across ``map`` calls with the same task — e.g. the one batch per
+    PC-stable depth — and transparently rebuilt when the task changes.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._task: ShardTask | None = None
+
+    def _pool_for(self, task: ShardTask) -> ProcessPoolExecutor:
+        if self._pool is not None and self._task is not task:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_init,
+                initargs=(task,),
+            )
+            self._task = task
+        return self._pool
+
+    def map(self, task: ShardTask, payloads: Sequence[Any]) -> list[Any]:
+        if not payloads:
+            return []
+        return list(self._pool_for(task).map(_process_run, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._task = None
+
+
+def default_workers() -> int:
+    """The fleet-wide worker default: ``REPRO_WORKERS`` env, else 1 (serial).
+
+    Malformed or non-positive values fall back to 1 rather than erroring —
+    a bad env var on a worker box should degrade to serial, not crash."""
+    raw = os.environ.get(REPRO_WORKERS_ENV, "").strip()
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 1
+    return workers if workers >= 1 else 1
+
+
+def make_executor(workers: int, kind: str | None = None) -> Executor:
+    """Build an executor: serial for one worker, else ``kind`` (default
+    :data:`DEFAULT_KIND`, i.e. process workers)."""
+    if kind is not None and kind not in EXECUTOR_KINDS:
+        raise ReproError(
+            f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}"
+        )
+    if workers <= 1 and kind in (None, "serial"):
+        return SerialExecutor()
+    kind = kind or DEFAULT_KIND
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    return ProcessExecutor(workers)
+
+
+@contextmanager
+def executor_scope(
+    workers: int | None = None,
+    executor: Executor | None = None,
+    kind: str | None = None,
+) -> Iterator[Executor]:
+    """Resolve the ``workers=`` / ``executor=`` kwargs of an entry point.
+
+    An explicitly passed executor is used as-is and stays open (the caller
+    owns its lifecycle); otherwise one is built from ``workers`` (defaulting
+    to :func:`default_workers`, i.e. the ``REPRO_WORKERS`` env) and closed
+    when the scope exits.
+    """
+    if executor is not None:
+        yield executor
+        return
+    own = make_executor(default_workers() if workers is None else workers, kind)
+    try:
+        yield own
+    finally:
+        own.close()
