@@ -87,7 +87,12 @@ def ablate_parent_selection(seeds=(0, 1, 2), n_nodes=10, n_rows=2500):
 
 
 class _CountingProfile:
-    """AttributeProfile proxy counting Δ probes."""
+    """AttributeProfile proxy counting Δ probes.
+
+    The vectorized searches evaluate candidates through the batched
+    kernels (one call, many probes), so each batched row counts as one
+    probe — the same unit the scalar per-candidate loop was measured in.
+    """
 
     def __init__(self, profile: AttributeProfile) -> None:
         self._profile = profile
@@ -99,6 +104,18 @@ class _CountingProfile:
     def delta_without(self, mask):
         self.probes += 1
         return self._profile.delta_without(mask)
+
+    def delta_without_many(self, removed):
+        self.probes += np.atleast_2d(np.asarray(removed)).shape[0]
+        return self._profile.delta_without_many(removed)
+
+    def delta_of_many(self, selected):
+        self.probes += np.atleast_2d(np.asarray(selected)).shape[0]
+        return self._profile.delta_of_many(selected)
+
+    def delta_from_stats(self, stats):
+        self.probes += np.atleast_2d(np.asarray(stats)).shape[0]
+        return self._profile.delta_from_stats(stats)
 
 
 def _homogeneous_case(n=30_000, m=12, seed=5):

@@ -39,6 +39,7 @@ from repro.data import (
     Aggregate,
     Filter,
     Predicate,
+    QueryWorkspace,
     Role,
     Subspace,
     Table,
@@ -63,6 +64,7 @@ __all__ = [
     "Filter",
     "MixedGraph",
     "Predicate",
+    "QueryWorkspace",
     "Role",
     "Subspace",
     "Table",

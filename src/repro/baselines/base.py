@@ -39,30 +39,33 @@ class RowLevelEvaluator:
         self.table = table
         self.query = query
         self.attribute: str | None = None
-        self._filter_masks: list[np.ndarray] = []
+        self._codes: np.ndarray | None = None
+        self._present: np.ndarray = np.empty(0, dtype=np.int64)
         self.values: tuple = ()
         self.evaluations = 0
 
     def bind(self, attribute: str) -> None:
-        """Precompute the per-filter row masks of the explanation attribute
-        (all baselines enumerate the same candidate filters)."""
+        """Precompute the filter codes of the explanation attribute (all
+        baselines enumerate the same candidate filters)."""
         self.attribute = attribute
         codes = self.table.codes(attribute)
         categories = self.table.categories(attribute)
-        present = np.unique(codes)
-        self.values = tuple(categories[c] for c in present)
-        self._filter_masks = [codes == c for c in present]
+        self._codes = codes
+        self._present = np.unique(codes)
+        self.values = tuple(categories[c] for c in self._present)
 
     @property
     def n_filters(self) -> int:
-        return len(self._filter_masks)
+        return int(self._present.size)
 
     def removal_mask(self, selected: np.ndarray) -> np.ndarray:
-        removed = np.zeros(self.table.n_rows, dtype=bool)
-        for i, flag in enumerate(selected):
-            if flag:
-                removed |= self._filter_masks[i]
-        return removed
+        """Rows covered by the selected filters — one vectorized membership
+        test instead of OR-ing per-filter masks in a Python loop.  The Δ
+        evaluation itself deliberately stays row-level (see module docstring)."""
+        selected = np.asarray(selected, dtype=bool)
+        if self._codes is None or not selected.any():
+            return np.zeros(self.table.n_rows, dtype=bool)
+        return np.isin(self._codes, self._present[selected])
 
     def delta_without(self, selected: np.ndarray) -> float:
         """Δ(D − D_P) recomputed from raw rows."""

@@ -198,6 +198,15 @@ class XInsight:
         queries: Sequence[WhyQuery],
         method: str = "auto",
         config: XPlainerConfig | None = None,
+        workers: int | None = None,
+        executor=None,
     ) -> list[XInsightReport]:
-        """Batch serving over the fitted model (requires an explicit fit)."""
-        return self.session.explain_batch(queries, method=method, config=config)
+        """Batch serving over the fitted model (requires an explicit fit).
+
+        ``workers`` / ``executor`` fan the query stream across shards (see
+        :meth:`repro.core.session.ExplainSession.explain_batch`), matching
+        the session surface so facade users get sharded serving too.
+        """
+        return self.session.explain_batch(
+            queries, method=method, config=config, workers=workers, executor=executor
+        )

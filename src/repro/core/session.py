@@ -6,9 +6,12 @@ Queries.  It is stateless with respect to the model (many sessions can
 share one model; nothing here mutates it) and caches per-session: repeated
 queries against the same (measure, context) skip the candidate resolution,
 XTranslator classification, and m-separation traversals they would
-otherwise redo.  ``explain_batch`` serves a whole query stream against a
-single offline fit — the fit-once / serve-many workflow the paper's
-two-phase architecture is built for.
+otherwise redo, and repeated queries reuse a memoized
+:class:`~repro.data.query.QueryWorkspace` (sibling masks + candidate
+profiles), so only a query's first occurrence pays the O(N) table scan.
+``explain_batch`` serves a whole query stream against a single offline fit
+— the fit-once / serve-many workflow the paper's two-phase architecture is
+built for.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from repro.core.explanation import Explanation, ExplanationType
 from repro.core.model import XInsightModel
 from repro.core.xplainer import XPlainerConfig, explain_attribute
 from repro.core.xtranslator import Translation, XDASemantics, translate
-from repro.data.query import WhyQuery, candidate_attributes
+from repro.data.query import QueryWorkspace, WhyQuery, candidate_attributes
 from repro.data.table import Table
 from repro.graph.mixed_graph import MixedGraph
 from repro.graph.separation import m_separated
@@ -28,6 +31,13 @@ from repro.graph.separation import m_separated
 # (measure, foreground, background) — everything the graph-side work of a
 # query depends on; two queries sharing it differ only in subspace values.
 ContextKey = tuple[str, str, tuple[str, ...]]
+
+# Memoized QueryWorkspaces kept per session.  The cap bounds the *number*
+# of resident workspaces, not bytes: each entry pins O(n_rows) masks and
+# value slices, so deployments serving high-churn query streams over very
+# large tables should size ``workspace_cache`` to the table (or disable it)
+# rather than rely on this default.
+DEFAULT_WORKSPACE_CACHE = 256
 
 
 @dataclass
@@ -58,6 +68,8 @@ class SessionStats:
     translation_misses: int = 0
     homogeneity_hits: int = 0
     homogeneity_misses: int = 0
+    workspace_hits: int = 0
+    workspace_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
@@ -78,6 +90,12 @@ class ExplainSession:
     graph_table:
         Optional precomputed ``model.transform(table)`` result (the fit
         path already has it); computed here when omitted.
+    workspace_cache:
+        How many per-query :class:`~repro.data.query.QueryWorkspace`
+        objects (sibling masks + candidate-attribute profiles) to keep,
+        LRU-evicted.  0 disables workspace memoization — every explain
+        rescans the table, which is the pre-vectorization cost profile the
+        XPlainer speed harness measures against.
     """
 
     def __init__(
@@ -86,6 +104,7 @@ class ExplainSession:
         table: Table,
         config: XPlainerConfig | None = None,
         graph_table: Table | None = None,
+        workspace_cache: int = DEFAULT_WORKSPACE_CACHE,
     ) -> None:
         self.model = model
         self.table = table
@@ -97,6 +116,8 @@ class ExplainSession:
         self._candidates: dict[ContextKey, tuple[str, ...]] = {}
         self._translations: dict[ContextKey, dict[str, Translation]] = {}
         self._homogeneity: dict[tuple[str, str, frozenset], bool] = {}
+        self._workspace_cap = max(0, int(workspace_cache))
+        self._workspaces: dict[WhyQuery, QueryWorkspace] = {}
         self._shard_task: "ExplainShardTask | None" = None
 
     # ------------------------------------------------------------------
@@ -188,11 +209,50 @@ class ExplainSession:
         self._homogeneity[key] = verdict
         return verdict
 
+    def workspace_for(self, query: WhyQuery) -> QueryWorkspace:
+        """The query's :class:`~repro.data.query.QueryWorkspace` (memoized).
+
+        Repeated queries — the dominant shape of a serving stream — reuse
+        the sibling masks, Δ(D), and every candidate-attribute profile
+        already built for the query, so only the first occurrence pays the
+        O(N) table scan.
+        """
+        if self._workspace_cap == 0:
+            self.stats.workspace_misses += 1
+            return QueryWorkspace(self.graph_table, query)
+        cached = self._workspaces.get(query)
+        if cached is not None:
+            self.stats.workspace_hits += 1
+            self._workspaces[query] = self._workspaces.pop(query)  # LRU touch
+            return cached
+        # A cached workspace for the sibling-swapped alias shares all the
+        # row-level work: derive this query's workspace with a cheap swap
+        # instead of rescanning the table.
+        alias_key = WhyQuery(query.s2, query.s1, query.measure, query.agg)
+        alias = self._workspaces.get(alias_key)
+        if alias is not None:
+            self.stats.workspace_hits += 1
+            self._workspaces[alias_key] = self._workspaces.pop(alias_key)
+            workspace = alias.swapped()
+        else:
+            self.stats.workspace_misses += 1
+            workspace = QueryWorkspace(self.graph_table, query)
+        self._cache_workspace(query, workspace)
+        return workspace
+
+    def _cache_workspace(self, query: WhyQuery, workspace: QueryWorkspace) -> None:
+        if self._workspace_cap == 0:
+            return
+        while len(self._workspaces) >= self._workspace_cap:
+            self._workspaces.pop(next(iter(self._workspaces)))
+        self._workspaces[query] = workspace
+
     def cache_info(self) -> dict[str, int]:
         """Counters plus cache sizes — serving observability in one dict."""
         info = self.stats.as_dict()
         info["translation_entries"] = len(self._translations)
         info["homogeneity_entries"] = len(self._homogeneity)
+        info["workspace_entries"] = len(self._workspaces)
         return info
 
     # ------------------------------------------------------------------
@@ -207,16 +267,34 @@ class ExplainSession:
     ) -> XInsightReport:
         """Answer a Why Query with ranked, typed explanations."""
         self.stats.queries += 1
-        query = query.oriented(self.graph_table)
-        delta = query.delta(self.graph_table)
+        workspace = self.workspace_for(query).oriented()
+        if workspace.query != query:
+            # Δ < 0 swapped the siblings.  Prefer the cached oriented
+            # workspace (it already holds this query's profiles — a fresh
+            # swap starts empty); otherwise register the swap under its own
+            # key so pre-oriented repeats hit the cache too.
+            cached = self._workspaces.get(workspace.query)
+            if cached is not None:
+                self._workspaces[workspace.query] = self._workspaces.pop(
+                    workspace.query
+                )  # LRU touch
+                workspace = cached
+            else:
+                self._cache_workspace(workspace.query, workspace)
+            query = workspace.query
+        delta = workspace.delta
         translations = self.translations_for(query)
         config = config or self.config
 
+        explainable = [
+            (variable, self.node_of(variable), verdict)
+            for variable, verdict in translations.items()
+            if verdict.semantics is not XDASemantics.NO_EXPLAINABILITY
+        ]
+        workspace.build_profiles([attribute for _, attribute, _ in explainable])
+
         explanations: list[Explanation] = []
-        for variable, verdict in translations.items():
-            if verdict.semantics is XDASemantics.NO_EXPLAINABILITY:
-                continue
-            attribute = self.node_of(variable)
+        for variable, attribute, verdict in explainable:
             found = explain_attribute(
                 self.graph_table,
                 query,
@@ -224,6 +302,7 @@ class ExplainSession:
                 config=config,
                 method=method,
                 homogeneous=self.is_homogeneous(query, variable),
+                workspace=workspace,
             )
             if found is None:
                 continue
@@ -292,8 +371,19 @@ class ExplainSession:
         payload shipped to each worker) alive across calls.
         """
         task = self._shard_task
-        if task is None or task.config != config or task.method != method:
-            task = ExplainShardTask(self.model.to_dict(), self.table, config, method)
+        if (
+            task is None
+            or task.config != config
+            or task.method != method
+            or task.workspace_cache != self._workspace_cap
+        ):
+            task = ExplainShardTask(
+                self.model.to_dict(),
+                self.table,
+                config,
+                method,
+                workspace_cache=self._workspace_cap,
+            )
             self._shard_task = task
         return task
 
@@ -314,15 +404,22 @@ class ExplainShardTask:
         table: Table,
         config: XPlainerConfig,
         method: str,
+        workspace_cache: int = DEFAULT_WORKSPACE_CACHE,
     ) -> None:
         self.model_payload = model_payload
         self.table = table
         self.config = config
         self.method = method
+        self.workspace_cache = workspace_cache
 
     def build_state(self) -> ExplainSession:
         model = XInsightModel.from_dict(self.model_payload)
-        return ExplainSession(model, self.table, config=self.config)
+        return ExplainSession(
+            model,
+            self.table,
+            config=self.config,
+            workspace_cache=self.workspace_cache,
+        )
 
     def run(
         self, session: ExplainSession, queries: Iterable[WhyQuery]

@@ -14,12 +14,19 @@ Three search strategies (Table 4):
 * :func:`brute_force_search` — exact, O(3^m): enumerates every (P, Γ) pair.
 * :func:`sum_search` — O(m log m) for additive aggregates (SUM/COUNT):
   canonical predicate (Def. 3.6) + the closed-form optimum of Eqn. 8.
-* :func:`avg_search` — Alg. 2, O(m²) greedy with the homogeneity pruning
-  of Prop. 3.4.
+* :func:`avg_search` — Alg. 2 greedy with the homogeneity pruning of
+  Prop. 3.4.
 
 All Δ probes run on :class:`~repro.data.query.AttributeProfile` group sums,
 so each is O(m) regardless of the row count — the source of the Table 8
-speed-ups.
+speed-ups.  On top of that, every search here is driven through the
+profile's *batched* Δ kernels (``delta_without_many`` /
+``delta_from_stats``): the greedy AVG loop evaluates all of an iteration's
+candidates as one leave-one-out stat sweep, brute force evaluates all 2^m
+subset probes as a single bit-matrix matmul, and the SUM candidate sweep is
+a cumulative-sum scan — no per-candidate Python probes anywhere on the hot
+path.  The pre-vectorization per-probe formulations are preserved in
+:mod:`repro.core.xplainer_scalar` as the parity/benchmark reference.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.filters import Predicate
-from repro.data.query import AttributeProfile, WhyQuery
+from repro.data.query import AttributeProfile, QueryWorkspace, WhyQuery
 from repro.data.table import Table
 from repro.errors import ExplanationError
 
@@ -82,6 +89,18 @@ def _as_predicate(profile: AttributeProfile, indices: np.ndarray) -> Predicate:
     return profile.predicate(selected)
 
 
+# Subset enumerations are evaluated through the batched Δ kernels in blocks
+# of this many bit-rows, bounding the transient mask matrix at a few MiB.
+_ENUM_CHUNK = 1 << 14
+
+
+def _bit_rows(start: int, stop: int, width: int) -> np.ndarray:
+    """Boolean subset rows for the bit patterns ``start .. stop-1``: row b,
+    column i is bit i of ``start + b`` — the scalar enumeration order."""
+    bits = np.arange(start, stop, dtype=np.int64)
+    return (bits[:, None] >> np.arange(max(width, 1))[None, :width]) & 1 == 1
+
+
 # ---------------------------------------------------------------------------
 # Brute force (exact)
 # ---------------------------------------------------------------------------
@@ -94,33 +113,45 @@ def exact_responsibility(
 
     Returns (ρ, best Γ as index array) — ρ = 0 when P is not an actual
     cause, ρ = 1 with Γ = empty when P is a counterfactual cause.
+
+    All 2^|complement| contingency probes are evaluated through the batched
+    Δ kernels (chunked bit-matrix matmuls); enumeration order and
+    tie-breaking match the scalar reference, so the returned Γ is the one
+    ``xplainer_scalar.exact_responsibility_scalar`` finds.
     """
     delta_full = profile.delta_full()
     m = profile.n_filters
     selected = np.asarray(selected, dtype=bool)
-    complement = [i for i in range(m) if not selected[i]]
-    delta_without_p = profile.delta_without(selected)
+    complement = np.flatnonzero(~selected)
+    # Through the batched kernel, not the scalar probe: |Γ|_W for a Γ that
+    # adds nothing to P must come out exactly 0 so ties break like the
+    # scalar reference, which requires both operands on one kernel path.
+    delta_without_p = float(profile.delta_without_many(selected[None, :])[0])
+    n_c = int(complement.size)
 
     best_w: float | None = None
-    best_gamma: np.ndarray | None = None
-    for bits in range(1 << len(complement)):
-        gamma = np.array(
-            [complement[i] for i in range(len(complement)) if (bits >> i) & 1],
-            dtype=np.int64,
-        )
-        gamma_mask = np.zeros(m, dtype=bool)
-        gamma_mask[gamma] = True
-        if profile.delta_without(gamma_mask) <= epsilon:
-            continue  # Δ(D − D_Γ) must stay above ε
-        if profile.delta_without(selected | gamma_mask) > epsilon:
-            continue  # Δ(D − D_Γ − D_P) must drop to ε
-        w = max((delta_without_p - profile.delta_without(selected | gamma_mask)) / delta_full, 0.0)
-        if best_w is None or w < best_w:
-            best_w = w
-            best_gamma = gamma
+    best_bits = -1
+    total = 1 << n_c
+    for start in range(0, total, _ENUM_CHUNK):
+        stop = min(start + _ENUM_CHUNK, total)
+        masks = np.zeros((stop - start, m), dtype=bool)
+        masks[:, complement] = _bit_rows(start, stop, n_c)
+        dw_gamma = profile.delta_without_many(masks)
+        dw_both = profile.delta_without_many(masks | selected[None, :])
+        # Δ(D − D_Γ) must stay above ε while Δ(D − D_Γ − D_P) drops to ε.
+        valid = (dw_gamma > epsilon) & (dw_both <= epsilon)
+        if not valid.any():
+            continue
+        w = np.maximum((delta_without_p - dw_both) / delta_full, 0.0)
+        positions = np.flatnonzero(valid)
+        local = int(positions[np.argmin(w[positions])])
+        if best_w is None or w[local] < best_w:
+            best_w = float(w[local])
+            best_bits = start + local
     if best_w is None:
         return 0.0, None
-    return 1.0 / (1.0 + best_w), best_gamma
+    gamma = complement[_bit_rows(best_bits, best_bits + 1, n_c)[0]]
+    return 1.0 / (1.0 + best_w), gamma.astype(np.int64)
 
 
 def brute_force_search(
@@ -129,32 +160,52 @@ def brute_force_search(
     sigma: float,
     limit: int = 14,
 ) -> AttributeExplanation | None:
-    """Exact optimum of Eqn. 4 by enumerating every predicate."""
+    """Exact optimum of Eqn. 4 by enumerating every predicate.
+
+    One bit-matrix matmul evaluates Δ(D − D_S) for all 2^m subsets S up
+    front; each predicate's contingency scan then reduces to numpy gathers
+    over that table, with the scalar path's enumeration order and
+    tie-breaking preserved.
+    """
     m = profile.n_filters
     if m > limit:
         raise ExplanationError(
             f"brute force over {m} filters exceeds the limit of {limit}"
         )
-    best: AttributeExplanation | None = None
-    for bits in range(1, 1 << m):
-        selected = np.array([(bits >> i) & 1 == 1 for i in range(m)], dtype=bool)
-        rho, gamma = exact_responsibility(profile, selected, epsilon)
-        if rho == 0.0:
-            continue
-        score = rho - sigma * int(selected.sum())
-        if best is None or score > best.score + 1e-12:
-            contingency = (
-                _as_predicate(profile, gamma) if gamma is not None and gamma.size else None
-            )
-            best = AttributeExplanation(
-                attribute=profile.attribute,
-                predicate=profile.predicate(selected),
-                responsibility=rho,
-                score=score,
-                contingency=contingency,
-                method="brute-force",
-            )
-    return best
+    delta_full = profile.delta_full()
+    all_masks = _bit_rows(0, 1 << m, m)
+    dw = profile.delta_without_many(all_masks)
+    sizes = all_masks.sum(axis=1)
+    all_bits = np.arange(1 << m, dtype=np.int64)
+
+    best: tuple[int, float, int] | None = None  # (p_bits, rho, gamma_bits)
+    best_score = -math.inf
+    for p_bits in range(1, 1 << m):
+        gamma_bits = all_bits[(all_bits & p_bits) == 0]
+        dw_both = dw[gamma_bits | p_bits]
+        valid = (dw[gamma_bits] > epsilon) & (dw_both <= epsilon)
+        if not valid.any():
+            continue  # ρ_P = 0: not an actual cause
+        w = np.maximum((dw[p_bits] - dw_both) / delta_full, 0.0)
+        positions = np.flatnonzero(valid)
+        local = int(positions[np.argmin(w[positions])])
+        rho = 1.0 / (1.0 + float(w[local]))
+        score = rho - sigma * int(sizes[p_bits])
+        if best is None or score > best_score + 1e-12:
+            best = (p_bits, rho, int(gamma_bits[local]))
+            best_score = score
+    if best is None:
+        return None
+    p_bits, rho, gamma_bits_best = best
+    gamma = np.flatnonzero(all_masks[gamma_bits_best]).astype(np.int64)
+    return AttributeExplanation(
+        attribute=profile.attribute,
+        predicate=profile.predicate(all_masks[p_bits]),
+        responsibility=rho,
+        score=best_score,
+        contingency=_as_predicate(profile, gamma) if gamma.size else None,
+        method="brute-force",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -207,7 +258,9 @@ def sum_search(
     closed-form candidate P* = {p_i ∈ P_C : Δ_i > C3} with
     C3 = σ·Δ(D)/(1 + τ/Δ(D))² is scored alongside every Δ-descending prefix
     of P_C (all share the Thm. 3.3 contingency structure), and the best
-    ρ − σ|P| wins — still O(m log m), dominated by the sort.
+    ρ − σ|P| wins.  Additivity makes every prefix's Δ(D_P) one cumulative
+    sum, so the whole candidate sweep is three vector operations; the
+    winner's contingency is a single ``np.setdiff1d``.
     """
     if not profile.query.agg.is_additive:
         raise ExplanationError("sum_search requires an additive aggregate")
@@ -219,40 +272,57 @@ def sum_search(
     delta_full = profile.delta_full()
     t = tau / delta_full
     c3 = sigma * delta_full / (1.0 + t) ** 2
+    n_canonical = len(pc_indices)
 
-    candidates: list[np.ndarray] = [
-        pc_indices[: k + 1] for k in range(len(pc_indices))
-    ]
+    # Score every Δ-descending prefix P_k of P_C at once: Δ(D_{P_k}) is the
+    # cumulative sum, ρ follows Thms. 3.3–3.4 (the full prefix is the
+    # counterfactual cause), and the objective subtracts σ·k.
+    prefix_dp = np.cumsum(deltas[pc_indices])
+    w = np.maximum((tau - prefix_dp) / delta_full, 0.0)
+    rho = 1.0 / (1.0 + w)
+    rho[n_canonical - 1] = 1.0
+    scores = rho - sigma * np.arange(1, n_canonical + 1)
+
+    best_k = 0
+    best_score = float(scores[0])
+    for k in range(1, n_canonical):
+        if scores[k] > best_score + 1e-12:
+            best_k = k
+            best_score = float(scores[k])
+    chosen = pc_indices[: best_k + 1]
+    responsibility = float(rho[best_k])
+
     eqn8 = pc_indices[deltas[pc_indices] > c3]
     if eqn8.size:
-        candidates.append(eqn8)
-
-    best: AttributeExplanation | None = None
-    for chosen in candidates:
-        d_p = float(deltas[chosen].sum())
-        if chosen.size == len(pc_indices):
-            responsibility = 1.0
-            gamma: np.ndarray | None = None
+        if eqn8.size == n_canonical:
+            rho_eqn8 = 1.0
         else:
-            responsibility = sum_responsibility_estimate(d_p, tau, delta_full)
-            gamma = np.array([i for i in pc_indices if i not in set(chosen.tolist())])
-        score = responsibility - sigma * int(chosen.size)
-        if best is None or score > best.score + 1e-12:
-            selected = np.zeros(profile.n_filters, dtype=bool)
-            selected[chosen] = True
-            best = AttributeExplanation(
-                attribute=profile.attribute,
-                predicate=profile.predicate(selected),
-                responsibility=responsibility,
-                score=score,
-                contingency=(
-                    _as_predicate(profile, gamma)
-                    if gamma is not None and gamma.size
-                    else None
-                ),
-                method="sum-canonical",
+            rho_eqn8 = sum_responsibility_estimate(
+                float(deltas[eqn8].sum()), tau, delta_full
             )
-    return best
+        score_eqn8 = rho_eqn8 - sigma * int(eqn8.size)
+        if score_eqn8 > best_score + 1e-12:
+            chosen = eqn8
+            responsibility = rho_eqn8
+            best_score = score_eqn8
+
+    gamma = (
+        None if chosen.size == n_canonical else np.setdiff1d(pc_indices, chosen)
+    )
+    selected = np.zeros(profile.n_filters, dtype=bool)
+    selected[chosen] = True
+    return AttributeExplanation(
+        attribute=profile.attribute,
+        predicate=profile.predicate(selected),
+        responsibility=responsibility,
+        score=best_score,
+        contingency=(
+            _as_predicate(profile, gamma)
+            if gamma is not None and gamma.size
+            else None
+        ),
+        method="sum-canonical",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -274,31 +344,37 @@ def canonical_predicate_avg(
     m = profile.n_filters
     deltas = profile.per_filter_delta()  # invariant across iterations
     max_size = min(m, math.ceil(1.0 / sigma)) if sigma > 0 else m
+    stats = profile.stats_matrix()
+
+    def residual() -> tuple[np.ndarray, float]:
+        """Kept-row statistics and Δ(D − D_{P_C}) so far, always through
+        the batched kernel — the loop's termination test and the final
+        counterfactual verdict must agree bit-for-bit, so both use this
+        one float path."""
+        kept = stats[~pc_mask].sum(axis=0)
+        return kept, float(profile.delta_from_stats(kept[None, :])[0])
 
     pc: list[int] = []
     pc_mask = np.zeros(m, dtype=bool)
     for _ in range(max_size):
-        current = profile.delta_without(pc_mask)
+        # Sufficient statistics of the rows that survive removing P_C so
+        # far; one leave-one-out row subtraction then scores every
+        # candidate of this iteration in a single kernel call (the scalar
+        # reference probes each candidate separately).
+        kept, current = residual()
         if current <= epsilon:
             break
-        remaining = [i for i in range(m) if not pc_mask[i]]
+        pool = np.flatnonzero(~pc_mask)
         if homogeneous:
-            pool = [i for i in remaining if deltas[i] > current]
-        else:
-            pool = remaining
-        if not pool:
+            pool = pool[deltas[pool] > current]
+        if pool.size == 0:
             break
-        best_i, best_value = -1, math.inf
-        for i in pool:
-            pc_mask[i] = True
-            value = profile.delta_without(pc_mask)
-            pc_mask[i] = False
-            if value < best_value:
-                best_i, best_value = i, value
+        candidate_values = profile.delta_from_stats(kept[None, :] - stats[pool])
+        best_i = int(pool[np.argmin(candidate_values)])
         pc.append(best_i)
         pc_mask[best_i] = True
 
-    if profile.delta_without(pc_mask) > epsilon:
+    if residual()[1] > epsilon:
         return None
     return pc
 
@@ -321,36 +397,44 @@ def avg_search(
     pc = canonical_predicate_avg(profile, epsilon, sigma, homogeneous)
     if pc is None:
         return None  # ⊥: no counterfactual cause within the size budget
+    n_canonical = len(pc)
+    if n_canonical == 0:
+        return None
     pc_mask = np.zeros(m, dtype=bool)
     pc_mask[pc] = True
 
-    delta_without_pc = profile.delta_without(pc_mask)
-    best: AttributeExplanation | None = None
-    for k in range(1, len(pc) + 1):
-        selected = np.zeros(m, dtype=bool)
-        selected[pc[:k]] = True
-        delta_without_pk = profile.delta_without(selected)
-        if k < len(pc):
-            gamma_mask = pc_mask & ~selected
-            if profile.delta_without(gamma_mask) <= epsilon:
+    # Two batched kernel calls score every prefix P_k of the canonical
+    # predicate: Δ(D − D_{P_k}) and the Γ_k-validity probe Δ(D − D_{Γ_k}).
+    prefixes = np.zeros((n_canonical, m), dtype=bool)
+    for k, index in enumerate(pc):
+        prefixes[k:, index] = True
+    dw_prefix = profile.delta_without_many(prefixes)
+    dw_gamma = profile.delta_without_many(pc_mask[None, :] & ~prefixes)
+    delta_without_pc = float(dw_prefix[-1])
+
+    best_k, best_rho, best_score = n_canonical, 1.0, -math.inf
+    for k in range(1, n_canonical + 1):
+        if k < n_canonical:
+            if dw_gamma[k - 1] <= epsilon:
                 continue  # Γ_k alone already collapses Δ: not a valid contingency
-            w = max((delta_without_pk - delta_without_pc) / delta_full, 0.0)
+            w = max((float(dw_prefix[k - 1]) - delta_without_pc) / delta_full, 0.0)
             responsibility = 1.0 / (1.0 + w)
-            contingency = _as_predicate(profile, np.array(pc[k:]))
         else:
-            responsibility = 1.0
-            contingency = None
+            responsibility = 1.0  # the full canonical predicate always scores
         score = responsibility - sigma * k
-        if best is None or score > best.score + 1e-12:
-            best = AttributeExplanation(
-                attribute=profile.attribute,
-                predicate=profile.predicate(selected),
-                responsibility=responsibility,
-                score=score,
-                contingency=contingency,
-                method="avg-greedy",
-            )
-    return best
+        if score > best_score + 1e-12:
+            best_k, best_rho, best_score = k, responsibility, score
+    contingency = (
+        _as_predicate(profile, np.array(pc[best_k:])) if best_k < n_canonical else None
+    )
+    return AttributeExplanation(
+        attribute=profile.attribute,
+        predicate=profile.predicate(prefixes[best_k - 1]),
+        responsibility=best_rho,
+        score=best_score,
+        contingency=contingency,
+        method="avg-greedy",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -365,21 +449,37 @@ def explain_attribute(
     config: XPlainerConfig | None = None,
     method: str = "auto",
     homogeneous: bool = False,
+    workspace: QueryWorkspace | None = None,
 ) -> AttributeExplanation | None:
     """Find the optimal explanation of ``query`` within one attribute.
 
     ``method``: "auto" (SUM/COUNT → canonical, AVG → greedy), "brute",
     "sum", or "avg".
 
+    ``workspace`` — a :class:`~repro.data.query.QueryWorkspace` for this
+    exact query — supplies the attribute profile and Δ(D) from its shared
+    precomputation instead of rescanning the table; callers serving many
+    attributes or repeated queries (e.g. :class:`~repro.core.session.
+    ExplainSession`) pass one to amortize the O(N) mask work.
+
     Returns None when the attribute admits no counterfactual cause (Alg. 2
     line 15's ⊥).  Raises :class:`ExplanationError` when the query itself
     is invalid (Δ(D) ≤ ε: there is no difference to explain).
     """
     config = config or XPlainerConfig()
-    profile = AttributeProfile.build(table, query, attribute)
+    if workspace is not None:
+        if workspace.query != query:
+            raise ExplanationError(
+                "workspace was built for a different query than the one "
+                "being explained"
+            )
+        profile = workspace.profile(attribute)
+        delta_full = workspace.delta
+    else:
+        profile = AttributeProfile.build(table, query, attribute)
+        delta_full = query.delta(table)
     if profile.n_filters == 0:
         return None
-    delta_full = query.delta(table)
     epsilon = config.resolve_epsilon(delta_full)
     if delta_full <= epsilon:
         raise ExplanationError(

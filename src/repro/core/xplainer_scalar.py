@@ -1,0 +1,248 @@
+"""Scalar XPlainer reference: the pre-vectorization search implementations.
+
+:mod:`repro.core.xplainer` now drives every search through the batched Δ
+kernels of :class:`~repro.data.query.AttributeProfile` (one matmul per
+probe batch).  This module preserves the original per-probe formulations —
+each candidate evaluated through a separate ``delta_without`` call inside a
+Python loop — exactly as they stood before the rewrite.
+
+It exists for the same reason the per-stratum CI tests survive next to the
+vectorized engine: it is the executable specification.  The parity suite
+(``tests/test_xplainer_vectorized.py``) asserts that the vectorized
+searches return identical :class:`~repro.core.xplainer.AttributeExplanation`
+objects (same predicate, same contingency, scores to 1e-9) across
+SUM/COUNT/AVG, and the speed harness
+(``benchmarks/test_xplainer_speed.py``) measures the vectorized paths
+against these baselines.  Nothing else should import this module.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.xplainer import (
+    AttributeExplanation,
+    _as_predicate,
+    canonical_predicate_sum,
+    sum_responsibility_estimate,
+)
+from repro.data.query import AttributeProfile
+from repro.errors import ExplanationError
+
+
+def per_filter_delta_scalar(profile: AttributeProfile) -> np.ndarray:
+    """Original per-filter Python loop behind ``per_filter_delta``."""
+    agg = profile.query.agg
+    out = np.empty(profile.n_filters, dtype=np.float64)
+    for i in range(profile.n_filters):
+        v1 = agg.from_sums(float(profile.sum1[i]), float(profile.count1[i]))
+        v2 = agg.from_sums(float(profile.sum2[i]), float(profile.count2[i]))
+        out[i] = v1 - v2
+    return out
+
+
+def exact_responsibility_scalar(
+    profile: AttributeProfile, selected: np.ndarray, epsilon: float
+) -> tuple[float, np.ndarray | None]:
+    """Exact ρ_P by enumerating every contingency with one probe each."""
+    delta_full = profile.delta_full()
+    m = profile.n_filters
+    selected = np.asarray(selected, dtype=bool)
+    complement = [i for i in range(m) if not selected[i]]
+    delta_without_p = profile.delta_without(selected)
+
+    best_w: float | None = None
+    best_gamma: np.ndarray | None = None
+    for bits in range(1 << len(complement)):
+        gamma = np.array(
+            [complement[i] for i in range(len(complement)) if (bits >> i) & 1],
+            dtype=np.int64,
+        )
+        gamma_mask = np.zeros(m, dtype=bool)
+        gamma_mask[gamma] = True
+        if profile.delta_without(gamma_mask) <= epsilon:
+            continue
+        if profile.delta_without(selected | gamma_mask) > epsilon:
+            continue
+        w = max(
+            (delta_without_p - profile.delta_without(selected | gamma_mask))
+            / delta_full,
+            0.0,
+        )
+        if best_w is None or w < best_w:
+            best_w = w
+            best_gamma = gamma
+    if best_w is None:
+        return 0.0, None
+    return 1.0 / (1.0 + best_w), best_gamma
+
+
+def brute_force_search_scalar(
+    profile: AttributeProfile,
+    epsilon: float,
+    sigma: float,
+    limit: int = 14,
+) -> AttributeExplanation | None:
+    """Exact optimum of Eqn. 4, one Python-level probe per (P, Γ) pair."""
+    m = profile.n_filters
+    if m > limit:
+        raise ExplanationError(
+            f"brute force over {m} filters exceeds the limit of {limit}"
+        )
+    best: AttributeExplanation | None = None
+    for bits in range(1, 1 << m):
+        selected = np.array([(bits >> i) & 1 == 1 for i in range(m)], dtype=bool)
+        rho, gamma = exact_responsibility_scalar(profile, selected, epsilon)
+        if rho == 0.0:
+            continue
+        score = rho - sigma * int(selected.sum())
+        if best is None or score > best.score + 1e-12:
+            contingency = (
+                _as_predicate(profile, gamma)
+                if gamma is not None and gamma.size
+                else None
+            )
+            best = AttributeExplanation(
+                attribute=profile.attribute,
+                predicate=profile.predicate(selected),
+                responsibility=rho,
+                score=score,
+                contingency=contingency,
+                method="brute-force",
+            )
+    return best
+
+
+def sum_search_scalar(
+    profile: AttributeProfile, epsilon: float, sigma: float
+) -> AttributeExplanation | None:
+    """O(m log m) SUM/COUNT search with the original per-candidate loop."""
+    if not profile.query.agg.is_additive:
+        raise ExplanationError("sum_search requires an additive aggregate")
+    canonical = canonical_predicate_sum(profile, epsilon)
+    if canonical is None:
+        return None
+    pc_indices, tau = canonical
+    deltas = per_filter_delta_scalar(profile)
+    delta_full = profile.delta_full()
+    t = tau / delta_full
+    c3 = sigma * delta_full / (1.0 + t) ** 2
+
+    candidates: list[np.ndarray] = [
+        pc_indices[: k + 1] for k in range(len(pc_indices))
+    ]
+    eqn8 = pc_indices[deltas[pc_indices] > c3]
+    if eqn8.size:
+        candidates.append(eqn8)
+
+    best: AttributeExplanation | None = None
+    for chosen in candidates:
+        d_p = float(deltas[chosen].sum())
+        if chosen.size == len(pc_indices):
+            responsibility = 1.0
+            gamma: np.ndarray | None = None
+        else:
+            responsibility = sum_responsibility_estimate(d_p, tau, delta_full)
+            gamma = np.array([i for i in pc_indices if i not in set(chosen.tolist())])
+        score = responsibility - sigma * int(chosen.size)
+        if best is None or score > best.score + 1e-12:
+            selected = np.zeros(profile.n_filters, dtype=bool)
+            selected[chosen] = True
+            best = AttributeExplanation(
+                attribute=profile.attribute,
+                predicate=profile.predicate(selected),
+                responsibility=responsibility,
+                score=score,
+                contingency=(
+                    _as_predicate(profile, gamma)
+                    if gamma is not None and gamma.size
+                    else None
+                ),
+                method="sum-canonical",
+            )
+    return best
+
+
+def canonical_predicate_avg_scalar(
+    profile: AttributeProfile,
+    epsilon: float,
+    sigma: float,
+    homogeneous: bool = False,
+) -> list[int] | None:
+    """Alg. 2 lines 1–15 with one ``delta_without`` probe per candidate."""
+    m = profile.n_filters
+    deltas = per_filter_delta_scalar(profile)
+    max_size = min(m, math.ceil(1.0 / sigma)) if sigma > 0 else m
+
+    pc: list[int] = []
+    pc_mask = np.zeros(m, dtype=bool)
+    for _ in range(max_size):
+        current = profile.delta_without(pc_mask)
+        if current <= epsilon:
+            break
+        remaining = [i for i in range(m) if not pc_mask[i]]
+        if homogeneous:
+            pool = [i for i in remaining if deltas[i] > current]
+        else:
+            pool = remaining
+        if not pool:
+            break
+        best_i, best_value = -1, math.inf
+        for i in pool:
+            pc_mask[i] = True
+            value = profile.delta_without(pc_mask)
+            pc_mask[i] = False
+            if value < best_value:
+                best_i, best_value = i, value
+        pc.append(best_i)
+        pc_mask[best_i] = True
+
+    if profile.delta_without(pc_mask) > epsilon:
+        return None
+    return pc
+
+
+def avg_search_scalar(
+    profile: AttributeProfile,
+    epsilon: float,
+    sigma: float,
+    homogeneous: bool = False,
+) -> AttributeExplanation | None:
+    """Alg. 2 with the original per-prefix probe loop."""
+    m = profile.n_filters
+    delta_full = profile.delta_full()
+    pc = canonical_predicate_avg_scalar(profile, epsilon, sigma, homogeneous)
+    if pc is None:
+        return None
+    pc_mask = np.zeros(m, dtype=bool)
+    pc_mask[pc] = True
+
+    delta_without_pc = profile.delta_without(pc_mask)
+    best: AttributeExplanation | None = None
+    for k in range(1, len(pc) + 1):
+        selected = np.zeros(m, dtype=bool)
+        selected[pc[:k]] = True
+        delta_without_pk = profile.delta_without(selected)
+        if k < len(pc):
+            gamma_mask = pc_mask & ~selected
+            if profile.delta_without(gamma_mask) <= epsilon:
+                continue
+            w = max((delta_without_pk - delta_without_pc) / delta_full, 0.0)
+            responsibility = 1.0 / (1.0 + w)
+            contingency = _as_predicate(profile, np.array(pc[k:]))
+        else:
+            responsibility = 1.0
+            contingency = None
+        score = responsibility - sigma * k
+        if best is None or score > best.score + 1e-12:
+            best = AttributeExplanation(
+                attribute=profile.attribute,
+                predicate=profile.predicate(selected),
+                responsibility=responsibility,
+                score=score,
+                contingency=contingency,
+                method="avg-greedy",
+            )
+    return best

@@ -11,7 +11,12 @@ from repro.data.discretize import Bin, BinSpec, discretize, fit_bins
 from repro.data.groupby import GroupByResult, GroupedValue, group_by, why_query_from_top_difference
 from repro.data.filters import Context, Filter, Predicate, Subspace
 from repro.data.io import read_csv, write_csv
-from repro.data.query import AttributeProfile, WhyQuery, candidate_attributes
+from repro.data.query import (
+    AttributeProfile,
+    QueryWorkspace,
+    WhyQuery,
+    candidate_attributes,
+)
 from repro.data.schema import Role, Schema
 from repro.data.table import Table
 
@@ -32,6 +37,7 @@ __all__ = [
     "Filter",
     "NumericColumn",
     "Predicate",
+    "QueryWorkspace",
     "Role",
     "Schema",
     "Subspace",

@@ -57,6 +57,23 @@ class Aggregate(enum.Enum):
             return 0.0
         return float(total) / float(count)
 
+    def from_sums_vector(self, totals: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`from_sums` over aligned (sum, count) arrays.
+
+        Element i equals ``from_sums(totals[i], counts[i])`` exactly — the
+        same branch structure, applied elementwise — which is what lets the
+        batched Δ kernels of :class:`~repro.data.query.AttributeProfile`
+        claim parity with the scalar probes.
+        """
+        totals = np.asarray(totals, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if self is Aggregate.COUNT:
+            return counts
+        if self is Aggregate.SUM:
+            return totals
+        positive = counts > 0
+        return np.where(positive, totals / np.where(positive, counts, 1.0), 0.0)
+
 
 def parse_aggregate(name: str | Aggregate) -> Aggregate:
     """Parse a case-insensitive aggregate name ('sum', 'AVG', ...)."""

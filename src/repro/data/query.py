@@ -7,6 +7,22 @@ rows would cost O(N) per probe.  :class:`AttributeProfile` precomputes the
 (count, sum) statistics of every filter cell once, after which every Δ probe
 is an O(m) numpy reduction over the m filters of X — this is what makes the
 paper's millisecond-scale XPlainer timings (Table 8) achievable.
+
+Two layers sit on top of the per-probe reduction:
+
+* **Batched Δ kernels** — :meth:`AttributeProfile.delta_without_many` /
+  :meth:`AttributeProfile.delta_of_many` evaluate a whole (B, m) matrix of
+  predicate masks as a single ``masks @ [count1, sum1, count2, sum2]``
+  matmul against the precomputed totals, so the search loops of
+  :mod:`repro.core.xplainer` issue one kernel call per iteration instead of
+  one Python-level probe per candidate.
+
+* **:class:`QueryWorkspace`** — the per-query precomputation shared across
+  candidate attributes: sibling row masks and measure values are extracted
+  once, then every attribute's profile is one gather + four ``bincount``
+  calls against those shared masks.  :class:`~repro.core.session.
+  ExplainSession` memoizes workspaces so a batch of repeated queries pays
+  the O(N) scan once.
 """
 
 from __future__ import annotations
@@ -111,23 +127,48 @@ class AttributeProfile:
 
     @classmethod
     def build(cls, table: Table, query: WhyQuery, attribute: str) -> "AttributeProfile":
-        """Scan the table once and collect the per-filter statistics.
-
-        Only filters with at least one row in either sibling are retained —
-        empty filters have Δ_i = 0 and cannot participate in any explanation.
-        """
+        """Scan the table once and collect the per-filter statistics."""
         if attribute == query.measure:
             raise QueryError("the explanation attribute cannot be the target measure")
         codes = table.codes(attribute)
-        categories = table.categories(attribute)
-        m = len(categories)
         values = table.measure_values(query.measure)
         m1 = query.s1.mask(table)
         m2 = query.s2.mask(table)
-        count1 = np.bincount(codes[m1], minlength=m).astype(np.float64)
-        count2 = np.bincount(codes[m2], minlength=m).astype(np.float64)
-        sum1 = np.bincount(codes[m1], weights=values[m1], minlength=m)
-        sum2 = np.bincount(codes[m2], weights=values[m2], minlength=m)
+        return cls.from_sibling_counts(
+            query,
+            attribute,
+            table.categories(attribute),
+            codes1=codes[m1],
+            codes2=codes[m2],
+            values1=values[m1],
+            values2=values[m2],
+        )
+
+    @classmethod
+    def from_sibling_counts(
+        cls,
+        query: WhyQuery,
+        attribute: str,
+        categories: Sequence[Hashable],
+        codes1: np.ndarray,
+        codes2: np.ndarray,
+        values1: np.ndarray,
+        values2: np.ndarray,
+    ) -> "AttributeProfile":
+        """Profile from pre-gathered per-sibling codes and measure values.
+
+        The single constructor behind :meth:`build` and
+        :class:`QueryWorkspace` — both paths count the same gathered rows
+        here, so their profiles are bit-identical by construction.  Only
+        filters with at least one row in either sibling are retained —
+        empty filters have Δ_i = 0 and cannot participate in any
+        explanation.
+        """
+        m = len(categories)
+        count1 = np.bincount(codes1, minlength=m).astype(np.float64)
+        count2 = np.bincount(codes2, minlength=m).astype(np.float64)
+        sum1 = np.bincount(codes1, weights=values1, minlength=m)
+        sum2 = np.bincount(codes2, weights=values2, minlength=m)
         keep = (count1 + count2) > 0
         kept_values = tuple(c for c, k in zip(categories, keep) if k)
         return cls(
@@ -192,14 +233,169 @@ class AttributeProfile:
         return self._delta_from(selected)
 
     def per_filter_delta(self) -> np.ndarray:
-        """Vector of Δ_i = Δ(D_{p_i}) for every filter (used by Def. 3.6)."""
+        """Vector of Δ_i = Δ(D_{p_i}) for every filter (used by Def. 3.6).
+
+        Elementwise-identical to probing each filter with
+        :meth:`delta_of` on a one-hot mask, computed in three whole-vector
+        operations instead of a per-filter Python loop.
+        """
         agg = self.query.agg
-        out = np.empty(self.n_filters, dtype=np.float64)
-        for i in range(self.n_filters):
-            v1 = agg.from_sums(float(self.sum1[i]), float(self.count1[i]))
-            v2 = agg.from_sums(float(self.sum2[i]), float(self.count2[i]))
-            out[i] = v1 - v2
+        v1 = agg.from_sums_vector(self.sum1, self.count1)
+        v2 = agg.from_sums_vector(self.sum2, self.count2)
+        return np.asarray(v1 - v2, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Batched Δ kernels (one matmul for B probes)
+    # ------------------------------------------------------------------
+
+    def stats_matrix(self) -> np.ndarray:
+        """The (m, 4) ``[count1, sum1, count2, sum2]`` operand of the
+        batched kernels (cached; treated as immutable)."""
+        cached = getattr(self, "_stats_matrix", None)
+        if cached is None:
+            cached = np.column_stack(
+                [self.count1, self.sum1, self.count2, self.sum2]
+            ).astype(np.float64)
+            self._stats_matrix = cached
+        return cached
+
+    def stats_totals(self) -> np.ndarray:
+        """Column totals of :meth:`stats_matrix` (cached)."""
+        cached = getattr(self, "_stats_totals", None)
+        if cached is None:
+            cached = self.stats_matrix().sum(axis=0)
+            self._stats_totals = cached
+        return cached
+
+    def delta_from_stats(self, stats: np.ndarray) -> np.ndarray:
+        """Δ values of (B, 4) ``[count1, sum1, count2, sum2]`` stat rows.
+
+        The composition point for callers that maintain sufficient
+        statistics incrementally (e.g. the greedy AVG search's leave-one-out
+        candidate sweep): hand in any stack of stat rows, get the Δ of each.
+        """
+        stats = np.asarray(stats, dtype=np.float64)
+        agg = self.query.agg
+        v1 = agg.from_sums_vector(stats[:, 1], stats[:, 0])
+        v2 = agg.from_sums_vector(stats[:, 3], stats[:, 2])
+        return v1 - v2
+
+    def delta_without_many(self, removed: np.ndarray) -> np.ndarray:
+        """Batched :meth:`delta_without`: row b is Δ(D − D_{P_b}).
+
+        ``removed`` is a (B, m) boolean mask matrix; the kept statistics of
+        all B probes come from one ``removed @ stats_matrix`` matmul against
+        the precomputed totals.
+        """
+        removed = np.atleast_2d(np.asarray(removed, dtype=bool))
+        kept = self.stats_totals()[None, :] - (
+            removed.astype(np.float64) @ self.stats_matrix()
+        )
+        return self.delta_from_stats(kept)
+
+    def delta_of_many(self, selected: np.ndarray) -> np.ndarray:
+        """Batched :meth:`delta_of`: row b is Δ(D_{P_b}) (0.0 for empty P)."""
+        selected = np.atleast_2d(np.asarray(selected, dtype=bool))
+        stats = selected.astype(np.float64) @ self.stats_matrix()
+        out = self.delta_from_stats(stats)
+        out[~selected.any(axis=1)] = 0.0
         return out
+
+
+class QueryWorkspace:
+    """Shared per-query precomputation for the online explanation hot path.
+
+    One workspace owns everything about a Why Query that does not depend on
+    the explanation attribute: the sibling row masks, the measure values of
+    each sibling, and Δ(D).  Candidate-attribute profiles are then built
+    against those shared masks — one gather plus four ``bincount`` calls per
+    attribute instead of a full table rescan per (query, attribute) — and
+    cached, so repeated ``explain`` calls on the same query (the serving
+    workload :class:`~repro.core.session.ExplainSession` memoizes for) skip
+    the O(N) work entirely.
+
+    Profiles built here are bit-identical to ``AttributeProfile.build``:
+    both paths gather the same rows in the same order before counting.
+    """
+
+    def __init__(self, table: Table, query: WhyQuery) -> None:
+        self.table = table
+        self.query = query
+        values = table.measure_values(query.measure)
+        # Only the sibling row indices are retained — the boolean masks are
+        # O(n_rows) each and never read again after this gather.
+        self._rows1 = np.flatnonzero(query.s1.mask(table))
+        self._rows2 = np.flatnonzero(query.s2.mask(table))
+        self._values1 = values[self._rows1]
+        self._values2 = values[self._rows2]
+        agg = query.agg
+        self.delta: float = agg.compute(self._values1) - agg.compute(self._values2)
+        self._profiles: dict[str, AttributeProfile] = {}
+
+    def oriented(self) -> "QueryWorkspace":
+        """Workspace counterpart of :meth:`WhyQuery.oriented`: return a
+        workspace whose query has Δ ≥ 0 (swapping siblings negates Δ
+        exactly)."""
+        if self.delta >= 0:
+            return self
+        return self.swapped()
+
+    def swapped(self) -> "QueryWorkspace":
+        """The sibling-swapped workspace, sharing every computed array: the
+        masks and value slices move across unchanged, Δ negates, and each
+        cached profile swaps its per-sibling statistics — no table access.
+        This is what makes serving a query and its reversal cost one scan."""
+        swapped = object.__new__(QueryWorkspace)
+        swapped.table = self.table
+        swapped.query = WhyQuery(
+            self.query.s2, self.query.s1, self.query.measure, self.query.agg
+        )
+        swapped._rows1, swapped._rows2 = self._rows2, self._rows1
+        swapped._values1, swapped._values2 = self._values2, self._values1
+        swapped.delta = -self.delta
+        # A profile's retained filters ((count1 + count2) > 0) are symmetric
+        # in the siblings, so the swap is exactly the swapped-query build.
+        swapped._profiles = {
+            name: AttributeProfile(
+                query=swapped.query,
+                attribute=profile.attribute,
+                values=profile.values,
+                count1=profile.count2,
+                sum1=profile.sum2,
+                count2=profile.count1,
+                sum2=profile.sum1,
+            )
+            for name, profile in self._profiles.items()
+        }
+        return swapped
+
+    def profile(self, attribute: str) -> AttributeProfile:
+        """The attribute's :class:`AttributeProfile` (built once, cached)."""
+        cached = self._profiles.get(attribute)
+        if cached is None:
+            cached = self._build_profile(attribute)
+            self._profiles[attribute] = cached
+        return cached
+
+    def _build_profile(self, attribute: str) -> AttributeProfile:
+        if attribute == self.query.measure:
+            raise QueryError("the explanation attribute cannot be the target measure")
+        codes = self.table.codes(attribute)
+        return AttributeProfile.from_sibling_counts(
+            self.query,
+            attribute,
+            self.table.categories(attribute),
+            codes1=codes[self._rows1],
+            codes2=codes[self._rows2],
+            values1=self._values1,
+            values2=self._values2,
+        )
+
+    def build_profiles(self, attributes: Sequence[str]) -> dict[str, AttributeProfile]:
+        """Build (and cache) every candidate attribute's profile against the
+        shared masks — the per-query warm-up ``ExplainSession.explain``
+        runs before its search loop."""
+        return {attribute: self.profile(attribute) for attribute in attributes}
 
 
 def candidate_attributes(

@@ -71,6 +71,34 @@ _DENSE_LIMIT = 1 << 24
 _STRATA_CACHE_SIZE = 256
 
 
+class _SharedStrata:
+    """Publish-once snapshot of computed strata, shared by every fork.
+
+    ``snapshot`` is only ever *replaced* with an extended copy, never
+    mutated in place, so concurrent readers (one forked
+    :class:`EncodedDataset` per :class:`~repro.parallel.ThreadExecutor`
+    worker) always observe a complete dict without any locking.  Two racing
+    publishers can lose one entry to the other's swap — that is just a
+    future cache miss, never corruption.
+    """
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self) -> None:
+        self.snapshot: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
+
+    def get(self, key: tuple[str, ...]) -> tuple[np.ndarray, int] | None:
+        return self.snapshot.get(key)
+
+    def publish(
+        self, key: tuple[str, ...], value: tuple[np.ndarray, int], cap: int
+    ) -> None:
+        snapshot = self.snapshot
+        if key in snapshot or len(snapshot) >= cap:
+            return
+        self.snapshot = {**snapshot, key: value}
+
+
 def _factorize(values: Iterable[Hashable]) -> tuple[np.ndarray, tuple[Hashable, ...]]:
     """Encode values as int64 codes in order of first appearance."""
     seen: dict[Hashable, int] = {}
@@ -118,23 +146,29 @@ class EncodedDataset:
         self.n_rows = lengths.pop() if lengths else 0
         # (sorted z names) -> (compressed stratum codes, n observed strata)
         self._strata_cache: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
+        self._shared_strata = _SharedStrata()
 
     def __getstate__(self) -> dict:
-        """Pickle the codes, not the derived stratum cache: process workers
+        """Pickle the codes, not the derived stratum caches: process workers
         rebuild strata locally, keeping the payload one array per column."""
         state = dict(self.__dict__)
         state["_strata_cache"] = {}
+        state["_shared_strata"] = _SharedStrata()
         return state
 
     def fork(self) -> "EncodedDataset":
         """A view sharing the (immutable) code arrays but owning a private
         stratum cache — one per worker thread, so the unlocked LRU cache is
-        never touched concurrently."""
+        never touched concurrently.  All forks of one dataset additionally
+        share a read-only published-strata snapshot: a stratum partition
+        computed by any fork (or the parent) is visible to the others, so
+        thread workers stop recomputing shared conditioning sets."""
         clone = object.__new__(EncodedDataset)
         clone._codes = self._codes
         clone._categories = self._categories
         clone.n_rows = self.n_rows
         clone._strata_cache = {}
+        clone._shared_strata = self._shared_strata
         return clone
 
     # ------------------------------------------------------------------
@@ -197,12 +231,20 @@ class EncodedDataset:
         the observed values, so codes are contiguous in ``0..n_strata-1``.
         Cached per conditioning *set* (bounded LRU): the row partition (and
         hence every statistic built on it) is invariant under Z ordering.
+        Misses consult the fork-shared published snapshot before computing,
+        and publish what they compute (see :meth:`fork`).
         """
         names = tuple(sorted(z, key=repr))
         hit = self._strata_cache.get(names)
         if hit is not None:
             self._strata_cache[names] = self._strata_cache.pop(names)  # LRU touch
             return hit
+        shared = self._shared_strata.get(names)
+        if shared is not None:
+            while len(self._strata_cache) >= _STRATA_CACHE_SIZE:
+                self._strata_cache.pop(next(iter(self._strata_cache)))
+            self._strata_cache[names] = shared
+            return shared
         if not names:
             out = (np.zeros(self.n_rows, dtype=np.int64), 1)
         else:
@@ -220,6 +262,7 @@ class EncodedDataset:
         while len(self._strata_cache) >= _STRATA_CACHE_SIZE:
             self._strata_cache.pop(next(iter(self._strata_cache)))
         self._strata_cache[names] = out
+        self._shared_strata.publish(names, out, _STRATA_CACHE_SIZE)
         return out
 
     def contingency(self, x: str, y: str, z: Sequence[str] = ()) -> np.ndarray:

@@ -205,3 +205,67 @@ class TestDiscoveryParity:
         bat = fci(observed, BatchedOracle(mag), max_dsep_size=None)
         assert mark_signature(seq.pag) == mark_signature(bat.pag)
         assert seq.sepsets == bat.sepsets
+
+
+class TestForkSharedStrata:
+    """EncodedDataset.fork publishes computed strata read-only to siblings
+    (the ROADMAP "read-mostly shared stratum cache" item): a conditioning
+    set stratified by any fork is reused — not recomputed — by the others,
+    while each fork keeps its private unlocked LRU."""
+
+    def data(self):
+        from repro.independence.engine import EncodedDataset
+
+        rng = np.random.default_rng(7)
+        return EncodedDataset.from_arrays(
+            {name: rng.integers(0, 4, size=300).tolist() for name in "abcd"}
+        )
+
+    def test_fork_reuses_published_strata(self):
+        parent = self.data()
+        first, second = parent.fork(), parent.fork()
+        codes_first, n_first = first.strata(("a", "b"))
+        codes_second, n_second = second.strata(("a", "b"))
+        # Same array object: the second fork read the published snapshot
+        # instead of recomputing the partition.
+        assert codes_second is codes_first
+        assert n_second == n_first
+
+    def test_parent_computation_visible_to_forks_and_vice_versa(self):
+        parent = self.data()
+        codes_parent, _ = parent.strata(("c",))
+        fork = parent.fork()
+        assert fork.strata(("c",))[0] is codes_parent
+        codes_fork, _ = fork.strata(("a", "d"))
+        assert parent.strata(("a", "d"))[0] is codes_fork
+
+    def test_shared_results_match_fresh_computation(self):
+        parent = self.data()
+        fork = parent.fork()
+        fork.strata(("a", "b"))
+        shared_codes, shared_n = parent.strata(("a", "b"))
+        fresh = self.data()  # no publications
+        fresh_codes, fresh_n = fresh.strata(("a", "b"))
+        assert shared_n == fresh_n
+        assert np.array_equal(shared_codes, fresh_codes)
+
+    def test_pickle_does_not_ship_snapshot(self):
+        import pickle
+
+        parent = self.data()
+        parent.strata(("a",))
+        clone = pickle.loads(pickle.dumps(parent))
+        assert clone._shared_strata.snapshot == {}
+        assert clone._strata_cache == {}
+        # the unpickled copy still computes (and publishes) independently
+        assert np.array_equal(clone.strata(("a",))[0], parent.strata(("a",))[0])
+
+    def test_publish_respects_cache_cap(self):
+        from repro.independence.engine import _SharedStrata
+
+        shared = _SharedStrata()
+        shared.publish(("a",), (np.zeros(1), 1), cap=1)
+        shared.publish(("b",), (np.ones(1), 1), cap=1)  # over cap: dropped
+        assert set(shared.snapshot) == {("a",)}
+        shared.publish(("a",), (np.ones(1), 2), cap=4)  # no overwrite
+        assert shared.snapshot[("a",)][1] == 1
