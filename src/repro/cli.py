@@ -10,16 +10,21 @@ Usage examples::
         --s1 Location=A --s2 Location=B --measure LungCancer --agg AVG --top 5
     python -m repro batch-explain data.csv --model model.json \\
         --queries queries.json
+    python -m repro serve data.csv --model model.json --port 8765 \\
+        --max-batch 64 --max-wait-ms 2 --workers 4
 
 ``fit`` runs the heavy offline phase once and persists the artifact;
 ``explain`` / ``batch-explain`` serve queries against it (``explain``
-without ``--model`` fits in-process, the legacy one-shot workflow).
-``fit`` and ``batch-explain`` accept ``--workers N`` / ``--executor
+without ``--model`` fits in-process, the legacy one-shot workflow), and
+``serve`` boots the asyncio micro-batching server of :mod:`repro.serve`
+(JSON-lines over TCP; drain with SIGINT/SIGTERM).  ``fit``,
+``batch-explain`` and ``serve`` accept ``--workers N`` / ``--executor
 {serial,thread,process}`` to shard discovery probing and query serving
 across workers (default: the ``REPRO_WORKERS`` env, else serial).  The
 batch query file is a JSON list of objects like
 ``{"s1": {"Location": "A"}, "s2": {"Location": "B"},
-"measure": "LungCancer", "agg": "AVG"}``.
+"measure": "LungCancer", "agg": "AVG"}`` — the same spec one wire
+``explain`` request carries.
 
 Assignments use ``Dimension=value``; value strings are matched against the
 raw CSV cells (numbers are parsed like the loader does).
@@ -28,10 +33,10 @@ raw CSV cells (numbers are parsed like the loader does).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
-from collections.abc import Mapping
-from typing import Hashable, Sequence
+from typing import Sequence
 
 from repro.core.model import (
     DEFAULT_ALPHA,
@@ -45,35 +50,25 @@ from repro.data.aggregates import parse_aggregate
 from repro.data.filters import Subspace
 from repro.data.groupby import group_by
 from repro.data.io import read_csv
-from repro.data.query import WhyQuery
+from repro.data.query import WhyQuery, parse_assignment, query_from_spec
 from repro.data.table import Table
 from repro.errors import ReproError
 from repro.fd.graph import fd_graph_from_table
 from repro.graph.render import edge_list
 from repro.parallel import EXECUTOR_KINDS, REPRO_WORKERS_ENV, executor_scope
-
-
-def _parse_assignment(raw: str, table: Table) -> tuple[str, Hashable]:
-    if "=" not in raw:
-        raise ReproError(f"expected Dimension=value, got {raw!r}")
-    dim, value = raw.split("=", 1)
-    if dim not in table.dimensions:
-        raise ReproError(f"unknown dimension {dim!r}; have {table.dimensions}")
-    categories = table.categories(dim)
-    if value in categories:
-        return dim, value
-    # The CSV loader parses numeric cells into floats: retry as a number.
-    try:
-        numeric = float(value)
-    except ValueError:
-        raise ReproError(f"{value!r} is not a value of {dim!r}") from None
-    if numeric in categories:
-        return dim, numeric
-    raise ReproError(f"{value!r} is not a value of {dim!r}")
+from repro.serve import (
+    DEFAULT_HOST,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    DEFAULT_PORT,
+    DEFAULT_QUEUE_LIMIT,
+    ExplanationService,
+    run_server,
+)
 
 
 def _subspace(assignments: Sequence[str], table: Table) -> Subspace:
-    pairs = dict(_parse_assignment(a, table) for a in assignments)
+    pairs = dict(parse_assignment(a, table) for a in assignments)
     return Subspace.of(**{str(k): v for k, v in pairs.items()})
 
 
@@ -113,11 +108,11 @@ def _executor_scope(args: argparse.Namespace):
     return executor_scope(args.workers, kind=args.executor)
 
 
-def _session_for(
+def _model_for(
     args: argparse.Namespace, table: Table, executor=None
-) -> ExplainSession:
-    """Serving session from ``--model`` if given, else an in-process fit
-    (which shards its discovery probing over ``executor`` when given)."""
+) -> XInsightModel:
+    """Model from ``--model`` if given, else an in-process fit (which
+    shards its discovery probing over ``executor`` when given)."""
     if getattr(args, "model", None):
         overridden = [
             flag
@@ -136,11 +131,16 @@ def _session_for(
                 "change them)",
                 file=sys.stderr,
             )
-        model = XInsightModel.load(args.model)
-    else:
-        print("fitting the offline phase ...", file=sys.stderr)
-        model = fit_model(table, executor=executor, **_fit_kwargs(args))
-    return ExplainSession(model, table)
+        return XInsightModel.load(args.model)
+    print("fitting the offline phase ...", file=sys.stderr)
+    return fit_model(table, executor=executor, **_fit_kwargs(args))
+
+
+def _session_for(
+    args: argparse.Namespace, table: Table, executor=None
+) -> ExplainSession:
+    """Serving session over the ``--model`` artifact or an in-process fit."""
+    return ExplainSession(_model_for(args, table, executor=executor), table)
 
 
 def _print_report(report: XInsightReport, session: ExplainSession, top: int) -> bool:
@@ -225,38 +225,32 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0 if _print_report(report, session, args.top) else 1
 
 
-def _query_from_spec(spec: object, table: Table) -> WhyQuery:
-    """Build a WhyQuery from one batch-file entry."""
-    if not isinstance(spec, Mapping):
-        raise ReproError(f"batch query must be a JSON object, got {spec!r}")
-    for key in ("s1", "s2", "measure"):
-        if key not in spec:
-            raise ReproError(f"batch query missing {key!r}: {spec!r}")
-    subspaces = []
-    for side in ("s1", "s2"):
-        if not isinstance(spec[side], Mapping):
-            raise ReproError(
-                f"batch query {side!r} must be a {{dimension: value}} "
-                f"object, got {spec[side]!r}"
-            )
-        assignments = [f"{dim}={value}" for dim, value in spec[side].items()]
-        subspaces.append(_subspace(assignments, table))
-    return WhyQuery.create(
-        subspaces[0], subspaces[1], spec["measure"],
-        parse_aggregate(spec.get("agg", "AVG")),
-    )
+def _load_query_specs(path: str) -> list:
+    """Read a batch query file, turning every malformation — unreadable
+    file, empty file, invalid JSON, wrong top-level shape — into a typed
+    :class:`ReproError` (never a traceback)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read query file {path}: {exc}") from exc
+    if not raw.strip():
+        raise ReproError(f"query file {path} is empty (expected a JSON list)")
+    try:
+        specs = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"query file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(specs, list) or not specs:
+        raise ReproError("query file must hold a non-empty JSON list of queries")
+    return specs
 
 
 def cmd_batch_explain(args: argparse.Namespace) -> int:
     table = read_csv(args.file)
-    try:
-        with open(args.queries, encoding="utf-8") as handle:
-            specs = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise ReproError(f"cannot read query file {args.queries}: {exc}") from exc
-    if not isinstance(specs, list) or not specs:
-        raise ReproError("query file must hold a non-empty JSON list of queries")
-    queries = [_query_from_spec(spec, table) for spec in specs]
+    specs = _load_query_specs(args.queries)
+    # Validate every spec before any (potentially expensive) fit: a bad
+    # entry must fail fast, not after minutes of discovery.
+    queries = [query_from_spec(spec, table) for spec in specs]
     with _executor_scope(args) as ex:
         session = _session_for(args, table, executor=ex)
         reports = session.explain_batch(queries, executor=ex)
@@ -272,6 +266,49 @@ def cmd_batch_explain(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if answered == len(reports) else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the asyncio micro-batching explanation server (repro.serve)."""
+    table = read_csv(args.file)
+    # The in-process fit (no --model) shards its discovery probing over
+    # --workers/--executor too; the service builds its own serving
+    # executor from the same flags afterwards.
+    with _executor_scope(args) as ex:
+        model = _model_for(args, table, executor=ex)
+    service = ExplanationService(
+        model,
+        table,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        executor_kind=args.executor,
+    )
+
+    def announce(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    asyncio.run(
+        run_server(
+            service,
+            host=args.host,
+            port=args.port,
+            allow_shutdown=args.allow_shutdown,
+            announce=announce,
+        )
+    )
+    snap = service.stats_snapshot()
+    latency = snap["latency_ms"]
+    print(
+        f"drained cleanly: {snap['completed']} served, {snap['failed']} failed, "
+        f"{snap['rejected']} rejected over {snap['batches']} batch(es); "
+        f"latency p50 {latency['p50']} ms / p99 {latency['p99']} ms; "
+        f"dedup saved {snap['deduped']} explain(s)",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -338,6 +375,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fit_flags(p_batch)
     _add_parallel_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch_explain)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="asyncio micro-batching explanation server (JSON lines over TCP)",
+    )
+    p_srv.add_argument("file")
+    p_srv.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="serve against a saved model instead of fitting in-process",
+    )
+    p_srv.add_argument("--host", default=DEFAULT_HOST)
+    p_srv.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="TCP port (0 = ephemeral; the bound port is announced on stderr)",
+    )
+    p_srv.add_argument(
+        "--max-batch", type=int, default=DEFAULT_MAX_BATCH, metavar="N",
+        help="flush a micro-batch at this many queued requests",
+    )
+    p_srv.add_argument(
+        "--max-wait-ms", type=float, default=DEFAULT_MAX_WAIT_MS, metavar="MS",
+        help="... or this long after the first request of a batch",
+    )
+    p_srv.add_argument(
+        "--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT, metavar="N",
+        help="admission bound; beyond it requests get a typed rejection",
+    )
+    p_srv.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="honour the wire 'shutdown' op (CI smoke / orchestration)",
+    )
+    _add_fit_flags(p_srv)
+    _add_parallel_flags(p_srv)
+    p_srv.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -16,6 +16,7 @@ built for.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass
 from typing import Iterable
 
@@ -96,6 +97,19 @@ class ExplainSession:
         LRU-evicted.  0 disables workspace memoization — every explain
         rescans the table, which is the pre-vectorization cost profile the
         XPlainer speed harness measures against.
+
+    **Concurrency model.**  One session is safe to share between threads:
+    a coarse per-session re-entrant lock makes every ``explain`` (and every
+    cache read) atomic, so the memo dicts, the LRU eviction, the mutable
+    cached workspaces (whose profiles are built in place), and the
+    ``SessionStats`` counters can never race or tear.  The lock
+    deliberately trades intra-session parallelism for simplicity —
+    concurrent callers of one session serialize.  Throughput under
+    concurrency comes from *session affinity* instead: give each worker
+    its own session over the shared immutable model, which is exactly what
+    the :mod:`repro.parallel` executors (via ``build_state``) and the
+    :mod:`repro.serve` service do.  This is the documented choice of
+    "lock vs per-worker affinity": lock for safety, affinity for speed.
     """
 
     def __init__(
@@ -119,6 +133,8 @@ class ExplainSession:
         self._workspace_cap = max(0, int(workspace_cache))
         self._workspaces: dict[WhyQuery, QueryWorkspace] = {}
         self._shard_task: "ExplainShardTask | None" = None
+        # Coarse safety lock — see the class docstring's concurrency model.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Model delegation
@@ -143,12 +159,13 @@ class ExplainSession:
 
     def candidates_for(self, query: WhyQuery) -> tuple[str, ...]:
         """Candidate explanation variables of the query (memoized)."""
-        key = self._context_key(query)
-        cached = self._candidates.get(key)
-        if cached is None:
-            cached = self._resolve_candidates(query)
-            self._candidates[key] = cached
-        return cached
+        with self._lock:
+            key = self._context_key(query)
+            cached = self._candidates.get(key)
+            if cached is None:
+                cached = self._resolve_candidates(query)
+                self._candidates[key] = cached
+            return cached
 
     def _resolve_candidates(self, query: WhyQuery) -> tuple[str, ...]:
         aliases = self.model.aliases
@@ -169,45 +186,51 @@ class ExplainSession:
     def translations_for(self, query: WhyQuery) -> dict[str, Translation]:
         """XTranslator output for every candidate variable (memoized on the
         query's (measure, context) — repeated queries reuse the verdicts)."""
-        key = self._context_key(query)
-        cached = self._translations.get(key)
-        if cached is not None:
-            self.stats.translation_hits += 1
-            return dict(cached)
-        self.stats.translation_misses += 1
-        out = translate(
-            self.graph,
-            measure=query.measure,
-            context=query.context,
-            variables=self.candidates_for(query),
-            aliases=self.model.aliases,
-        )
-        self._translations[key] = out
-        return dict(out)
+        with self._lock:
+            key = self._context_key(query)
+            cached = self._translations.get(key)
+            if cached is not None:
+                self.stats.translation_hits += 1
+                return dict(cached)
+            self.stats.translation_misses += 1
+            out = translate(
+                self.graph,
+                measure=query.measure,
+                context=query.context,
+                variables=self.candidates_for(query),
+                aliases=self.model.aliases,
+            )
+            self._translations[key] = out
+            return dict(out)
 
     def is_homogeneous(self, query: WhyQuery, attribute: str) -> bool:
         """Def. 3.7: the siblings are homogeneous on ``attribute`` iff the
         attribute and the foreground are m-separated given the background
         (memoized on the resolved graph nodes)."""
-        ctx = query.context
-        graph = self.graph
-        node_x = self.node_of(attribute)
-        node_f = self.node_of(ctx.foreground)
-        background = frozenset(
-            self.node_of(b) for b in ctx.background if graph.has_node(self.node_of(b))
-        )
-        key = (node_x, node_f, background)
-        cached = self._homogeneity.get(key)
-        if cached is not None:
-            self.stats.homogeneity_hits += 1
-            return cached
-        self.stats.homogeneity_misses += 1
-        if not graph.has_node(node_x) or not graph.has_node(node_f):
-            verdict = False
-        else:
-            verdict = m_separated(graph, node_x, node_f, background, definite=False)
-        self._homogeneity[key] = verdict
-        return verdict
+        with self._lock:
+            ctx = query.context
+            graph = self.graph
+            node_x = self.node_of(attribute)
+            node_f = self.node_of(ctx.foreground)
+            background = frozenset(
+                self.node_of(b)
+                for b in ctx.background
+                if graph.has_node(self.node_of(b))
+            )
+            key = (node_x, node_f, background)
+            cached = self._homogeneity.get(key)
+            if cached is not None:
+                self.stats.homogeneity_hits += 1
+                return cached
+            self.stats.homogeneity_misses += 1
+            if not graph.has_node(node_x) or not graph.has_node(node_f):
+                verdict = False
+            else:
+                verdict = m_separated(
+                    graph, node_x, node_f, background, definite=False
+                )
+            self._homogeneity[key] = verdict
+            return verdict
 
     def workspace_for(self, query: WhyQuery) -> QueryWorkspace:
         """The query's :class:`~repro.data.query.QueryWorkspace` (memoized).
@@ -217,28 +240,29 @@ class ExplainSession:
         already built for the query, so only the first occurrence pays the
         O(N) table scan.
         """
-        if self._workspace_cap == 0:
-            self.stats.workspace_misses += 1
-            return QueryWorkspace(self.graph_table, query)
-        cached = self._workspaces.get(query)
-        if cached is not None:
-            self.stats.workspace_hits += 1
-            self._workspaces[query] = self._workspaces.pop(query)  # LRU touch
-            return cached
-        # A cached workspace for the sibling-swapped alias shares all the
-        # row-level work: derive this query's workspace with a cheap swap
-        # instead of rescanning the table.
-        alias_key = WhyQuery(query.s2, query.s1, query.measure, query.agg)
-        alias = self._workspaces.get(alias_key)
-        if alias is not None:
-            self.stats.workspace_hits += 1
-            self._workspaces[alias_key] = self._workspaces.pop(alias_key)
-            workspace = alias.swapped()
-        else:
-            self.stats.workspace_misses += 1
-            workspace = QueryWorkspace(self.graph_table, query)
-        self._cache_workspace(query, workspace)
-        return workspace
+        with self._lock:
+            if self._workspace_cap == 0:
+                self.stats.workspace_misses += 1
+                return QueryWorkspace(self.graph_table, query)
+            cached = self._workspaces.get(query)
+            if cached is not None:
+                self.stats.workspace_hits += 1
+                self._workspaces[query] = self._workspaces.pop(query)  # LRU touch
+                return cached
+            # A cached workspace for the sibling-swapped alias shares all the
+            # row-level work: derive this query's workspace with a cheap swap
+            # instead of rescanning the table.
+            alias_key = WhyQuery(query.s2, query.s1, query.measure, query.agg)
+            alias = self._workspaces.get(alias_key)
+            if alias is not None:
+                self.stats.workspace_hits += 1
+                self._workspaces[alias_key] = self._workspaces.pop(alias_key)
+                workspace = alias.swapped()
+            else:
+                self.stats.workspace_misses += 1
+                workspace = QueryWorkspace(self.graph_table, query)
+            self._cache_workspace(query, workspace)
+            return workspace
 
     def _cache_workspace(self, query: WhyQuery, workspace: QueryWorkspace) -> None:
         if self._workspace_cap == 0:
@@ -249,11 +273,12 @@ class ExplainSession:
 
     def cache_info(self) -> dict[str, int]:
         """Counters plus cache sizes — serving observability in one dict."""
-        info = self.stats.as_dict()
-        info["translation_entries"] = len(self._translations)
-        info["homogeneity_entries"] = len(self._homogeneity)
-        info["workspace_entries"] = len(self._workspaces)
-        return info
+        with self._lock:
+            info = self.stats.as_dict()
+            info["translation_entries"] = len(self._translations)
+            info["homogeneity_entries"] = len(self._homogeneity)
+            info["workspace_entries"] = len(self._workspaces)
+            return info
 
     # ------------------------------------------------------------------
     # Serving
@@ -265,7 +290,19 @@ class ExplainSession:
         method: str = "auto",
         config: XPlainerConfig | None = None,
     ) -> XInsightReport:
-        """Answer a Why Query with ranked, typed explanations."""
+        """Answer a Why Query with ranked, typed explanations.
+
+        Atomic under the session lock: concurrent callers serialize (see
+        the class docstring's concurrency model)."""
+        with self._lock:
+            return self._explain_locked(query, method, config)
+
+    def _explain_locked(
+        self,
+        query: WhyQuery,
+        method: str = "auto",
+        config: XPlainerConfig | None = None,
+    ) -> XInsightReport:
         self.stats.queries += 1
         workspace = self.workspace_for(query).oriented()
         if workspace.query != query:
@@ -356,7 +393,8 @@ class ExplainSession:
             task = self._shard_task_for(config or self.config, method)
             shards = plan_shards(len(queries), ex.workers)
             merged = ex.map(task, [s.take(queries) for s in shards])
-        self.stats.queries += len(queries)
+        with self._lock:
+            self.stats.queries += len(queries)
         return [report for chunk in merged for report in chunk]
 
     def _shard_task_for(
@@ -370,22 +408,23 @@ class ExplainSession:
         get the *same* task object back to keep the pool (and the model
         payload shipped to each worker) alive across calls.
         """
-        task = self._shard_task
-        if (
-            task is None
-            or task.config != config
-            or task.method != method
-            or task.workspace_cache != self._workspace_cap
-        ):
-            task = ExplainShardTask(
-                self.model.to_dict(),
-                self.table,
-                config,
-                method,
-                workspace_cache=self._workspace_cap,
-            )
-            self._shard_task = task
-        return task
+        with self._lock:
+            task = self._shard_task
+            if (
+                task is None
+                or task.config != config
+                or task.method != method
+                or task.workspace_cache != self._workspace_cap
+            ):
+                task = ExplainShardTask(
+                    self.model.to_dict(),
+                    self.table,
+                    config,
+                    method,
+                    workspace_cache=self._workspace_cap,
+                )
+                self._shard_task = task
+            return task
 
 
 class ExplainShardTask:

@@ -16,6 +16,9 @@ from repro.data.query import (
     QueryWorkspace,
     WhyQuery,
     candidate_attributes,
+    parse_assignment,
+    query_from_spec,
+    subspace_from_spec,
 )
 from repro.data.schema import Role, Schema
 from repro.data.table import Table
@@ -47,6 +50,9 @@ __all__ = [
     "discretize",
     "fit_bins",
     "parse_aggregate",
+    "parse_assignment",
+    "query_from_spec",
+    "subspace_from_spec",
     "read_csv",
     "write_csv",
 ]

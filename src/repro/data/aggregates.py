@@ -76,13 +76,24 @@ class Aggregate(enum.Enum):
 
 
 def parse_aggregate(name: str | Aggregate) -> Aggregate:
-    """Parse a case-insensitive aggregate name ('sum', 'AVG', ...)."""
+    """Parse a case-insensitive aggregate name ('sum', 'AVG', ...).
+
+    Raises :class:`~repro.errors.QueryError` (a :class:`ReproError`) on
+    unknown or non-string input, so user-supplied aggregate names — CLI
+    flags, batch query files, wire requests — fail with the typed error
+    every entry point already reports cleanly, never a raw ``ValueError``
+    traceback.
+    """
+    from repro.errors import QueryError
+
     if isinstance(name, Aggregate):
         return name
-    try:
-        return Aggregate[name.upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown aggregate {name!r}; expected one of "
-            f"{[a.value for a in Aggregate]}"
-        ) from None
+    if isinstance(name, str):
+        try:
+            return Aggregate[name.upper()]
+        except KeyError:
+            pass
+    raise QueryError(
+        f"unknown aggregate {name!r}; expected one of "
+        f"{[a.value for a in Aggregate]}"
+    )

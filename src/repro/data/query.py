@@ -28,7 +28,7 @@ Two layers sit on top of the per-probe reduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -410,3 +410,77 @@ def candidate_attributes(
     ctx.add(query.measure)
     ctx.update(exclude)
     return tuple(d for d in table.dimensions if d not in ctx)
+
+
+# ----------------------------------------------------------------------
+# Untrusted query specs (batch files, wire requests)
+# ----------------------------------------------------------------------
+
+def parse_assignment(raw: str, table: Table) -> tuple[str, Hashable]:
+    """Parse one ``Dimension=value`` assignment against ``table``.
+
+    Value strings are matched against the table's categories; numeric
+    cells are retried as floats the way the CSV loader parses them.
+    Raises :class:`~repro.errors.QueryError` with an actionable message on
+    any mismatch — this is the validation boundary for user-typed input.
+    """
+    if not isinstance(raw, str) or "=" not in raw:
+        raise QueryError(f"expected Dimension=value, got {raw!r}")
+    dim, value = raw.split("=", 1)
+    if dim not in table.dimensions:
+        raise QueryError(f"unknown dimension {dim!r}; have {table.dimensions}")
+    categories = table.categories(dim)
+    if value in categories:
+        return dim, value
+    # The CSV loader parses numeric cells into floats: retry as a number.
+    try:
+        numeric = float(value)
+    except ValueError:
+        raise QueryError(f"{value!r} is not a value of {dim!r}") from None
+    if numeric in categories:
+        return dim, numeric
+    raise QueryError(f"{value!r} is not a value of {dim!r}")
+
+
+def subspace_from_spec(spec: object, table: Table, side: str = "subspace") -> Subspace:
+    """Build a validated :class:`Subspace` from a ``{dimension: value}``
+    JSON object (one side of a query spec)."""
+    if not isinstance(spec, Mapping):
+        raise QueryError(
+            f"query spec {side!r} must be a {{dimension: value}} "
+            f"object, got {spec!r}"
+        )
+    pairs = dict(
+        parse_assignment(f"{dim}={value}", table) for dim, value in spec.items()
+    )
+    return Subspace.of(**{str(k): v for k, v in pairs.items()})
+
+
+def query_from_spec(spec: object, table: Table) -> WhyQuery:
+    """Build a :class:`WhyQuery` from one untrusted JSON spec.
+
+    The spec shape is shared by the CLI ``batch-explain`` query file and
+    the serving wire protocol (:mod:`repro.serve`)::
+
+        {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+         "measure": "LungCancer", "agg": "AVG"}
+
+    Every malformation — wrong JSON type anywhere, unknown dimension or
+    value, unknown measure, bad aggregate — raises
+    :class:`~repro.errors.QueryError`, never an untyped traceback.
+    """
+    if not isinstance(spec, Mapping):
+        raise QueryError(f"query spec must be a JSON object, got {spec!r}")
+    for key in ("s1", "s2", "measure"):
+        if key not in spec:
+            raise QueryError(f"query spec missing {key!r}: {spec!r}")
+    measure = spec["measure"]
+    if not isinstance(measure, str):
+        raise QueryError(f"query spec 'measure' must be a string, got {measure!r}")
+    if measure not in table.measures:
+        raise QueryError(
+            f"unknown measure {measure!r}; have {list(table.measures)}"
+        )
+    s1 = subspace_from_spec(spec["s1"], table, side="s1")
+    s2 = subspace_from_spec(spec["s2"], table, side="s2")
+    return WhyQuery.create(s1, s2, measure, parse_aggregate(spec.get("agg", "AVG")))

@@ -39,3 +39,19 @@ class FDError(ReproError):
 class ModelError(ReproError):
     """An XInsightModel artifact is malformed, unreadable, or from an
     incompatible schema version."""
+
+
+class ServeError(ReproError):
+    """Base class for explanation-service failures (see :mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A wire request is malformed: not JSON, not an object, bad ``op``."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control rejected a request: the service queue is full."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is draining or stopped and accepts no new requests."""

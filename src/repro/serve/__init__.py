@@ -1,0 +1,59 @@
+"""Explanation service layer: the online phase's concurrent front door.
+
+PR 2–4 built the fit-once artifact (:class:`~repro.core.model.
+XInsightModel`), the memoizing :class:`~repro.core.session.ExplainSession`
+and the batched Δ kernels; this package puts a server in front of them:
+
+* :class:`ExplanationService` — asyncio micro-batching scheduler with
+  admission control, in-batch dedup, executor fan-out and graceful drain;
+* :class:`ExplanationServer` / :func:`run_server` — JSON-lines TCP
+  front-end (stdlib only), surfaced on the CLI as ``repro serve``;
+* :class:`ServeClient` — blocking pipelining client for scripts, tests,
+  benchmarks and the CI smoke probe;
+* :class:`ServerStats` — queue depth, batch-size histogram, p50/p99
+  latency and the session's cache hit rates in one snapshot.
+"""
+
+from repro.serve.client import ServeClient, ServeResponseError, raise_for_error
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    decode_request,
+    encode_line,
+    error_response,
+    ok_response,
+)
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ExplanationServer,
+    run_server,
+)
+from repro.serve.service import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    DEFAULT_QUEUE_LIMIT,
+    ExplanationService,
+    ServerStats,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT_MS",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_LIMIT",
+    "ExplanationServer",
+    "ExplanationService",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ServeClient",
+    "ServeResponseError",
+    "ServerStats",
+    "decode_request",
+    "encode_line",
+    "error_response",
+    "ok_response",
+    "raise_for_error",
+    "run_server",
+]

@@ -1,0 +1,159 @@
+"""Blocking JSON-lines client for the explanation server.
+
+Stdlib sockets only — usable from tests, benchmarks, the CI smoke probe,
+or any analyst script without pulling in an HTTP stack::
+
+    with ServeClient("127.0.0.1", 8765) as client:
+        client.ping()
+        report = client.explain(
+            {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+             "measure": "LungCancer", "agg": "AVG"}
+        )
+
+``pipeline`` sends many requests before reading any response — that is
+what lets a single connection exercise the server's micro-batcher.
+Responses are matched back to requests by the echoed ``id``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ServeError
+from repro.serve.protocol import encode_line
+
+#: Client-side bound on one response line.  Far roomier than the server's
+#: request bound (reports for wide tables can be large), and overrunning
+#: it is a typed failure, never a silent truncation: a truncated readline
+#: would desync every later response on the connection.
+MAX_RESPONSE_BYTES = 64 << 20
+
+
+class ServeResponseError(ServeError):
+    """A typed error response from the server, surfaced client-side."""
+
+    def __init__(self, error: Mapping[str, Any]) -> None:
+        self.type = str(error.get("type", "UnknownError"))
+        self.message = str(error.get("message", ""))
+        super().__init__(f"{self.type}: {self.message}")
+
+
+def raise_for_error(response: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Return ``response`` if ok, else raise :class:`ServeResponseError`."""
+    if response.get("ok"):
+        return response
+    raise ServeResponseError(response.get("error") or {})
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.serve.server.ExplanationServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Raw request/response
+    # ------------------------------------------------------------------
+
+    def send(self, payload: Mapping[str, Any]) -> Any:
+        """Send one request line; returns the ``id`` it carries."""
+        payload = dict(payload)
+        if "id" not in payload:
+            self._next_id += 1
+            payload["id"] = self._next_id
+        self._sock.sendall(encode_line(payload))
+        return payload["id"]
+
+    def recv(self) -> dict[str, Any]:
+        """Read one response line (raises :class:`ServeError` on EOF,
+        over-long lines, or malformed payloads — never desyncs silently)."""
+        line = self._reader.readline(MAX_RESPONSE_BYTES + 1)
+        if not line:
+            raise ServeError("server closed the connection")
+        if not line.endswith(b"\n") and len(line) > MAX_RESPONSE_BYTES:
+            raise ServeError(
+                f"response line exceeds {MAX_RESPONSE_BYTES} bytes; "
+                "stream is no longer trustworthy — close this connection"
+            )
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"malformed response line: {exc}") from exc
+        if not isinstance(response, dict):
+            raise ServeError(f"malformed response: {response!r}")
+        return response
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """One synchronous round trip (response may be an error envelope)."""
+        self.send(payload)
+        return self.recv()
+
+    def pipeline(
+        self, payloads: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Send every request, then collect responses, in request order.
+
+        All lines go out before any response is read, so the server sees
+        the whole burst at once — the shape the micro-batcher coalesces.
+        """
+        ids = [self.send(p) for p in payloads]
+        by_id = {}
+        for _ in ids:
+            response = self.recv()
+            by_id[response.get("id")] = response
+        missing = [i for i in ids if i not in by_id]
+        if missing:
+            raise ServeError(f"no response for request id(s) {missing!r}")
+        return [by_id[i] for i in ids]
+
+    # ------------------------------------------------------------------
+    # Op helpers (raise typed errors on error envelopes)
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(raise_for_error(self.request({"op": "ping"}))["pong"])
+
+    def explain(
+        self, query_spec: Mapping[str, Any], method: str = "auto"
+    ) -> dict[str, Any]:
+        """Answer one query spec; returns the report dict."""
+        response = self.request(
+            {"op": "explain", "query": dict(query_spec), "method": method}
+        )
+        return dict(raise_for_error(response)["report"])
+
+    def explain_many(
+        self, query_specs: Sequence[Mapping[str, Any]], method: str = "auto"
+    ) -> list[dict[str, Any]]:
+        """Pipeline a burst of query specs; reports in request order."""
+        responses = self.pipeline(
+            [
+                {"op": "explain", "query": dict(spec), "method": method}
+                for spec in query_specs
+            ]
+        )
+        return [dict(raise_for_error(r)["report"]) for r in responses]
+
+    def stats(self) -> dict[str, Any]:
+        return dict(raise_for_error(self.request({"op": "stats"}))["stats"])
+
+    def shutdown(self) -> bool:
+        """Ask the server to drain and exit (needs ``allow_shutdown``)."""
+        response = self.request({"op": "shutdown"})
+        return bool(raise_for_error(response).get("draining"))
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

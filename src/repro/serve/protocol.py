@@ -1,0 +1,110 @@
+"""Wire protocol of the explanation service: JSON lines, typed errors.
+
+One request per line, one response per line, UTF-8 JSON with no embedded
+newlines — a protocol that works with ``nc``, ``telnet``, or four lines of
+Python.  Requests are objects carrying an ``op`` plus op-specific fields;
+an optional ``id`` (any JSON value) is echoed verbatim in the response so
+pipelining clients can match responses to requests without assuming
+ordering.
+
+Ops
+---
+
+``explain``
+    ``{"op": "explain", "id": 7, "query": {"s1": {...}, "s2": {...},
+    "measure": "...", "agg": "AVG"}, "method": "auto"}`` →
+    ``{"id": 7, "ok": true, "report": {...}}`` with the report in the
+    stable :func:`repro.core.reporting.report_to_dict` schema.  The query
+    spec is exactly the CLI ``batch-explain`` file entry shape (see
+    :func:`repro.data.query.query_from_spec`).
+``stats``
+    ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}`` — the
+    :class:`~repro.serve.service.ServerStats` snapshot.
+``ping``
+    ``{"op": "ping"}`` → ``{"ok": true, "pong": true}`` — liveness probe.
+``shutdown``
+    ``{"op": "shutdown"}`` → ack, then the server drains and exits.  Only
+    honoured when the server was started with ``allow_shutdown`` (the CI
+    smoke path); otherwise a typed error.
+
+Every failure is a typed error response, never a dropped connection::
+
+    {"id": 7, "ok": false,
+     "error": {"type": "QueryError", "message": "unknown measure 'Zz'..."}}
+
+``error.type`` is the :mod:`repro.errors` class name (``ProtocolError``,
+``QueryError``, ``ServiceOverloadedError``, ``ServiceClosedError``, ...),
+so clients can switch on it without parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError, ReproError
+
+#: Ops a server understands; anything else is a ProtocolError.
+OPS = ("explain", "stats", "ping", "shutdown")
+
+#: Upper bound on one request line (bytes). Also passed to the asyncio
+#: stream reader as its buffer limit, so an unframed flood cannot balloon
+#: server memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_line(payload: Mapping[str, Any]) -> bytes:
+    """One protocol line: compact JSON + newline, UTF-8."""
+    return (
+        json.dumps(payload, separators=(",", ":"), ensure_ascii=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_request(line: bytes | str) -> dict[str, Any]:
+    """Parse and shape-check one request line.
+
+    Raises :class:`ProtocolError` on anything that is not a JSON object
+    with a known ``op`` string — the caller turns that into a typed error
+    response on the same connection.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request line exceeds {MAX_LINE_BYTES} bytes"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {list(OPS)}")
+    return payload
+
+
+def ok_response(request_id: Any = None, **fields: Any) -> dict[str, Any]:
+    """A success response envelope (the echoed ``id`` plus payload)."""
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(request_id: Any, exc: BaseException) -> dict[str, Any]:
+    """A typed error response for ``exc``.
+
+    Library errors surface their own class name; anything else is reported
+    as ``InternalError`` with the message intact (the server never lets an
+    exception tear down the connection).
+    """
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "InternalError"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": name, "message": str(exc)},
+    }

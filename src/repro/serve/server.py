@@ -1,0 +1,275 @@
+"""JSON-lines TCP front-end over :class:`ExplanationService`.
+
+Stdlib only: ``asyncio.start_server`` + the :mod:`repro.serve.protocol`
+framing.  Each connection may pipeline requests — every request line is
+handled by its own task, so one connection's stream of explains still
+coalesces in the service's micro-batcher; responses carry the request's
+echoed ``id`` for matching (they may complete out of order).
+
+Shutdown is a graceful drain: stop accepting connections, let every
+request already read finish, flush the service's admitted backlog, then
+close.  ``repro serve`` (the CLI) wires signals to :meth:`ExplanationServer.
+request_shutdown`; the ``shutdown`` op does the same when the server was
+started with ``allow_shutdown=True`` (the CI smoke path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.reporting import report_to_dict
+from repro.data.query import query_from_spec
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    decode_request,
+    encode_line,
+    error_response,
+    ok_response,
+)
+from repro.serve.service import ExplanationService
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+class ExplanationServer:
+    """One TCP endpoint serving one :class:`ExplanationService`.
+
+    Use ``port=0`` to bind an ephemeral port (tests); the bound address is
+    on :attr:`host` / :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: ExplanationService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        allow_shutdown: bool = False,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.allow_shutdown = allow_shutdown
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_requested: asyncio.Event | None = None
+        self._draining = False
+        self._request_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.connections_total = 0
+        self.requests_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ExplanationServer":
+        await self.service.start()
+        self._stop_requested = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                limit=MAX_LINE_BYTES,
+            )
+        except OSError as exc:
+            # A busy port must be a typed error, and the service we just
+            # started (flusher task, pools) must not leak behind it.
+            await self.service.stop()
+            raise ServeError(
+                f"cannot bind {self.host}:{self.port}: {exc}"
+            ) from exc
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.host, self.port = sock.getsockname()[:2]
+            break
+        return self
+
+    def request_shutdown(self) -> None:
+        """Flip the shutdown flag (signal handlers, the ``shutdown`` op)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown is requested, then drain and stop."""
+        assert self._stop_requested is not None, "server not started"
+        await self._stop_requested.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, drain service.
+
+        Ordering matters: the draining flag stops connection loops from
+        spawning new request tasks, the gather loop then converges on the
+        tasks already spawned (re-snapshotting to catch any raced in
+        around the flag), and only after every outstanding response has
+        been written does the service drain and the writers close — so
+        every request that got a task gets its answer on the wire.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._request_tasks:
+            await asyncio.gather(*tuple(self._request_tasks), return_exceptions=True)
+        await self.service.stop()
+        for writer in tuple(self._writers):
+            writer.close()
+        for writer in tuple(self._writers):
+            # drain() only waits to the high-water mark; wait_closed flushes
+            # what is still transport-buffered before the loop goes away,
+            # so a slow reader's large response is never truncated.  The
+            # timeout keeps a peer that stopped reading from pinning the
+            # shutdown forever.
+            try:
+                await asyncio.wait_for(writer.wait_closed(), timeout=10)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+        self._writers.clear()
+
+    async def __aenter__(self) -> "ExplanationServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_total += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        connection_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # Over-long line or reset peer: nothing sane to answer.
+                    break
+                if not line:
+                    break
+                if self._draining:
+                    # A line that arrives mid-drain was never admitted;
+                    # the closing connection is its answer.
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_request(line, writer, write_lock)
+                )
+                for tracker in (self._request_tasks, connection_tasks):
+                    tracker.add(task)
+                    task.add_done_callback(tracker.discard)
+        finally:
+            # EOF on the read side (e.g. a piped `nc` half-close) must not
+            # drop answers still in flight: finish them before closing.
+            while connection_tasks:
+                await asyncio.gather(
+                    *tuple(connection_tasks), return_exceptions=True
+                )
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                # Flush past the high-water mark; bounded so a peer that
+                # stopped reading cannot pin this handler forever.
+                await asyncio.wait_for(writer.wait_closed(), timeout=10)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+
+    async def _handle_request(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.requests_total += 1
+        request_id: Any = None
+        try:
+            request = decode_request(line)
+            request_id = request.get("id")
+            response = await self._dispatch(request)
+        except ReproError as exc:
+            response = error_response(request_id, exc)
+        except Exception as exc:  # never tear down the connection
+            response = error_response(request_id, exc)
+        try:
+            async with write_lock:
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # peer went away before its answer did
+
+    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request["op"]
+        request_id = request.get("id")
+        if op == "ping":
+            return ok_response(request_id, pong=True)
+        if op == "stats":
+            # cache_info takes the session lock, which the flush thread
+            # may hold mid-explain — fetch it in a worker thread so the
+            # loop never waits on it.  The ServerStats structures are
+            # loop-confined, so the rest of the snapshot is taken here.
+            cache_info = await asyncio.get_running_loop().run_in_executor(
+                None, self.service.session.cache_info
+            )
+            stats = self.service.stats_snapshot(cache_info=cache_info)
+            stats["connections_total"] = self.connections_total
+            stats["requests_total"] = self.requests_total
+            return ok_response(request_id, stats=stats)
+        if op == "shutdown":
+            if not self.allow_shutdown:
+                raise ProtocolError(
+                    "shutdown over the wire is disabled "
+                    "(start the server with --allow-shutdown)"
+                )
+            self.request_shutdown()
+            return ok_response(request_id, draining=True)
+        # op == "explain" (decode_request already validated the op set)
+        if "query" not in request:
+            raise ProtocolError("explain request missing 'query'")
+        query = query_from_spec(request["query"], self.service.table)
+        method = request.get("method", "auto")
+        if not isinstance(method, str):
+            raise ProtocolError(f"'method' must be a string, got {method!r}")
+        report = await self.service.explain(query, method=method)
+        return ok_response(request_id, report=report_to_dict(report))
+
+
+async def run_server(
+    service: ExplanationService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    allow_shutdown: bool = False,
+    ready: "asyncio.Event | None" = None,
+    announce=None,
+) -> ExplanationServer:
+    """Start a server, announce it, serve until shutdown, drain, return it.
+
+    ``announce`` (a callable taking one string) receives the one-line
+    "serving on host:port" banner once the socket is bound — the CLI
+    prints it to stderr; tests and the smoke harness parse it.
+    """
+    server = ExplanationServer(
+        service, host=host, port=port, allow_shutdown=allow_shutdown
+    )
+    await server.start()
+    if announce is not None:
+        announce(f"serving on {server.host}:{server.port}")
+    if ready is not None:
+        ready.set()
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        loop.add_signal_handler(signal.SIGINT, server.request_shutdown)
+        loop.add_signal_handler(signal.SIGTERM, server.request_shutdown)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - win/embedded
+        pass
+    await server.serve_until_shutdown()
+    return server

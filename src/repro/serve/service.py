@@ -1,0 +1,411 @@
+"""The asyncio explanation service: admission → micro-batch → fan-out.
+
+This is the online phase's front door.  One :class:`ExplanationService`
+loads one immutable :class:`~repro.core.model.XInsightModel` and serves
+concurrent ``explain`` requests through a micro-batching scheduler:
+
+1. **Admission** — requests enter a bounded queue; when it is full they
+   are rejected immediately with a typed
+   :class:`~repro.errors.ServiceOverloadedError` (shed load at the door,
+   don't time out at the back).
+2. **Coalescing** — a single flusher task collects requests into a batch
+   and flushes when either ``max_batch`` requests are waiting or
+   ``max_wait_ms`` has passed since the first one, whichever comes first.
+3. **Dedup** — duplicate queries inside one flush (the dominant shape of
+   a hot serving stream) are answered by a *single* explain whose report
+   fans out to every waiting requester.  Explanations are pure per query,
+   so this is invisible in the results — it only shows up in latency and
+   in ``ServerStats.deduped``.
+4. **Fan-out** — each flush runs as one
+   :meth:`~repro.core.session.ExplainSession.explain_batch` call through
+   the service-owned :mod:`repro.parallel` executor, so multi-worker
+   deployments shard each batch across per-worker sessions (session
+   affinity; see the session's concurrency-model docs).
+5. **Drain** — :meth:`stop` closes admission, serves everything already
+   admitted, then releases the executor.  Nothing admitted is ever
+   dropped.
+
+Threading model: the event loop never runs an explanation.  Flushes are
+handed to a dedicated single flush thread, so exactly one batch is in
+flight at a time and the session lock is uncontended; parallelism happens
+*inside* the flush via the executor fan-out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Iterable
+
+from repro.core.model import XInsightModel
+from repro.core.session import ExplainSession, XInsightReport
+from repro.core.xplainer import XPlainerConfig
+from repro.data.query import WhyQuery
+from repro.data.table import Table
+from repro.errors import ServeError, ServiceClosedError, ServiceOverloadedError
+from repro.parallel import default_workers, make_executor
+
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT_MS = 2.0
+DEFAULT_QUEUE_LIMIT = 1024
+
+#: How many recent request latencies the percentile window keeps.
+LATENCY_WINDOW = 4096
+
+_STOP = object()  # queue sentinel: admission is closed, drain and exit
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 < q ≤ 1):
+    the smallest value with at least ``q`` of the sample at or below it."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class ServerStats:
+    """Serving observability in one object (see :meth:`snapshot`).
+
+    Single-threaded by contract: every mutation *and* :meth:`snapshot`
+    happen on the event loop (or after it has exited), so the counters
+    never tear and the histogram/latency structures are never iterated
+    while being mutated.  Work that must leave the loop — the session's
+    lock-taking ``cache_info`` — is offloaded separately (see
+    :meth:`ExplanationService.stats_snapshot` and the server's ``stats``
+    op).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    deduped: int = 0
+    batches: int = 0
+    batch_sizes: Counter = field(default_factory=Counter)
+    latencies: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def observe_batch(self, size: int, unique: int) -> None:
+        self.batches += 1
+        self.batch_sizes[size] += 1
+        self.deduped += size - unique
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def latency_ms(self) -> dict[str, float]:
+        window = sorted(self.latencies)
+        return {
+            "count": len(window),
+            "p50": round(_percentile(window, 0.50) * 1e3, 3),
+            "p99": round(_percentile(window, 0.99) * 1e3, 3),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe stats dict (the ``stats`` op's payload core)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "deduped": self.deduped,
+            "batches": self.batches,
+            "batch_size_hist": {
+                str(size): count for size, count in sorted(self.batch_sizes.items())
+            },
+            "latency_ms": self.latency_ms(),
+        }
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for its flush."""
+
+    query: WhyQuery
+    method: str
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class ExplanationService:
+    """Micro-batching serving loop over one model + one session pool.
+
+    Parameters
+    ----------
+    model, table:
+        The offline artifact and the data to serve against (exactly the
+        :class:`~repro.core.session.ExplainSession` constructor pair).
+    config:
+        Default :class:`XPlainerConfig` for every request.
+    max_batch:
+        Flush as soon as this many requests are waiting.
+    max_wait_ms:
+        ... or this long after the first request of a batch arrived.
+    queue_limit:
+        Admission bound; requests beyond it are rejected with
+        :class:`ServiceOverloadedError`.
+    workers, executor_kind:
+        The :mod:`repro.parallel` fan-out each flush uses.  ``workers``
+        defaults to the ``REPRO_WORKERS`` env; 1 means in-process serial.
+        The per-worker sessions are private (session affinity), so only
+        the primary session's ``cache_info`` appears in the stats.
+    """
+
+    def __init__(
+        self,
+        model: XInsightModel,
+        table: Table,
+        *,
+        config: XPlainerConfig | None = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        workers: int | None = None,
+        executor_kind: str | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be ≥ 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServeError(f"max_wait_ms must be ≥ 0, got {max_wait_ms}")
+        if queue_limit < 1:
+            raise ServeError(f"queue_limit must be ≥ 1, got {queue_limit}")
+        self.session = ExplainSession(model, table, config=config)
+        self.model = model
+        self.table = table
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1e3
+        self.queue_limit = queue_limit
+        self.workers = default_workers() if workers is None else workers
+        self.executor = make_executor(self.workers, executor_kind)
+        self.stats = ServerStats()
+        self._queue: asyncio.Queue | None = None
+        self._flusher: asyncio.Task | None = None
+        self._flush_pool = None  # single dedicated flush thread, lazily built
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._flusher is not None
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def start(self) -> "ExplanationService":
+        """Bind to the running loop and start the flusher (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service already stopped")
+        if self._flusher is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._queue = asyncio.Queue(maxsize=self.queue_limit)
+            self._flush_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-flush"
+            )
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._flush_loop(), name="repro-serve-flusher"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: close admission, serve the backlog, release.
+
+        Everything admitted before the call completes normally; new
+        submissions are rejected with :class:`ServiceClosedError`.
+        Idempotent.
+        """
+        already_closed, self._closed = self._closed, True
+        if self._flusher is not None and not already_closed:
+            await self._queue.put(_STOP)
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+        loop = asyncio.get_running_loop()
+        if self._flush_pool is not None:
+            pool, self._flush_pool = self._flush_pool, None
+            await loop.run_in_executor(None, partial(pool.shutdown, wait=True))
+        await loop.run_in_executor(None, self.executor.close)
+
+    async def __aenter__(self) -> "ExplanationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Request surface
+    # ------------------------------------------------------------------
+
+    def submit(self, query: WhyQuery, method: str = "auto") -> asyncio.Future:
+        """Admit one request; returns the future its report resolves on.
+
+        Raises the typed admission errors synchronously:
+        :class:`ServiceClosedError` when draining/stopped,
+        :class:`ServiceOverloadedError` when the queue is full.
+        """
+        if self._flusher is None or self._queue is None:
+            raise ServiceClosedError("service is not started")
+        if self._closed:
+            raise ServiceClosedError("service is draining; not accepting requests")
+        pending = _Pending(
+            query=query,
+            method=method,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.queue_limit} pending); retry later"
+            ) from None
+        self.stats.submitted += 1
+        return pending.future
+
+    async def explain(self, query: WhyQuery, method: str = "auto") -> XInsightReport:
+        """Submit and await one request (the coroutine most callers want)."""
+        return await self.submit(query, method)
+
+    def stats_snapshot(self, cache_info: dict | None = None) -> dict[str, Any]:
+        """The full ``ServerStats`` surface: counters, histogram, p50/p99
+        latency, live queue depth, session cache hit rates, and knobs.
+
+        Call on the event loop (or after it exits) — the counter
+        structures are loop-confined.  ``cache_info`` lets a caller pass
+        in a pre-fetched ``session.cache_info()`` so the session lock is
+        never taken on the loop thread (the server's ``stats`` op fetches
+        it in a worker thread first); omitted, it is read inline.
+        """
+        snap = self.stats.snapshot()
+        snap["queue_depth"] = self.queue_depth
+        snap["cache"] = (
+            self.session.cache_info() if cache_info is None else cache_info
+        )
+        snap["config"] = {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1e3,
+            "queue_limit": self.queue_limit,
+            "workers": self.workers,
+            "executor": self.executor.kind,
+        }
+        return snap
+
+    # ------------------------------------------------------------------
+    # The micro-batching scheduler
+    # ------------------------------------------------------------------
+
+    async def _flush_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            stopping = False
+            deadline = loop.time() + self.max_wait
+            while len(batch) < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is _STOP:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            await self._flush(batch)
+            if stopping:
+                # Admission closed while we were batching: serve whatever
+                # else was already admitted, then exit.
+                backlog: list[_Pending] = []
+                while True:
+                    try:
+                        rest = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if rest is not _STOP:
+                        backlog.append(rest)
+                for i in range(0, len(backlog), self.max_batch):
+                    await self._flush(backlog[i : i + self.max_batch])
+                return
+
+    async def _flush(self, batch: list[_Pending]) -> None:
+        """Serve one coalesced batch: dedup, one explain_batch, fan out."""
+        loop = asyncio.get_running_loop()
+        # Requests are deduplicated per (query, method); explanations are
+        # pure per query, so every duplicate receives the identical report
+        # the direct explain_batch call would have produced.
+        groups: dict[tuple[WhyQuery, str], list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault((pending.query, pending.method), []).append(pending)
+        self.stats.observe_batch(len(batch), len(groups))
+
+        by_method: dict[str, list[WhyQuery]] = {}
+        for query, method in groups:
+            by_method.setdefault(method, []).append(query)
+        results: dict[tuple[WhyQuery, str], XInsightReport | BaseException] = {}
+        for method, queries in by_method.items():
+            results.update(await self._explain_unique(loop, queries, method))
+
+        now = time.perf_counter()
+        for key, waiters in groups.items():
+            outcome = results[key]
+            failed = isinstance(outcome, BaseException)
+            for pending in waiters:
+                self.stats.observe_latency(now - pending.enqueued_at)
+                if failed:
+                    self.stats.failed += 1
+                else:
+                    self.stats.completed += 1
+                if not pending.future.done():  # the waiter may have gone away
+                    if failed:
+                        pending.future.set_exception(outcome)
+                    else:
+                        pending.future.set_result(outcome)
+
+    async def _explain_unique(
+        self, loop: asyncio.AbstractEventLoop, queries: list[WhyQuery], method: str
+    ) -> dict[tuple[WhyQuery, str], XInsightReport | BaseException]:
+        """One ``explain_batch`` over the deduped queries of one method.
+
+        If the batch call fails, fall back to query-at-a-time so a single
+        poison query only fails its own requesters, never its batchmates.
+        """
+        run = partial(
+            self.session.explain_batch, queries, method=method,
+            executor=self.executor,
+        )
+        try:
+            reports: Iterable[XInsightReport | BaseException] = (
+                await loop.run_in_executor(self._flush_pool, run)
+            )
+        except Exception:
+            reports = []
+            for query in queries:
+                try:
+                    reports.append(
+                        await loop.run_in_executor(
+                            self._flush_pool,
+                            partial(self.session.explain, query, method=method),
+                        )
+                    )
+                except Exception as exc:
+                    reports.append(exc)
+        return {
+            (query, method): report for query, report in zip(queries, reports)
+        }

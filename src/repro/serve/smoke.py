@@ -1,0 +1,113 @@
+"""End-to-end server smoke probe: boot ``repro serve``, query it, drain it.
+
+The tier-1 CI job runs this after the test suite::
+
+    PYTHONPATH=src python -m repro.serve.smoke
+
+It exercises the full deployment surface through real subprocesses — CLI
+``fit`` writes the artifact, CLI ``serve`` boots the TCP server, a
+:class:`~repro.serve.client.ServeClient` sends ping / explain / pipelined
+burst / stats over the wire, the ``shutdown`` op triggers the drain — and
+fails loudly unless the server exits cleanly (code 0, "drained" banner).
+Also reusable from the test suite (`tests/test_serve.py` calls
+:func:`main` in-process).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+QUERY_SPEC = {
+    "s1": {"Location": "A"},
+    "s2": {"Location": "B"},
+    "measure": "LungCancer",
+    "agg": "AVG",
+}
+
+BANNER = re.compile(r"serving on ([\w.\-]+):(\d+)")
+
+
+def _run_cli(*args: str) -> None:
+    subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        check=True,
+        env=os.environ,
+        timeout=300,
+    )
+
+
+def main() -> int:
+    from repro.data.io import write_csv
+    from repro.datasets import generate_lungcancer
+    from repro.serve.client import ServeClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        csv_path = str(Path(tmp) / "data.csv")
+        model_path = str(Path(tmp) / "model.json")
+        write_csv(generate_lungcancer(n_rows=800, seed=0), csv_path)
+
+        _run_cli("fit", csv_path, "--out", model_path, "--bins", "3")
+
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", csv_path,
+                "--model", model_path, "--port", "0",
+                "--max-wait-ms", "5", "--allow-shutdown",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=os.environ,
+        )
+        try:
+            banner_lines: list[str] = []
+            deadline = time.monotonic() + 120
+            host = port = None
+            assert server.stderr is not None
+            while time.monotonic() < deadline:
+                line = server.stderr.readline()
+                if not line:
+                    break
+                banner_lines.append(line)
+                match = BANNER.search(line)
+                if match:
+                    host, port = match.group(1), int(match.group(2))
+                    break
+            if port is None:
+                raise RuntimeError(
+                    f"server never announced its address: {banner_lines!r}"
+                )
+
+            with ServeClient(host, port, timeout=60) as client:
+                assert client.ping(), "ping failed"
+                report = client.explain(QUERY_SPEC)
+                assert "explanations" in report, f"bad report: {report!r}"
+                burst = client.explain_many([QUERY_SPEC] * 8)
+                assert burst == [report] * 8, "pipelined burst diverged"
+                stats = client.stats()
+                assert stats["completed"] >= 9, stats
+                assert stats["deduped"] >= 1, "burst never coalesced"
+                assert client.shutdown(), "shutdown not acknowledged"
+
+            code = server.wait(timeout=120)
+            tail = server.stderr.read() or ""
+            if code != 0:
+                raise RuntimeError(f"server exited {code}: {tail!r}")
+            if "drained" not in tail:
+                raise RuntimeError(f"no drain banner in shutdown output: {tail!r}")
+        finally:
+            if server.poll() is None:  # pragma: no cover - failure path
+                server.kill()
+                server.wait()
+
+    print("serve smoke ok: boot, ping, explain, burst, stats, clean drain")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -274,6 +274,91 @@ class TestBatchExplainCommand:
         assert code == 2
         assert "JSON object" in capsys.readouterr().err
 
+    def test_empty_query_file_is_reported(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(empty)]
+        )
+        assert code == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_whitespace_only_query_file_is_reported(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        blank = tmp_path / "blank.json"
+        blank.write_text("  \n\t\n")
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(blank)]
+        )
+        assert code == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_invalid_json_query_file_is_reported(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json at all")
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(bad)]
+        )
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_aggregate_is_reported_not_traceback(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad_agg.json"
+        bad.write_text(json.dumps([
+            {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+             "measure": "LungCancer", "agg": "MEDIAN"},
+        ]))
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(bad)]
+        )
+        assert code == 2
+        assert "unknown aggregate" in capsys.readouterr().err
+
+    def test_non_string_aggregate_is_reported_not_traceback(
+        self, lungcancer_csv, lung_model, tmp_path, capsys
+    ):
+        bad = tmp_path / "numeric_agg.json"
+        bad.write_text(json.dumps([
+            {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+             "measure": "LungCancer", "agg": 5},
+        ]))
+        code = main(
+            ["batch-explain", lungcancer_csv, "--model", lung_model,
+             "--queries", str(bad)]
+        )
+        assert code == 2
+        assert "unknown aggregate" in capsys.readouterr().err
+
+    def test_bad_measure_fails_before_any_fit(
+        self, lungcancer_csv, tmp_path, capsys
+    ):
+        # No --model: a bad query spec must fail during validation, not
+        # after minutes of in-process discovery.
+        for bad_measure in (7, "NoSuchColumn"):
+            bad = tmp_path / "bad_measure.json"
+            bad.write_text(json.dumps([
+                {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+                 "measure": bad_measure},
+            ]))
+            code = main(
+                ["batch-explain", lungcancer_csv, "--queries", str(bad)]
+            )
+            captured = capsys.readouterr()
+            assert code == 2
+            assert "measure" in captured.err
+            assert "fitting the offline phase" not in captured.err
+
     def test_fit_flags_with_model_warn_and_are_ignored(
         self, lungcancer_csv, lung_model, capsys
     ):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.data import Aggregate, Role, Table, discretize, parse_aggregate, read_csv, write_csv
 from repro.data.discretize import Bin, equal_frequency_edges, equal_width_edges
-from repro.errors import SchemaError
+from repro.errors import QueryError, SchemaError
 
 
 class TestAggregate:
@@ -39,8 +39,14 @@ class TestAggregate:
     def test_parse(self):
         assert parse_aggregate("avg") is Aggregate.AVG
         assert parse_aggregate(Aggregate.SUM) is Aggregate.SUM
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             parse_aggregate("median")
+
+    def test_parse_non_string_is_typed_error(self):
+        # Wire/batch specs can carry any JSON value; a number must produce
+        # the typed error, not an AttributeError on .upper().
+        with pytest.raises(QueryError):
+            parse_aggregate(5)  # type: ignore[arg-type]
 
 
 class TestDiscretize:

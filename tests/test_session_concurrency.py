@@ -1,0 +1,142 @@
+"""Concurrency stress for ``ExplainSession``'s coarse-lock safety model.
+
+PR 5 made one session safe to share between threads (a per-session RLock;
+see the session docstring's concurrency model).  These tests hammer a
+single session from many threads and pin the contract: no exceptions, no
+torn counters, reports identical to serial serving, and ``cache_info``
+exactly equal to what the same workload produces serially — interleaving
+must be unobservable.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import ExplainSession, fit_model
+from repro.core.reporting import report_to_dict
+from repro.data import Aggregate, Subspace, WhyQuery
+from repro.datasets import generate_lungcancer
+
+N_THREADS = 8
+PER_THREAD = 25
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_lungcancer(n_rows=1200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(table):
+    return fit_model(table, measure_bins=3)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    s1, s2 = Subspace.of(Location="A"), Subspace.of(Location="B")
+    variants = [
+        WhyQuery.create(s1, s2, "LungCancer", Aggregate.AVG),
+        WhyQuery.create(s1, s2, "LungCancer", Aggregate.SUM),
+        WhyQuery.create(s1, s2, "LungCancer", Aggregate.COUNT),
+        WhyQuery.create(s2, s1, "LungCancer", Aggregate.AVG),
+    ]
+    return [variants[i % len(variants)] for i in range(PER_THREAD)]
+
+
+class TestConcurrentExplain:
+    def test_hammered_session_matches_serial(self, model, table, workload):
+        # Serial reference: same multiset of queries, one thread.
+        serial = ExplainSession(model, table)
+        serial_reports = [
+            report_to_dict(serial.explain(q)) for q in workload
+        ] * N_THREADS  # per-thread sequences are identical
+        serial_info = serial.cache_info()
+        # The serial session served the workload once; the hammered one
+        # serves it N_THREADS times — scale the query counter only (every
+        # cache counter beyond the first pass is pure hits).
+        expected_queries = N_THREADS * PER_THREAD
+
+        session = ExplainSession(model, table)
+        barrier = threading.Barrier(N_THREADS)
+        failures: list[BaseException] = []
+        reports: dict[int, list] = {}
+
+        def hammer(thread_id: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                reports[thread_id] = [
+                    report_to_dict(session.explain(q)) for q in workload
+                ]
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not failures, failures
+
+        # Every thread saw exactly the serial answers, in its own order.
+        serial_per_thread = serial_reports[:PER_THREAD]
+        for thread_id in range(N_THREADS):
+            assert reports[thread_id] == serial_per_thread
+
+        # Counters never tore: totals are exact, not approximate.
+        info = session.cache_info()
+        assert info["queries"] == expected_queries
+        assert (
+            info["translation_hits"] + info["translation_misses"]
+            == expected_queries
+        )
+        # First-occurrence structure is interleaving-independent: the same
+        # number of distinct contexts/keys miss, everything else hits.
+        assert info["translation_misses"] == serial_info["translation_misses"]
+        assert info["homogeneity_misses"] == serial_info["homogeneity_misses"]
+        assert info["workspace_misses"] == serial_info["workspace_misses"]
+        assert info["translation_entries"] == serial_info["translation_entries"]
+        assert info["homogeneity_entries"] == serial_info["homogeneity_entries"]
+        assert info["workspace_entries"] == serial_info["workspace_entries"]
+
+    def test_mixed_explain_and_cache_readers(self, model, table, workload):
+        session = ExplainSession(model, table)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    info = session.cache_info()
+                    assert info["queries"] >= 0
+                    session.candidates_for(workload[0])
+                    session.translations_for(workload[0])
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in readers:
+            t.start()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(session.explain, workload * 4))
+        stop.set()
+        for t in readers:
+            t.join(timeout=30)
+        assert not failures, failures
+        assert session.stats.queries == len(workload) * 4
+
+    def test_concurrent_explain_batch_calls(self, model, table, workload):
+        session = ExplainSession(model, table)
+        direct = [
+            report_to_dict(r)
+            for r in ExplainSession(model, table).explain_batch(workload)
+        ]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(
+                pool.map(lambda _: session.explain_batch(workload), range(4))
+            )
+        for batch in outcomes:
+            assert [report_to_dict(r) for r in batch] == direct
+        assert session.stats.queries == 4 * len(workload)
