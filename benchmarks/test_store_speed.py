@@ -1,0 +1,157 @@
+"""Column-store speed harness: pickled-copy vs mapped-attach worker startup.
+
+The PR-6 tentpole claim, measured: a :class:`~repro.parallel.ProcessExecutor`
+worker that receives an **in-RAM** :class:`~repro.independence.engine.
+EncodedDataset` pays for a pickled copy of every code array (the dominant
+share of the 0.48×-of-serial process result in the earlier
+``BENCH_parallel.json`` entries), while a **store-backed** dataset crosses
+the boundary as its manifest path and re-attaches to the shared read-only
+mapping.
+
+Two measurements per run, both appended to ``benchmarks/BENCH_parallel.json``:
+
+* the pickled task payload in bytes (asserted: mapped-attach ships ≥ 50×
+  fewer bytes than pickled-copy — the O(manifest) bound), and
+* wall-clock for a cold ProcessExecutor pool to start, build per-worker
+  state, and answer one trivial probe batch (startup-dominated by design).
+
+The payload bound and result parity are asserted unconditionally; the
+wall-clock ratio is recorded but only reported (startup time is noisy on
+small boxes, and the payload bytes *are* the mechanism).
+
+Opt-in (tier-1 excludes ``slow``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_store_speed.py -m slow -q -s
+
+or render the markdown table directly::
+
+    PYTHONPATH=src python benchmarks/test_store_speed.py
+"""
+
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable, append_trajectory, fmt_seconds
+from repro.data import Table
+from repro.datasets.random_graphs import BayesNet, random_dag
+from repro.independence.engine import CIProbeShardTask, EncodedDataset
+from repro.parallel import ProcessExecutor
+
+pytestmark = pytest.mark.slow
+
+N_NODES = 10
+N_ROWS = 200_000
+SEED = 23
+WORKERS = 4
+PAYLOAD_RATIO = 50.0
+TRAJECTORY = Path(__file__).parent / "BENCH_parallel.json"
+
+
+def make_workload(n_nodes: int = N_NODES, n_rows: int = N_ROWS, seed: int = SEED):
+    rng = np.random.default_rng(seed)
+    dag = random_dag(n_nodes, 0.3, rng)
+    net = BayesNet.random(dag, rng, cardinality=3, dirichlet_alpha=0.5)
+    return net.sample(n_rows, rng)
+
+
+def _task_for(data: EncodedDataset) -> CIProbeShardTask:
+    return CIProbeShardTask(
+        data, alpha=0.05, statistic_kind="chi2", min_stratum_rows=0,
+        dense_limit=1 << 24,
+    )
+
+
+def _timed_cold_pool(task: CIProbeShardTask, probes, workers: int = WORKERS):
+    """Seconds for a cold pool: spawn + task pickle + build_state + one map."""
+    start = time.perf_counter()
+    with ProcessExecutor(workers) as ex:
+        results = ex.map(task, [probes] * workers)
+    return time.perf_counter() - start, results
+
+
+def measure(workers: int = WORKERS) -> dict:
+    table = make_workload()
+    dims = table.dimensions
+    probes = [(dims[0], dims[1], ()), (dims[0], dims[2], (dims[1],))]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = table.to_store(Path(tmp) / "store")
+        mapped = Table.from_store(store.path)
+
+        ram_task = _task_for(EncodedDataset.from_table(table))
+        mapped_task = _task_for(EncodedDataset.from_table(mapped))
+
+        ram_payload = len(pickle.dumps(ram_task))
+        mapped_payload = len(pickle.dumps(mapped_task))
+
+        t_copy, copy_results = _timed_cold_pool(ram_task, probes, workers)
+        t_attach, attach_results = _timed_cold_pool(mapped_task, probes, workers)
+
+    return {
+        "n_nodes": len(dims),
+        "n_rows": table.n_rows,
+        "pickled_copy_bytes": ram_payload,
+        "mapped_attach_bytes": mapped_payload,
+        "payload_ratio": ram_payload / mapped_payload,
+        "t_startup_copy": t_copy,
+        "t_startup_attach": t_attach,
+        "startup_speedup": t_copy / t_attach,
+        "parity": copy_results == attach_results,
+    }
+
+
+def run_experiment(workers: int = WORKERS) -> BenchTable:
+    table_out = BenchTable(
+        "Worker startup — pickled-copy vs mapped-attach dataset shipping",
+        ["Workload", "Copy bytes", "Attach bytes", "Copy start",
+         "Attach start", "Parity"],
+    )
+    m = measure(workers)
+    table_out.add_row(
+        f"{m['n_nodes']} dims × {m['n_rows']} rows × {workers} workers",
+        f"{m['pickled_copy_bytes']:,}",
+        f"{m['mapped_attach_bytes']:,}",
+        fmt_seconds(m["t_startup_copy"]),
+        fmt_seconds(m["t_startup_attach"]),
+        "identical" if m["parity"] else "MISMATCH",
+    )
+    table_out.note(
+        f"cold ProcessExecutor pool each time; {os.cpu_count()} CPU(s); "
+        "the attach payload is the store manifest path — workers share the "
+        "read-only OS page-cache mapping instead of receiving code arrays."
+    )
+    return table_out
+
+
+class TestStoreSpeed:
+    def test_mapped_attach_ships_manifest_not_arrays(self):
+        m = measure()
+        print(
+            f"\nstore worker startup {m['n_nodes']}d/{m['n_rows']}r: "
+            f"copy={m['pickled_copy_bytes']:,}B/{m['t_startup_copy']:.2f}s "
+            f"attach={m['mapped_attach_bytes']:,}B/{m['t_startup_attach']:.2f}s "
+            f"payload ratio={m['payload_ratio']:.0f}x "
+            f"on {os.cpu_count()} CPU(s)"
+        )
+        append_trajectory(
+            TRAJECTORY,
+            {"bench": "store_worker_startup", **m},
+            workers=WORKERS,
+            executor="process",
+        )
+        assert m["parity"], "mapped-attach workers returned different verdicts"
+        assert m["mapped_attach_bytes"] * PAYLOAD_RATIO <= m["pickled_copy_bytes"], (
+            f"expected ≥{PAYLOAD_RATIO}× payload shrink, got "
+            f"{m['payload_ratio']:.1f}× ({m['mapped_attach_bytes']:,}B vs "
+            f"{m['pickled_copy_bytes']:,}B)"
+        )
+
+
+if __name__ == "__main__":
+    run_experiment().show()

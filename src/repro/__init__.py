@@ -37,6 +37,7 @@ from repro.core import (
 )
 from repro.data import (
     Aggregate,
+    ColumnStore,
     Filter,
     Predicate,
     QueryWorkspace,
@@ -56,6 +57,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "ColumnStore",
     "Endpoint",
     "ExplainSession",
     "Explanation",

@@ -5,6 +5,8 @@ Usage examples::
     python -m repro fds data.csv
     python -m repro discover data.csv --algorithm xlearner
     python -m repro groupby data.csv --by Location --measure LungCancer
+    python -m repro ingest data.csv --out data.store
+    python -m repro fit --store data.store --out model.json
     python -m repro fit data.csv --out model.json
     python -m repro explain data.csv --model model.json \\
         --s1 Location=A --s2 Location=B --measure LungCancer --agg AVG --top 5
@@ -13,6 +15,11 @@ Usage examples::
     python -m repro serve data.csv --model model.json --port 8765 \\
         --max-batch 64 --max-wait-ms 2 --workers 4
 
+``ingest`` persists a CSV as a memmap-able column store (one directory:
+per-column ``.npy`` + a JSON manifest); every command that reads data
+accepts ``--store DIR`` in place of the CSV positional to serve from the
+zero-copy mapping instead (``--chunk-rows N`` streams kernels over bounded
+row slices for larger-than-RAM tables).
 ``fit`` runs the heavy offline phase once and persists the artifact;
 ``explain`` / ``batch-explain`` serve queries against it (``explain``
 without ``--model`` fits in-process, the legacy one-shot workflow), and
@@ -51,6 +58,7 @@ from repro.data.filters import Subspace
 from repro.data.groupby import group_by
 from repro.data.io import read_csv
 from repro.data.query import WhyQuery, parse_assignment, query_from_spec
+from repro.data.store import DEFAULT_CHUNK_ROWS
 from repro.data.table import Table
 from repro.errors import ReproError
 from repro.fd.graph import fd_graph_from_table
@@ -70,6 +78,38 @@ from repro.serve import (
 def _subspace(assignments: Sequence[str], table: Table) -> Subspace:
     pairs = dict(parse_assignment(a, table) for a in assignments)
     return Subspace.of(**{str(k): v for k, v in pairs.items()})
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """Data-source flags: the CSV positional becomes optional next to
+    ``--store`` (exactly one of the two must be given)."""
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="read the data from an ingested column store (zero-copy memmap) "
+        "instead of a CSV file",
+    )
+    parser.add_argument(
+        "--chunk-rows", type=int, default=None, metavar="N",
+        nargs="?", const=DEFAULT_CHUNK_ROWS,
+        help="stream chunk-wise kernels over N-row slices of the mapped "
+        "store (for tables larger than RAM); bare --chunk-rows uses the "
+        f"default slice of {DEFAULT_CHUNK_ROWS} rows; requires --store",
+    )
+
+
+def _table_for(args: argparse.Namespace) -> Table:
+    """The input table: the ``--store`` mapping or the CSV positional."""
+    store = getattr(args, "store", None)
+    file = getattr(args, "file", None)
+    if store and file:
+        raise ReproError("give either a CSV file or --store, not both")
+    if store:
+        return Table.from_store(store, chunk_rows=args.chunk_rows)
+    if not file:
+        raise ReproError("give a CSV file or --store DIR")
+    if getattr(args, "chunk_rows", None):
+        raise ReproError("--chunk-rows only applies to a --store mapping")
+    return read_csv(file)
 
 
 def _fit_kwargs(args: argparse.Namespace) -> dict:
@@ -201,8 +241,21 @@ def cmd_groupby(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fit(args: argparse.Namespace) -> int:
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Persist a CSV as a zero-copy column store (ingest → fit → serve)."""
     table = read_csv(args.file)
+    store = table.to_store(args.out)
+    dims = len(store.dimensions)
+    print(
+        f"ingested {store.n_rows} rows into {store.path}: "
+        f"{dims} dimension(s), {len(store.measures)} measure(s) "
+        f"({len(store.columns)} mapped column file(s))"
+    )
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    table = _table_for(args)
     print("fitting the offline phase ...", file=sys.stderr)
     with _executor_scope(args) as ex:
         model = fit_model(table, executor=ex, **_fit_kwargs(args))
@@ -216,7 +269,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    table = read_csv(args.file)
+    table = _table_for(args)
     s1 = _subspace(args.s1, table)
     s2 = _subspace(args.s2, table)
     query = WhyQuery.create(s1, s2, args.measure, parse_aggregate(args.agg))
@@ -246,7 +299,7 @@ def _load_query_specs(path: str) -> list:
 
 
 def cmd_batch_explain(args: argparse.Namespace) -> int:
-    table = read_csv(args.file)
+    table = _table_for(args)
     specs = _load_query_specs(args.queries)
     # Validate every spec before any (potentially expensive) fit: a bad
     # entry must fail fast, not after minutes of discovery.
@@ -270,7 +323,7 @@ def cmd_batch_explain(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the asyncio micro-batching explanation server (repro.serve)."""
-    table = read_csv(args.file)
+    table = _table_for(args)
     # The in-process fit (no --model) shards its discovery probing over
     # --workers/--executor too; the service builds its own serving
     # executor from the same flags afterwards.
@@ -336,17 +389,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_grp.add_argument("--agg", default="AVG")
     p_grp.set_defaults(func=cmd_groupby)
 
+    p_ing = sub.add_parser(
+        "ingest", help="persist a CSV as a zero-copy memmap column store"
+    )
+    p_ing.add_argument("file")
+    p_ing.add_argument("--out", required=True, metavar="STORE_DIR")
+    p_ing.set_defaults(func=cmd_ingest)
+
     p_fit = sub.add_parser(
         "fit", help="run the offline phase and save the model artifact"
     )
-    p_fit.add_argument("file")
+    p_fit.add_argument("file", nargs="?", default=None)
     p_fit.add_argument("--out", required=True, metavar="MODEL.json")
+    _add_store_flags(p_fit)
     _add_fit_flags(p_fit)
     _add_parallel_flags(p_fit)
     p_fit.set_defaults(func=cmd_fit)
 
     p_exp = sub.add_parser("explain", help="answer a Why Query")
-    p_exp.add_argument("file")
+    p_exp.add_argument("file", nargs="?", default=None)
+    _add_store_flags(p_exp)
     p_exp.add_argument("--s1", action="append", required=True, metavar="DIM=VALUE")
     p_exp.add_argument("--s2", action="append", required=True, metavar="DIM=VALUE")
     p_exp.add_argument("--measure", required=True)
@@ -362,7 +424,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch = sub.add_parser(
         "batch-explain", help="answer a file of Why Queries in one session"
     )
-    p_batch.add_argument("file")
+    p_batch.add_argument("file", nargs="?", default=None)
+    _add_store_flags(p_batch)
     p_batch.add_argument(
         "--queries", required=True, metavar="QUERIES.json",
         help="JSON list of {s1, s2, measure[, agg]} objects",
@@ -380,7 +443,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="asyncio micro-batching explanation server (JSON lines over TCP)",
     )
-    p_srv.add_argument("file")
+    p_srv.add_argument("file", nargs="?", default=None)
+    _add_store_flags(p_srv)
     p_srv.add_argument(
         "--model", default=None, metavar="MODEL.json",
         help="serve against a saved model instead of fitting in-process",

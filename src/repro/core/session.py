@@ -435,6 +435,11 @@ class ExplainShardTask:
     private :class:`ExplainSession` once per worker, so per-shard pickle
     traffic is only the query slices out and the reports back — the
     fit-once / serve-many artifact crosses each worker boundary once.
+
+    When the serving table is store-backed (``Table.from_store``), even
+    that once is O(manifest): the table pickles as its store path and each
+    worker re-attaches to the shared read-only column mapping instead of
+    receiving row data (see :mod:`repro.data.store`).
     """
 
     def __init__(

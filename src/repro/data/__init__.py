@@ -21,6 +21,7 @@ from repro.data.query import (
     subspace_from_spec,
 )
 from repro.data.schema import Role, Schema
+from repro.data.store import DEFAULT_CHUNK_ROWS, ColumnStore
 from repro.data.table import Table
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "Bin",
     "BinSpec",
     "CategoricalColumn",
+    "ColumnStore",
+    "DEFAULT_CHUNK_ROWS",
     "Context",
     "Filter",
     "NumericColumn",

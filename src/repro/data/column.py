@@ -48,6 +48,27 @@ class CategoricalColumn:
             codes.append(code)
         return cls(np.asarray(codes, dtype=np.int64), tuple(seen))
 
+    @classmethod
+    def attach(
+        cls, codes: np.ndarray, categories: tuple[Hashable, ...]
+    ) -> "CategoricalColumn":
+        """Wrap pre-validated codes without the range scan of ``__init__``.
+
+        The zero-copy path for store-backed columns: a memory-mapped code
+        array must not be swept for min/max at every attach (that reads the
+        whole file), so this trusts the caller — the store validated the
+        codes when it wrote them.
+        """
+        col = object.__new__(cls)
+        object.__setattr__(col, "codes", codes)
+        object.__setattr__(col, "categories", tuple(categories))
+        return col
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the codes live in a read-only file mapping."""
+        return isinstance(self.codes, np.memmap)
+
     @property
     def cardinality(self) -> int:
         """Number of distinct categories (including unobserved ones)."""
@@ -89,6 +110,19 @@ class NumericColumn:
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "NumericColumn":
         return cls(np.asarray(values, dtype=np.float64))
+
+    @classmethod
+    def attach(cls, values: np.ndarray) -> "NumericColumn":
+        """Wrap a pre-validated (typically memory-mapped) float64 vector
+        without copying — see :meth:`CategoricalColumn.attach`."""
+        col = object.__new__(cls)
+        object.__setattr__(col, "values", values)
+        return col
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the values live in a read-only file mapping."""
+        return isinstance(self.values, np.memmap)
 
     def __len__(self) -> int:
         return int(self.values.size)

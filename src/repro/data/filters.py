@@ -27,12 +27,20 @@ class Filter:
     dimension: str
     value: Hashable
 
-    def mask(self, table: Table) -> np.ndarray:
-        """Boolean row mask of the rows satisfying the filter."""
+    def mask(self, table: Table, rows: slice | None = None) -> np.ndarray:
+        """Boolean row mask of the rows satisfying the filter.
+
+        ``rows`` restricts the mask to one row slice — the chunk-wise entry
+        point used to stream store-backed tables without materializing a
+        whole-table mask (the slice of a memory-mapped code vector only
+        pages in the touched rows).
+        """
         codes = table.codes(self.dimension)
+        if rows is not None:
+            codes = codes[rows]
         categories = table.categories(self.dimension)
         if self.value not in categories:
-            return np.zeros(table.n_rows, dtype=bool)
+            return np.zeros(len(codes), dtype=bool)
         return codes == categories.index(self.value)
 
     def __str__(self) -> str:
@@ -76,9 +84,12 @@ class Predicate:
     def __len__(self) -> int:
         return len(self.values)
 
-    def mask(self, table: Table) -> np.ndarray:
-        """Boolean row mask of rows whose dimension value is in the set."""
+    def mask(self, table: Table, rows: slice | None = None) -> np.ndarray:
+        """Boolean row mask of rows whose dimension value is in the set
+        (``rows`` restricts to one slice, as in :meth:`Filter.mask`)."""
         codes = table.codes(self.dimension)
+        if rows is not None:
+            codes = codes[rows]
         categories = table.categories(self.dimension)
         wanted = np.array(
             [i for i, c in enumerate(categories) if c in self.values], dtype=np.int64
@@ -123,11 +134,16 @@ class Subspace:
                 return f.value
         raise QueryError(f"subspace has no filter on {dimension!r}")
 
-    def mask(self, table: Table) -> np.ndarray:
-        """Boolean row mask: conjunction of all filter masks."""
-        mask = np.ones(table.n_rows, dtype=bool)
+    def mask(self, table: Table, rows: slice | None = None) -> np.ndarray:
+        """Boolean row mask: conjunction of all filter masks (``rows``
+        restricts to one slice, as in :meth:`Filter.mask`)."""
+        if rows is None:
+            mask = np.ones(table.n_rows, dtype=bool)
+        else:
+            start, stop, _ = rows.indices(table.n_rows)
+            mask = np.ones(max(0, stop - start), dtype=bool)
         for f in self.filters:
-            mask &= f.mask(table)
+            mask &= f.mask(table, rows)
         return mask
 
     def is_sibling_of(self, other: "Subspace") -> bool:

@@ -8,6 +8,7 @@ overridden per column.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import Mapping
 
@@ -17,7 +18,13 @@ from repro.errors import SchemaError
 
 
 def _coerce(raw: list[str]) -> list[object]:
-    """Parse a raw string column into floats if every entry is numeric."""
+    """Parse a raw string column into floats if every entry is numeric.
+
+    Non-finite cells ("NaN", "inf", "-Infinity", ...) do *parse* as floats
+    but are treated as non-numeric here: one stray sentinel cell would
+    otherwise silently poison every SUM/AVG aggregate downstream, so the
+    whole column falls back to categorical (strings) instead.
+    """
     out: list[object] = []
     numeric = True
     for cell in raw:
@@ -25,10 +32,14 @@ def _coerce(raw: list[str]) -> list[object]:
             numeric = False
             break
         try:
-            out.append(float(cell))
+            value = float(cell)
         except ValueError:
             numeric = False
             break
+        if not math.isfinite(value):
+            numeric = False
+            break
+        out.append(value)
     if numeric and len(out) == len(raw):
         return out
     return list(raw)

@@ -323,14 +323,33 @@ class QueryWorkspace:
         self.query = query
         values = table.measure_values(query.measure)
         # Only the sibling row indices are retained — the boolean masks are
-        # O(n_rows) each and never read again after this gather.
-        self._rows1 = np.flatnonzero(query.s1.mask(table))
-        self._rows2 = np.flatnonzero(query.s2.mask(table))
+        # O(n_rows) each and never read again after this gather.  On a
+        # chunked (store-backed) table the masks are built one bounded row
+        # slice at a time, so no whole-table array ever materializes; the
+        # concatenated indices equal the whole-array flatnonzero exactly.
+        chunk = table.chunk_rows
+        if chunk is not None and table.n_rows > chunk:
+            self._rows1 = self._gather_rows(table, query.s1, chunk)
+            self._rows2 = self._gather_rows(table, query.s2, chunk)
+        else:
+            self._rows1 = np.flatnonzero(query.s1.mask(table))
+            self._rows2 = np.flatnonzero(query.s2.mask(table))
+        # Fancy-indexing a memmap materializes only the gathered rows.
         self._values1 = values[self._rows1]
         self._values2 = values[self._rows2]
         agg = query.agg
         self.delta: float = agg.compute(self._values1) - agg.compute(self._values2)
         self._profiles: dict[str, AttributeProfile] = {}
+
+    @staticmethod
+    def _gather_rows(table: Table, subspace: Subspace, chunk: int) -> np.ndarray:
+        parts = [
+            start + np.flatnonzero(subspace.mask(table, slice(start, start + chunk)))
+            for start in range(0, table.n_rows, chunk)
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
 
     def oriented(self) -> "QueryWorkspace":
         """Workspace counterpart of :meth:`WhyQuery.oriented`: return a

@@ -32,9 +32,27 @@ def _infer_role(values: Sequence[object]) -> Role:
 
 
 class Table:
-    """Immutable columnar table with typed dimension/measure columns."""
+    """Immutable columnar table with typed dimension/measure columns.
 
-    def __init__(self, schema: Schema, columns: Mapping[str, Column]) -> None:
+    A table is normally in-RAM, but it can be *store-backed*: persisted via
+    :meth:`to_store` and re-opened with :meth:`from_store`, in which case
+    every column is a read-only :class:`numpy.memmap` over the store's
+    ``.npy`` files (zero-copy — all processes mapping the store share the
+    same OS page cache) and the table pickles as just the store path.
+    ``chunk_rows`` is the streaming hint the chunk-wise kernels
+    (:class:`~repro.data.query.QueryWorkspace`, the CI contingency cubes)
+    honour so tables larger than RAM never materialize whole columns.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, Column],
+        *,
+        store: "object | None" = None,
+        mmap: bool = True,
+        chunk_rows: int | None = None,
+    ) -> None:
         if set(schema.columns) != set(columns):
             raise SchemaError(
                 f"schema columns {schema.columns!r} do not match data columns "
@@ -53,6 +71,11 @@ class Table:
         self._schema = schema
         self._columns = dict(columns)
         self._n_rows = next(iter(lengths.values())) if lengths else 0
+        if chunk_rows is not None and chunk_rows < 1:
+            raise SchemaError(f"chunk_rows must be ≥ 1, got {chunk_rows}")
+        self._store = store
+        self._store_mmap = mmap
+        self._chunk_rows = chunk_rows
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,6 +120,67 @@ class Table:
             name: [row[i] for row in materialized] for i, name in enumerate(names)
         }
         return cls.from_columns(data, roles)
+
+    # ------------------------------------------------------------------
+    # Column-store backing (zero-copy persistence)
+    # ------------------------------------------------------------------
+
+    def to_store(self, directory: "str | object") -> "object":
+        """Persist this table as a memmap-able column store (one directory:
+        per-column ``.npy`` + a JSON manifest); returns the
+        :class:`~repro.data.store.ColumnStore`."""
+        from repro.data.store import ColumnStore
+
+        return ColumnStore.write(self, directory)
+
+    @classmethod
+    def from_store(
+        cls,
+        directory: "str | object",
+        mmap: bool = True,
+        chunk_rows: int | None = None,
+    ) -> "Table":
+        """Open a stored table; ``mmap=True`` (default) maps the column
+        files read-only instead of loading them."""
+        from repro.data.store import ColumnStore
+
+        return ColumnStore.open(directory).table(mmap=mmap, chunk_rows=chunk_rows)
+
+    @property
+    def store(self):
+        """The backing :class:`~repro.data.store.ColumnStore`, or ``None``
+        for an in-RAM (or derived) table."""
+        return self._store
+
+    @property
+    def chunk_rows(self) -> int | None:
+        """Streaming hint for the chunk-wise kernels (``None`` = whole-array
+        operations).  Propagated through column-level derivations."""
+        return self._chunk_rows
+
+    def __getstate__(self) -> dict:
+        """Store-backed tables pickle as the store path + open options: the
+        receiving process re-attaches to the same read-only mapping instead
+        of receiving column arrays (the zero-copy worker path).  Derived or
+        in-RAM tables pickle their columns as usual."""
+        if self._store is not None:
+            return {
+                "__store__": str(self._store.path),
+                "mmap": self._store_mmap,
+                "chunk_rows": self._chunk_rows,
+            }
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        if "__store__" in state:
+            reopened = Table.from_store(
+                state["__store__"],
+                mmap=state["mmap"],
+                chunk_rows=state["chunk_rows"],
+            )
+            self.__dict__.update(reopened.__dict__)
+        else:
+            self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -164,12 +248,23 @@ class Table:
     # ------------------------------------------------------------------
 
     def select(self, mask: np.ndarray) -> "Table":
-        """Return the sub-table of rows where ``mask`` is True."""
+        """Return the sub-table of rows where ``mask`` is True.
+
+        ``mask`` is either a boolean row mask or an integer index array; a
+        float or object array raises :class:`~repro.errors.SchemaError`
+        rather than being silently truncated into garbage row indices.
+        """
         mask = np.asarray(mask)
         if mask.dtype == bool:
             indices = np.flatnonzero(mask)
+        elif mask.size == 0:
+            indices = np.zeros(0, dtype=np.int64)
+        elif np.issubdtype(mask.dtype, np.integer):
+            indices = mask.astype(np.int64, copy=False)
         else:
-            indices = mask.astype(np.int64)
+            raise SchemaError(
+                f"select mask must be boolean or integer, got dtype {mask.dtype}"
+            )
         columns = {name: col.take(indices) for name, col in self._columns.items()}
         return Table(self._schema, columns)
 
@@ -203,7 +298,9 @@ class Table:
         )
         roles = dict(self._schema.roles)
         roles[name] = role
-        return Table(Schema(names, roles), columns)
+        # Row-aligned derivation: the store identity is gone (columns
+        # changed) but the streaming hint still applies.
+        return Table(Schema(names, roles), columns, chunk_rows=self._chunk_rows)
 
     def drop_columns(self, names: Iterable[str]) -> "Table":
         """Return a new table without the given columns."""
@@ -214,13 +311,13 @@ class Table:
         keep = tuple(c for c in self._schema.columns if c not in drop)
         roles = {c: self._schema.roles[c] for c in keep}
         columns = {c: self._columns[c] for c in keep}
-        return Table(Schema(keep, roles), columns)
+        return Table(Schema(keep, roles), columns, chunk_rows=self._chunk_rows)
 
     def project(self, names: Sequence[str]) -> "Table":
         """Return a new table with only the given columns, in the given order."""
         roles = {c: self._schema.role(c) for c in names}
         columns = {c: self.column(c) for c in names}
-        return Table(Schema(tuple(names), roles), columns)
+        return Table(Schema(tuple(names), roles), columns, chunk_rows=self._chunk_rows)
 
     # ------------------------------------------------------------------
     # Display

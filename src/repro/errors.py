@@ -41,6 +41,11 @@ class ModelError(ReproError):
     incompatible schema version."""
 
 
+class StoreError(ReproError):
+    """A column-store directory is missing, malformed, or from an
+    incompatible format version (see :mod:`repro.data.store`)."""
+
+
 class ServeError(ReproError):
     """Base class for explanation-service failures (see :mod:`repro.serve`)."""
 

@@ -46,7 +46,7 @@ agreement is to ~1e-12 relative (the parity suite asserts 1e-9).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 from scipy import stats
@@ -54,6 +54,9 @@ from scipy import stats
 from repro.data.table import Table
 from repro.errors import SchemaError
 from repro.independence.base import CITest, CITestResult, Var
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.store import ColumnStore
 
 # Mixed-radix stratum codes are compressed to observed values before the
 # running radix can overflow int64.
@@ -147,14 +150,46 @@ class EncodedDataset:
         # (sorted z names) -> (compressed stratum codes, n observed strata)
         self._strata_cache: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
         self._shared_strata = _SharedStrata()
+        self._store: "ColumnStore | None" = None
+        self._store_columns: frozenset[str] = frozenset()
+        self._chunk_rows: int | None = None
+        # (sorted z names) -> sorted observed mixed-radix stratum values
+        self._observed_cache: dict[tuple[str, ...], np.ndarray] = {}
 
     def __getstate__(self) -> dict:
         """Pickle the codes, not the derived stratum caches: process workers
-        rebuild strata locally, keeping the payload one array per column."""
+        rebuild strata locally, keeping the payload one array per column.
+
+        Store-backed columns don't even ship their codes: the payload keeps
+        only the :class:`~repro.data.store.ColumnStore` (which pickles as
+        its directory path) and a placeholder per mapped column, and
+        ``__setstate__`` re-attaches to the shared read-only mapping — the
+        zero-copy process-worker path, O(manifest) bytes per worker."""
         state = dict(self.__dict__)
         state["_strata_cache"] = {}
-        state["_shared_strata"] = _SharedStrata()
+        state["_observed_cache"] = {}
+        state["_shared_strata"] = None
+        if self._store_columns:
+            state["_codes"] = {
+                name: (None if name in self._store_columns else col)
+                for name, col in self._codes.items()
+            }
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._shared_strata is None:
+            self._shared_strata = _SharedStrata()
+        if self._store_columns:
+            assert self._store is not None
+            self._codes = {
+                name: (
+                    self._store.load_column(name, mmap=True)
+                    if name in self._store_columns
+                    else col
+                )
+                for name, col in self._codes.items()
+            }
 
     def fork(self) -> "EncodedDataset":
         """A view sharing the (immutable) code arrays but owning a private
@@ -169,6 +204,10 @@ class EncodedDataset:
         clone.n_rows = self.n_rows
         clone._strata_cache = {}
         clone._shared_strata = self._shared_strata
+        clone._store = self._store
+        clone._store_columns = self._store_columns
+        clone._chunk_rows = self._chunk_rows
+        clone._observed_cache = {}
         return clone
 
     # ------------------------------------------------------------------
@@ -178,13 +217,45 @@ class EncodedDataset:
     @classmethod
     def from_table(cls, table: Table, columns: Sequence[str] | None = None) -> "EncodedDataset":
         """Wrap the dimension columns of a :class:`Table` (codes are shared,
-        not copied — the Table already stores dimensions factorized)."""
+        not copied — the Table already stores dimensions factorized).  For a
+        store-backed table whose requested columns all live in the store,
+        this delegates to :meth:`attach`, so the dataset keeps the zero-copy
+        pickle path and the table's chunking hint."""
         if columns is None:
             columns = table.dimensions
+        store = table.store
+        if store is not None and set(columns) <= set(store.dimensions):
+            return cls.attach(store, columns, chunk_rows=table.chunk_rows)
         return cls(
             {name: table.codes(name) for name in columns},
             {name: table.categories(name) for name in columns},
         )
+
+    @classmethod
+    def attach(
+        cls,
+        store: "ColumnStore",
+        columns: Sequence[str] | None = None,
+        chunk_rows: int | None = None,
+    ) -> "EncodedDataset":
+        """Attach to a :class:`~repro.data.store.ColumnStore`: every code
+        vector is a read-only memmap over the store's files (no copy, no
+        re-validation scan — the store checked the codes when writing), the
+        dataset pickles as the manifest path, and ``chunk_rows`` turns on
+        the chunk-wise streaming kernels."""
+        if columns is None:
+            columns = store.dimensions
+        self = object.__new__(cls)
+        self._codes = {name: store.load_column(name, mmap=True) for name in columns}
+        self._categories = {name: store.categories(name) for name in columns}
+        self.n_rows = store.n_rows
+        self._strata_cache = {}
+        self._shared_strata = _SharedStrata()
+        self._store = store
+        self._store_columns = frozenset(columns)
+        self._chunk_rows = chunk_rows
+        self._observed_cache = {}
+        return self
 
     @classmethod
     def from_arrays(cls, data: Mapping[str, Sequence[Hashable]]) -> "EncodedDataset":
@@ -265,12 +336,137 @@ class EncodedDataset:
         self._shared_strata.publish(names, out, _STRATA_CACHE_SIZE)
         return out
 
+    # ------------------------------------------------------------------
+    # Chunked streaming (store-backed, larger-than-RAM datasets)
+    # ------------------------------------------------------------------
+
+    @property
+    def chunk_rows(self) -> int | None:
+        """Rows per streamed slice of the chunk-wise kernels (``None`` =
+        whole-array operations; set via :meth:`attach`)."""
+        return self._chunk_rows
+
+    def _chunk_bounds(self) -> Iterable[tuple[int, int]]:
+        step = self._chunk_rows or max(1, self.n_rows)
+        for start in range(0, self.n_rows, step):
+            yield start, min(start + step, self.n_rows)
+
+    def _fold_overflows(self, names: tuple[str, ...]) -> bool:
+        """True when the mixed-radix fold of ``names`` cannot run chunk-wise
+        (it would need the in-RAM path's mid-fold global compression)."""
+        radix = 1
+        for name in names:
+            radix *= max(1, self.cardinality(name))
+            if radix >= _RADIX_LIMIT:
+                return True
+        return False
+
+    def _chunk_plan(self, z: Sequence[str]) -> tuple[np.ndarray, tuple[str, ...]] | None:
+        """``(sorted observed stratum values, sorted names)`` when the probe
+        can stream chunk-wise, else ``None`` (whole-array path)."""
+        if self._chunk_rows is None:
+            return None
+        names = tuple(sorted(z, key=repr))
+        if self._fold_overflows(names):
+            return None
+        return self._observed_strata(names), names
+
+    def _combined_chunk(self, names: tuple[str, ...], start: int, stop: int) -> np.ndarray:
+        """Mixed-radix fold of one row slice — the same fold :meth:`strata`
+        runs whole-array, so observed values (and hence the compressed
+        stratum ids) agree bit-for-bit between the two paths."""
+        combined = np.zeros(stop - start, dtype=np.int64)
+        for name in names:
+            k = max(1, self.cardinality(name))
+            combined = combined * k + self._codes[name][start:stop]
+        return combined
+
+    def _observed_strata(self, names: tuple[str, ...]) -> np.ndarray:
+        """Sorted observed mixed-radix values of the Z-strata, accumulated
+        one chunk at a time (cached per conditioning set)."""
+        hit = self._observed_cache.get(names)
+        if hit is not None:
+            self._observed_cache[names] = self._observed_cache.pop(names)  # LRU
+            return hit
+        if not names:
+            out = np.zeros(1, dtype=np.int64)
+        else:
+            out = np.empty(0, dtype=np.int64)
+            for start, stop in self._chunk_bounds():
+                chunk = np.unique(self._combined_chunk(names, start, stop))
+                out = np.union1d(out, chunk) if out.size else chunk
+        while len(self._observed_cache) >= _STRATA_CACHE_SIZE:
+            self._observed_cache.pop(next(iter(self._observed_cache)))
+        self._observed_cache[names] = out
+        return out
+
+    def n_strata(self, z: Sequence[str]) -> int:
+        """Number of observed Z-strata — without materializing the per-row
+        stratum codes when the chunked path applies."""
+        plan = self._chunk_plan(z)
+        if plan is not None:
+            return int(plan[0].size)
+        return self.strata(z)[1]
+
     def contingency(self, x: str, y: str, z: Sequence[str] = ()) -> np.ndarray:
-        """Dense 3-D contingency cube ``counts[stratum, x_code, y_code]``."""
-        strata, n_strata = self.strata(z)
+        """Dense 3-D contingency cube ``counts[stratum, x_code, y_code]``.
+
+        Streams one bounded row slice at a time on a chunked dataset (see
+        :meth:`attach`), accumulating integer bincounts — the cube is
+        bit-identical to the whole-array path either way.
+        """
         kx, ky = self.cardinality(x), self.cardinality(y)
+        plan = self._chunk_plan(z)
+        if plan is not None:
+            observed, names = plan
+            n_strata = int(observed.size)
+            counts = np.zeros(n_strata * kx * ky, dtype=np.int64)
+            cx, cy = self._codes[x], self._codes[y]
+            for start, stop in self._chunk_bounds():
+                strata = np.searchsorted(
+                    observed, self._combined_chunk(names, start, stop)
+                )
+                flat = (strata * kx + cx[start:stop]) * ky + cy[start:stop]
+                counts += np.bincount(flat, minlength=counts.size)
+            return counts.reshape(n_strata, kx, ky)
+        strata, n_strata = self.strata(z)
         flat = (strata * kx + self.codes(x)) * ky + self.codes(y)
         return np.bincount(flat, minlength=n_strata * kx * ky).reshape(n_strata, kx, ky)
+
+    def observed_cells(
+        self, x: str, y: str, z: Sequence[str] = ()
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Sparse companion of :meth:`contingency`: the sorted flat ids of
+        the *observed* ``(stratum, x, y)`` cells, their counts, and the
+        stratum count — chunk-wise merged on a chunked dataset, identical
+        either way (the counts come back float64 because the chunked merge
+        accumulates through ``bincount`` weights; they are integer-valued
+        exactly)."""
+        kx, ky = self.cardinality(x), self.cardinality(y)
+        plan = self._chunk_plan(z)
+        if plan is not None:
+            observed, names = plan
+            cells = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.float64)
+            cx, cy = self._codes[x], self._codes[y]
+            for start, stop in self._chunk_bounds():
+                strata = np.searchsorted(
+                    observed, self._combined_chunk(names, start, stop)
+                )
+                flat = (strata * kx + cx[start:stop]) * ky + cy[start:stop]
+                new_cells, new_counts = np.unique(flat, return_counts=True)
+                if not cells.size:
+                    cells, counts = new_cells, new_counts.astype(np.float64)
+                else:
+                    merged = np.concatenate([cells, new_cells])
+                    weights = np.concatenate([counts, new_counts.astype(np.float64)])
+                    cells, inverse = np.unique(merged, return_inverse=True)
+                    counts = np.bincount(inverse, weights=weights)
+            return cells, counts, int(observed.size)
+        strata, n_strata = self.strata(z)
+        flat = (strata * kx + self.codes(x)) * ky + self.codes(y)
+        cells, counts = np.unique(flat, return_counts=True)
+        return cells, counts.astype(np.float64), n_strata
 
 
 def _mask_stats(
@@ -323,15 +519,13 @@ def _sparse_stat(
 ) -> tuple[float, float]:
     """Statistic + dof without materializing the dense cube.
 
-    Counts only the observed ``(stratum, x, y)`` cells.  For χ² the cells
-    with zero observations but positive expectation contribute
-    ``Σ E = N_s − Σ_observed E`` per stratum, which is added in closed form.
+    Counts only the observed ``(stratum, x, y)`` cells (chunk-wise merged on
+    a chunked dataset).  For χ² the cells with zero observations but
+    positive expectation contribute ``Σ E = N_s − Σ_observed E`` per
+    stratum, which is added in closed form.
     """
-    strata, n_strata = data.strata(z)
     kx, ky = data.cardinality(x), data.cardinality(y)
-    flat = (strata * kx + data.codes(x)) * ky + data.codes(y)
-    cells, counts = np.unique(flat, return_counts=True)
-    counts = counts.astype(np.float64)
+    cells, counts, n_strata = data.observed_cells(x, y, z)
     cy = cells % ky
     cx = (cells // ky) % kx
     cs = cells // (kx * ky)
@@ -428,7 +622,7 @@ class BatchCITester(CITest):
         self._shard_task: CIProbeShardTask | None = None
 
     def _stat_dof(self, x: str, y: str, z: tuple[str, ...]) -> tuple[float, float]:
-        _, n_strata = self.data.strata(z)
+        n_strata = self.data.n_strata(z)
         kx, ky = self.data.cardinality(x), self.data.cardinality(y)
         if n_strata * kx * ky <= self.dense_limit:
             cube = self.data.contingency(x, y, z)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
@@ -194,17 +195,36 @@ class ProcessExecutor(Executor):
             self._task = None
 
 
+# Bad REPRO_WORKERS values already warned about (one warning per value per
+# process — a fleet box with a typo'd env should say so once, not per call).
+_WARNED_WORKERS: set[str] = set()
+
+
 def default_workers() -> int:
     """The fleet-wide worker default: ``REPRO_WORKERS`` env, else 1 (serial).
 
     Malformed or non-positive values fall back to 1 rather than erroring —
-    a bad env var on a worker box should degrade to serial, not crash."""
+    a bad env var on a worker box should degrade to serial, not crash — but
+    they *warn* (once per value) naming the bad value, so a misconfigured
+    fleet silently running serial is visible in the logs."""
     raw = os.environ.get(REPRO_WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
     try:
         workers = int(raw)
     except ValueError:
+        workers = 0
+    if workers < 1:
+        if raw not in _WARNED_WORKERS:
+            _WARNED_WORKERS.add(raw)
+            warnings.warn(
+                f"ignoring invalid {REPRO_WORKERS_ENV}={raw!r} (expected a "
+                "positive integer); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 1
-    return workers if workers >= 1 else 1
+    return workers
 
 
 def make_executor(workers: int, kind: str | None = None) -> Executor:

@@ -382,3 +382,82 @@ class TestBatchExplainCommand:
         captured = capsys.readouterr()
         assert "warning: --bins ignored" in captured.err
         assert "Smoking" in captured.out
+
+
+class TestIngestAndStore:
+    @pytest.fixture(scope="class")
+    def lung_store(self, lungcancer_csv, tmp_path_factory):
+        store_dir = tmp_path_factory.mktemp("cli-store") / "lung.store"
+        assert main(["ingest", lungcancer_csv, "--out", str(store_dir)]) == 0
+        return str(store_dir)
+
+    def test_ingest_reports_layout(self, lungcancer_csv, tmp_path, capsys):
+        store_dir = tmp_path / "s"
+        assert main(["ingest", lungcancer_csv, "--out", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 3000 rows" in out
+        assert str(store_dir) in out
+
+    def test_ingest_refuses_overwrite(self, lungcancer_csv, lung_store, capsys):
+        code = main(["ingest", lungcancer_csv, "--out", lung_store])
+        assert code == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_explain_from_store_matches_csv(self, lungcancer_csv, lung_store, capsys):
+        query = [
+            "--s1", "Location=A", "--s2", "Location=B",
+            "--measure", "LungCancer", "--bins", "3",
+        ]
+        assert main(["explain", lungcancer_csv, *query]) == 0
+        from_csv = capsys.readouterr().out
+        assert main(["explain", "--store", lung_store, *query]) == 0
+        from_store = capsys.readouterr().out
+        assert from_store == from_csv
+        assert main(
+            ["explain", "--store", lung_store, "--chunk-rows", "500", *query]
+        ) == 0
+        assert capsys.readouterr().out == from_csv
+        # Bare --chunk-rows opts into the default slice size.
+        assert main(["explain", "--store", lung_store, "--chunk-rows", *query]) == 0
+        assert capsys.readouterr().out == from_csv
+
+    def test_fit_from_store(self, lung_store, tmp_path, capsys):
+        model_path = tmp_path / "m.json"
+        code = main(
+            ["fit", "--store", lung_store, "--out", str(model_path), "--bins", "3"]
+        )
+        assert code == 0
+        assert model_path.is_file()
+
+    def test_file_and_store_is_an_error(self, lungcancer_csv, lung_store, capsys):
+        code = main(
+            [
+                "explain", lungcancer_csv, "--store", lung_store,
+                "--s1", "Location=A", "--s2", "Location=B",
+                "--measure", "LungCancer",
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_file_nor_store_is_an_error(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--s1", "Location=A", "--s2", "Location=B",
+                "--measure", "LungCancer",
+            ]
+        )
+        assert code == 2
+        assert "CSV file or --store" in capsys.readouterr().err
+
+    def test_chunk_rows_without_store_is_an_error(self, lungcancer_csv, capsys):
+        code = main(
+            [
+                "explain", lungcancer_csv, "--chunk-rows", "100",
+                "--s1", "Location=A", "--s2", "Location=B",
+                "--measure", "LungCancer",
+            ]
+        )
+        assert code == 2
+        assert "--chunk-rows" in capsys.readouterr().err

@@ -118,3 +118,19 @@ class TestCSV:
         path.write_text("a,b\n1\n")
         with pytest.raises(SchemaError):
             read_csv(path)
+
+    @pytest.mark.parametrize("cell", ["NaN", "nan", "inf", "-inf", "Infinity"])
+    def test_non_finite_cells_fall_back_categorical(self, tmp_path, cell):
+        # float() happily parses "NaN"/"inf", but a non-finite measure would
+        # poison every aggregate downstream; such columns stay categorical.
+        path = tmp_path / "t.csv"
+        path.write_text(f"d,m\nx,{cell}\ny,2.0\n")
+        t = read_csv(path)
+        assert t.schema.role("m") is Role.DIMENSION
+        assert t.values("m") == [cell, "2.0"]
+
+    def test_finite_numeric_column_still_becomes_measure(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("d,m\nx,1.0\ny,2.0\n")
+        t = read_csv(path)
+        assert t.schema.role("m") is Role.MEASURE

@@ -114,6 +114,28 @@ class TestTable:
         sub = t.select(np.array([False, True, False, False]))
         assert sub.cardinality("city") == 3
 
+    def test_select_by_integer_indices(self):
+        t = make_table()
+        sub = t.select(np.array([0, 2], dtype=np.int32))
+        assert sub.n_rows == 2
+        assert sub.values("city") == ["a", "a"]
+
+    def test_select_empty_mask(self):
+        t = make_table()
+        assert t.select(np.array([])).n_rows == 0
+
+    @pytest.mark.parametrize(
+        "mask",
+        [np.array([1.0, 0.0, 1.0, 0.0]), np.array(["a", "b", "c", "d"])],
+        ids=["float", "string"],
+    )
+    def test_select_rejects_non_integer_mask(self, mask):
+        # A float mask used to be truncated via astype(int64) and silently
+        # reinterpreted as row indices; now it is a typed error.
+        t = make_table()
+        with pytest.raises(SchemaError, match="boolean or integer"):
+            t.select(mask)
+
     def test_measure_values(self):
         t = make_table()
         assert t.measure_values("pop").tolist() == [1.0, 2.0, 3.0, 4.0]

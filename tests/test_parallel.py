@@ -17,6 +17,7 @@ Three layers of guarantees:
 
 import json
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -193,10 +194,25 @@ class TestExecutors:
         assert default_workers() == 3
         with executor_scope() as ex:
             assert ex.workers == 3
-        monkeypatch.setenv("REPRO_WORKERS", "broken")
-        assert default_workers() == 1
-        monkeypatch.setenv("REPRO_WORKERS", "-2")
-        assert default_workers() == 1
+
+    def test_malformed_workers_env_warns_once_with_value(self, monkeypatch):
+        from repro.parallel import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "_WARNED_WORKERS", set())
+        for bad in ("four", "-2", "0"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.warns(RuntimeWarning, match=f"REPRO_WORKERS={bad!r}"):
+                assert default_workers() == 1
+            # Second call with the same bad value stays silent (warn once).
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert default_workers() == 1
+
+    def test_empty_workers_env_is_silently_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_workers() == 1
 
 
 class TestShardTaskPickling:
