@@ -14,6 +14,8 @@ Usage examples::
         --queries queries.json
     python -m repro serve data.csv --model model.json --port 8765 \\
         --max-batch 64 --max-wait-ms 2 --workers 4
+    python -m repro serve --registry models/ --port 8765 --http-port 8080 \\
+        --max-models 4
 
 ``ingest`` persists a CSV as a memmap-able column store (one directory:
 per-column ``.npy`` + a JSON manifest); every command that reads data
@@ -67,11 +69,13 @@ from repro.parallel import EXECUTOR_KINDS, REPRO_WORKERS_ENV, executor_scope
 from repro.serve import (
     DEFAULT_HOST,
     DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_MODELS,
     DEFAULT_MAX_WAIT_MS,
     DEFAULT_PORT,
     DEFAULT_QUEUE_LIMIT,
     ExplanationService,
-    run_server,
+    ModelRegistry,
+    run_stack,
 )
 
 
@@ -244,7 +248,7 @@ def cmd_groupby(args: argparse.Namespace) -> int:
 def cmd_ingest(args: argparse.Namespace) -> int:
     """Persist a CSV as a zero-copy column store (ingest → fit → serve)."""
     table = read_csv(args.file)
-    store = table.to_store(args.out)
+    store = table.to_store(args.out, force=args.force)
     dims = len(store.dimensions)
     print(
         f"ingested {store.n_rows} rows into {store.path}: "
@@ -322,45 +326,77 @@ def cmd_batch_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Boot the asyncio micro-batching explanation server (repro.serve)."""
-    table = _table_for(args)
-    # The in-process fit (no --model) shards its discovery probing over
-    # --workers/--executor too; the service builds its own serving
-    # executor from the same flags afterwards.
-    with _executor_scope(args) as ex:
-        model = _model_for(args, table, executor=ex)
-    service = ExplanationService(
-        model,
-        table,
+    """Boot the explanation serving stack: TCP always, HTTP when asked.
+
+    Two shapes share the code path: ``--registry DIR`` serves every model
+    in a registry directory (lazy loading, hot reload, LRU bound), while
+    the historical single-model form (CSV/--store + --model/in-process
+    fit) wraps one pre-built service as a pinned single-entry registry.
+    """
+    service_kwargs = dict(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
         workers=args.workers,
         executor_kind=args.executor,
     )
+    service: ExplanationService | None = None
+    if args.registry:
+        if args.file or args.store or args.model:
+            raise ReproError(
+                "--registry serves models from the registry directory; "
+                "drop the CSV/--store/--model arguments"
+            )
+        registry = ModelRegistry(
+            args.registry,
+            max_models=args.max_models,
+            service_kwargs=service_kwargs,
+        )
+    else:
+        table = _table_for(args)
+        # The in-process fit (no --model) shards its discovery probing over
+        # --workers/--executor too; the service builds its own serving
+        # executor from the same flags afterwards.
+        with _executor_scope(args) as ex:
+            model = _model_for(args, table, executor=ex)
+        service = ExplanationService(model, table, **service_kwargs)
+        registry = ModelRegistry.for_service(service)
 
     def announce(line: str) -> None:
         print(line, file=sys.stderr, flush=True)
 
     asyncio.run(
-        run_server(
-            service,
+        run_stack(
+            registry,
             host=args.host,
             port=args.port,
+            http_port=args.http_port,
             allow_shutdown=args.allow_shutdown,
             announce=announce,
         )
     )
-    snap = service.stats_snapshot()
-    latency = snap["latency_ms"]
-    print(
-        f"drained cleanly: {snap['completed']} served, {snap['failed']} failed, "
-        f"{snap['rejected']} rejected over {snap['batches']} batch(es); "
-        f"latency p50 {latency['p50']} ms / p99 {latency['p99']} ms; "
-        f"dedup saved {snap['deduped']} explain(s)",
-        file=sys.stderr,
-        flush=True,
-    )
+    if service is not None:
+        snap = service.stats_snapshot()
+        latency = snap["latency_ms"]
+        print(
+            f"drained cleanly: {snap['completed']} served, {snap['failed']} failed, "
+            f"{snap['rejected']} rejected over {snap['batches']} batch(es); "
+            f"latency p50 {latency['p50']} ms / p99 {latency['p99']} ms; "
+            f"dedup saved {snap['deduped']} explain(s)",
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        totals = registry.aggregate_counters()
+        print(
+            f"drained cleanly: {totals['completed']} served, "
+            f"{totals['failed']} failed, {totals['rejected']} rejected over "
+            f"{totals['batches']} batch(es) across "
+            f"{len(registry.loaded_entries())} loaded model(s); "
+            f"dedup saved {totals['deduped']} explain(s)",
+            file=sys.stderr,
+            flush=True,
+        )
     return 0
 
 
@@ -394,6 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ing.add_argument("file")
     p_ing.add_argument("--out", required=True, metavar="STORE_DIR")
+    p_ing.add_argument(
+        "--force", action="store_true",
+        help="replace an existing column store at --out (never silently)",
+    )
     p_ing.set_defaults(func=cmd_ingest)
 
     p_fit = sub.add_parser(
@@ -449,10 +489,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default=None, metavar="MODEL.json",
         help="serve against a saved model instead of fitting in-process",
     )
+    p_srv.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="serve every model in a registry directory "
+        "(<DIR>/<model_id>/<version>.json + data.store|data.csv; lazy "
+        "loading, hot reload, LRU-bounded) instead of one CSV/model pair",
+    )
+    p_srv.add_argument(
+        "--max-models", type=int, default=DEFAULT_MAX_MODELS, metavar="K",
+        help="LRU bound on concurrently loaded registry models",
+    )
     p_srv.add_argument("--host", default=DEFAULT_HOST)
     p_srv.add_argument(
         "--port", type=int, default=DEFAULT_PORT,
         help="TCP port (0 = ephemeral; the bound port is announced on stderr)",
+    )
+    p_srv.add_argument(
+        "--http-port", type=int, default=None, metavar="N",
+        help="also serve the HTTP/1.1 JSON gateway (+Prometheus /metrics) "
+        "on this port (0 = ephemeral; announced as 'http on host:port')",
     )
     p_srv.add_argument(
         "--max-batch", type=int, default=DEFAULT_MAX_BATCH, metavar="N",

@@ -24,6 +24,7 @@ category boundaries the graph was learned on.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -123,6 +124,21 @@ class XInsightModel:
     # Versioned JSON persistence
     # ------------------------------------------------------------------
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical JSON payload (cached).
+
+        Two models with identical learned content — regardless of how they
+        were fitted, saved, or loaded — share a fingerprint; any change to
+        the PAG, sepsets, FDs, bins, or fit metadata changes it.  This is
+        the registry's hot-reload trigger and is echoed in serving stats so
+        clients can verify which artifact answered.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_of_payload(self.to_dict())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def to_dict(self) -> dict:
         return {
             "format": FORMAT_NAME,
@@ -143,6 +159,19 @@ class XInsightModel:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "XInsightModel":
+        if isinstance(payload, dict) and "fingerprint" in payload:
+            # The fingerprint is save-time metadata over the canonical
+            # payload (it is not part of the hash input itself); a mismatch
+            # means the artifact was corrupted or hand-edited after save.
+            stored = payload["fingerprint"]
+            payload = {k: v for k, v in payload.items() if k != "fingerprint"}
+            actual = fingerprint_of_payload(payload)
+            if stored != actual:
+                raise ModelError(
+                    f"model fingerprint mismatch: artifact says {stored!r} "
+                    f"but the payload hashes to {actual!r} (corrupted or "
+                    "hand-edited after save)"
+                )
         if not isinstance(payload, dict):
             raise ModelError(f"not an {FORMAT_NAME!r} artifact")
         if payload.get("format") != FORMAT_NAME:
@@ -176,11 +205,20 @@ class XInsightModel:
             raise ModelError(f"malformed model artifact: {exc!r}") from exc
 
     def save(self, path: str | Path) -> Path:
-        """Write the model as versioned JSON; returns the path written."""
+        """Write the model as versioned JSON; returns the path written.
+
+        The file carries a top-level ``fingerprint`` key — the content hash
+        of the canonical payload — which :meth:`load` verifies, the model
+        registry uses as its reload trigger, and serving stats echo so
+        clients can check which artifact answered.  Pre-fingerprint
+        artifacts load fine (the key is optional metadata, not schema).
+        """
         path = Path(path)
+        payload = self.to_dict()
+        payload["fingerprint"] = self.fingerprint()
         try:
             path.write_text(
-                json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
                 encoding="utf-8",
             )
         except OSError as exc:
@@ -198,6 +236,16 @@ class XInsightModel:
         except json.JSONDecodeError as exc:
             raise ModelError(f"model file {path} is not valid JSON: {exc}") from exc
         return cls.from_dict(payload)
+
+
+def fingerprint_of_payload(payload: dict) -> str:
+    """SHA-256 of a model payload's canonical JSON form (sorted keys,
+    compact separators).  Shared by :meth:`XInsightModel.fingerprint` and
+    the load-time verification, so the two can never drift."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def fit_offline(

@@ -134,12 +134,43 @@ class ColumnStore:
         return cls(directory, manifest)
 
     @classmethod
-    def write(cls, table, directory: str | Path) -> "ColumnStore":
-        """Persist ``table`` into ``directory`` (created; must not already
-        hold a store) and return the opened store."""
+    def write(
+        cls, table, directory: str | Path, force: bool = False
+    ) -> "ColumnStore":
+        """Persist ``table`` into ``directory`` and return the opened store.
+
+        The target must be new (or an empty directory).  An existing store
+        — or the column files of a crashed half-written ingest — is never
+        silently overwritten: that is a typed :class:`StoreError` naming
+        the path unless ``force`` is set, in which case the *store files*
+        (manifest + ``col_*.npy``) are replaced.  A non-empty directory
+        holding anything else is always refused, ``force`` or not — this
+        function will not delete data it did not write.
+        """
         directory = Path(directory)
-        if (directory / MANIFEST_NAME).exists():
-            raise StoreError(f"{directory} already holds a column store")
+        had_manifest = (directory / MANIFEST_NAME).exists()
+        stale = (
+            sorted(directory.glob("col_*.npy")) if directory.is_dir() else []
+        )
+        if (had_manifest or stale) and not force:
+            what = (
+                "already holds a column store"
+                if had_manifest
+                else f"holds {len(stale)} leftover column file(s)"
+            )
+            raise StoreError(
+                f"{directory} {what}; pass force=True (CLI: --force) to "
+                "replace it"
+            )
+        if force:
+            for leftover in stale:
+                leftover.unlink()
+            (directory / MANIFEST_NAME).unlink(missing_ok=True)
+        if directory.is_dir() and any(directory.iterdir()):
+            raise StoreError(
+                f"{directory} is not empty and not a column store; refusing "
+                "to write store files into it"
+            )
         directory.mkdir(parents=True, exist_ok=True)
         specs: list[dict] = []
         for i, name in enumerate(table.schema.columns):

@@ -125,13 +125,14 @@ class Table:
     # Column-store backing (zero-copy persistence)
     # ------------------------------------------------------------------
 
-    def to_store(self, directory: "str | object") -> "object":
+    def to_store(self, directory: "str | object", force: bool = False) -> "object":
         """Persist this table as a memmap-able column store (one directory:
         per-column ``.npy`` + a JSON manifest); returns the
-        :class:`~repro.data.store.ColumnStore`."""
+        :class:`~repro.data.store.ColumnStore`.  ``force`` replaces an
+        existing store at the path instead of raising."""
         from repro.data.store import ColumnStore
 
-        return ColumnStore.write(self, directory)
+        return ColumnStore.write(self, directory, force=force)
 
     @classmethod
     def from_store(

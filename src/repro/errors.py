@@ -54,6 +54,11 @@ class ProtocolError(ServeError):
     """A wire request is malformed: not JSON, not an object, bad ``op``."""
 
 
+class RegistryError(ServeError):
+    """A model-registry lookup failed: unknown model id, malformed registry
+    directory, or no loadable artifact (see :mod:`repro.serve.registry`)."""
+
+
 class ServiceOverloadedError(ServeError):
     """Admission control rejected a request: the service queue is full."""
 

@@ -6,8 +6,14 @@ and the batched Δ kernels; this package puts a server in front of them:
 
 * :class:`ExplanationService` — asyncio micro-batching scheduler with
   admission control, in-batch dedup, executor fan-out and graceful drain;
+* :class:`ModelRegistry` — versioned multi-model artifact registry with
+  lazy loading, hot reload and LRU eviction; both wire front-ends route
+  through it;
 * :class:`ExplanationServer` / :func:`run_server` — JSON-lines TCP
   front-end (stdlib only), surfaced on the CLI as ``repro serve``;
+* :class:`HttpGateway` / :func:`run_stack` — HTTP/1.1 JSON gateway over
+  the same registry (``/v1/models/...``, ``/healthz``, Prometheus
+  ``/metrics``) and the combined TCP+HTTP serving stack;
 * :class:`ServeClient` — blocking pipelining client for scripts, tests,
   benchmarks and the CI smoke probe;
 * :class:`ServerStats` — queue depth, batch-size histogram, p50/p99
@@ -15,6 +21,13 @@ and the batched Δ kernels; this package puts a server in front of them:
 """
 
 from repro.serve.client import ServeClient, ServeResponseError, raise_for_error
+from repro.serve.http import DEFAULT_HTTP_PORT, HttpGateway
+from repro.serve.metrics import (
+    CONTENT_TYPE as METRICS_CONTENT_TYPE,
+    metric_value,
+    parse_prometheus_text,
+    render_metrics,
+)
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     OPS,
@@ -23,11 +36,13 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
 )
+from repro.serve.registry import DEFAULT_MAX_MODELS, ModelRegistry
 from repro.serve.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     ExplanationServer,
     run_server,
+    run_stack,
 )
 from repro.serve.service import (
     DEFAULT_MAX_BATCH,
@@ -39,13 +54,18 @@ from repro.serve.service import (
 
 __all__ = [
     "DEFAULT_HOST",
+    "DEFAULT_HTTP_PORT",
     "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_MODELS",
     "DEFAULT_MAX_WAIT_MS",
     "DEFAULT_PORT",
     "DEFAULT_QUEUE_LIMIT",
     "ExplanationServer",
     "ExplanationService",
+    "HttpGateway",
     "MAX_LINE_BYTES",
+    "METRICS_CONTENT_TYPE",
+    "ModelRegistry",
     "OPS",
     "ServeClient",
     "ServeResponseError",
@@ -53,7 +73,11 @@ __all__ = [
     "decode_request",
     "encode_line",
     "error_response",
+    "metric_value",
     "ok_response",
+    "parse_prometheus_text",
     "raise_for_error",
+    "render_metrics",
     "run_server",
+    "run_stack",
 ]

@@ -51,7 +51,15 @@ class ServeClient:
     """One connection to an :class:`~repro.serve.server.ExplanationServer`."""
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            # Raw ConnectionRefusedError / socket.timeout without the target
+            # address is useless three layers up a retry loop; surface the
+            # typed library error with the host:port it actually dialed.
+            raise ServeError(
+                f"cannot connect to explanation server at {host}:{port}: {exc}"
+            ) from exc
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
 
@@ -117,29 +125,50 @@ class ServeClient:
     def ping(self) -> bool:
         return bool(raise_for_error(self.request({"op": "ping"}))["pong"])
 
+    @staticmethod
+    def _with_model(payload: dict[str, Any], model: str | None) -> dict[str, Any]:
+        """Attach the registry routing field when a model id was given."""
+        if model is not None:
+            payload["model"] = model
+        return payload
+
     def explain(
-        self, query_spec: Mapping[str, Any], method: str = "auto"
+        self,
+        query_spec: Mapping[str, Any],
+        method: str = "auto",
+        model: str | None = None,
     ) -> dict[str, Any]:
-        """Answer one query spec; returns the report dict."""
+        """Answer one query spec; returns the report dict.  ``model``
+        routes to a registry entry (omit it on a single-model server)."""
         response = self.request(
-            {"op": "explain", "query": dict(query_spec), "method": method}
+            self._with_model(
+                {"op": "explain", "query": dict(query_spec), "method": method},
+                model,
+            )
         )
         return dict(raise_for_error(response)["report"])
 
     def explain_many(
-        self, query_specs: Sequence[Mapping[str, Any]], method: str = "auto"
+        self,
+        query_specs: Sequence[Mapping[str, Any]],
+        method: str = "auto",
+        model: str | None = None,
     ) -> list[dict[str, Any]]:
         """Pipeline a burst of query specs; reports in request order."""
         responses = self.pipeline(
             [
-                {"op": "explain", "query": dict(spec), "method": method}
+                self._with_model(
+                    {"op": "explain", "query": dict(spec), "method": method},
+                    model,
+                )
                 for spec in query_specs
             ]
         )
         return [dict(raise_for_error(r)["report"]) for r in responses]
 
-    def stats(self) -> dict[str, Any]:
-        return dict(raise_for_error(self.request({"op": "stats"}))["stats"])
+    def stats(self, model: str | None = None) -> dict[str, Any]:
+        response = self.request(self._with_model({"op": "stats"}, model))
+        return dict(raise_for_error(response)["stats"])
 
     def shutdown(self) -> bool:
         """Ask the server to drain and exit (needs ``allow_shutdown``)."""

@@ -1,0 +1,465 @@
+"""HTTP/1.1 JSON gateway over the model registry (stdlib asyncio only).
+
+The TCP JSON-lines protocol is great for benchmarks and ``nc``; it is
+invisible to load balancers, dashboards, `curl`, and every HTTP client in
+existence.  :class:`HttpGateway` puts a deliberately small HTTP/1.1
+front-end on the same :class:`~repro.serve.registry.ModelRegistry` the TCP
+server routes through — same admission control, same micro-batching, same
+per-model stats — with no new dependencies (``asyncio.start_server`` plus
+hand-rolled request parsing, the same discipline as the TCP server).
+
+Routes
+------
+
+``POST /v1/models/{id}/explain``
+    Body ``{"query": {...spec...}, "method": "auto"}`` → ``{"ok": true,
+    "model": ..., "fingerprint": ..., "report": {...}}``.  A batch body
+    ``{"queries": [{...}, ...]}`` answers every spec concurrently through
+    the model's micro-batcher and returns ``"results"``: a per-query list
+    of ``{"ok": true, "report": ...}`` / typed-error envelopes, in request
+    order.  The query spec is exactly the TCP / ``batch-explain`` shape
+    (:func:`repro.data.query.query_from_spec`).
+``GET /v1/models``
+    ``{"ok": true, "models": [...]}`` — ids, artifact versions, and — for
+    loaded models — live version, fingerprint, age, idleness, counters.
+``GET /v1/models/{id}/stats``
+    The model's full :class:`ServerStats` snapshot (loads it if needed).
+``GET /healthz``
+    Cheap liveness: ``{"ok": true, ...}``, no model loading.
+``GET /metrics``
+    Prometheus text exposition (see :mod:`repro.serve.metrics`).
+
+Failures map to status codes by exception type — 400 malformed request /
+query, 404 unknown model, 405 wrong method, 413/431 oversized, 429
+overloaded (shed at admission), 503 draining — and every error body is the
+same typed envelope the TCP protocol uses.  Connections are keep-alive by
+default; requests on one connection are served sequentially (plain
+HTTP/1.1 semantics), concurrency comes from many connections, and batching
+from the per-model service underneath.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.reporting import report_to_dict
+from repro.data.query import query_from_spec
+from repro.errors import (
+    ModelError,
+    ProtocolError,
+    QueryError,
+    RegistryError,
+    ReproError,
+    SchemaError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    StoreError,
+)
+from repro.serve.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.serve.metrics import render_metrics
+from repro.serve.protocol import MAX_LINE_BYTES, error_response
+from repro.serve.registry import ModelRegistry
+
+DEFAULT_HTTP_PORT = 8080
+
+#: Bounds mirroring the TCP protocol's line bound.
+MAX_BODY_BYTES = MAX_LINE_BYTES
+MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(explain|stats)$")
+
+
+def _status_for(exc: BaseException) -> int:
+    """Map a library exception to the HTTP status the caller can act on."""
+    if isinstance(exc, RegistryError):
+        return 404
+    if isinstance(exc, ServiceOverloadedError):
+        return 429
+    if isinstance(exc, ServiceClosedError):
+        return 503
+    if isinstance(exc, (ModelError, StoreError)):
+        return 500  # a loadable-looking artifact failed server-side
+    if isinstance(exc, (ProtocolError, QueryError, SchemaError)):
+        return 400
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+class _MethodNotAllowed(Exception):
+    """Wrong HTTP method on a known route; carries the Allow header."""
+
+    def __init__(self, allowed: str) -> None:
+        super().__init__(f"method not allowed; use {allowed}")
+        self.allowed = allowed
+
+
+@dataclass
+class _Request:
+    """One parsed HTTP request (or the error to answer it with)."""
+
+    method: str = ""
+    path: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+    #: Set when parsing failed: (status, message); the response closes the
+    #: connection because the stream position is no longer trustworthy.
+    bad: tuple[int, str] | None = None
+
+
+class HttpGateway:
+    """One HTTP endpoint over one registry.  ``port=0`` binds ephemeral;
+    the bound address is on :attr:`host` / :attr:`port` after
+    :meth:`start`.  The registry's lifecycle belongs to the caller (the
+    serving stack drains it once, after every front-end has stopped)."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_HTTP_PORT,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._request_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.connections_total = 0
+        self.requests_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors ExplanationServer)
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "HttpGateway":
+        await self.registry.start()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                limit=MAX_LINE_BYTES,
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"cannot bind http {self.host}:{self.port}: {exc}"
+            ) from exc
+        for sock in self._server.sockets or ():
+            self.host, self.port = sock.getsockname()[:2]
+            break
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, finish every request already parsed, close.
+
+        The registry is *not* drained here — multiple front-ends share it;
+        the owner (``run_stack`` / the caller) drains it once at the end.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._request_tasks:
+            await asyncio.gather(*tuple(self._request_tasks), return_exceptions=True)
+        for writer in tuple(self._writers):
+            writer.close()
+        for writer in tuple(self._writers):
+            try:
+                await asyncio.wait_for(writer.wait_closed(), timeout=10)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+        self._writers.clear()
+
+    async def __aenter__(self) -> "HttpGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_total += 1
+        self._writers.add(writer)
+        try:
+            while not self._draining:
+                request = await self._read_request(reader)
+                if request is None:  # EOF / peer reset
+                    break
+                # One task per request, tracked so a graceful stop can
+                # converge on everything already parsed off the wire.
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_request(request, writer)
+                )
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+                # Sequential per connection: HTTP/1.1 without pipelining.
+                keep_alive = await task
+                if not keep_alive:
+                    break
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await asyncio.wait_for(writer.wait_closed(), timeout=10)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return _Request(bad=(431, "request line too long"))
+        if not line:
+            return None
+        try:
+            method, path, version = line.decode("latin-1").split()
+        except (UnicodeDecodeError, ValueError):
+            return _Request(bad=(400, "malformed request line"))
+        if not version.startswith("HTTP/1."):
+            return _Request(bad=(400, f"unsupported protocol {version!r}"))
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                raw = await reader.readline()
+            except (ValueError, ConnectionError):
+                return _Request(bad=(431, "header line too long"))
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                return _Request(bad=(431, "too many headers"))
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                return _Request(bad=(400, f"malformed header {raw!r}"))
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        if "transfer-encoding" in headers:
+            return _Request(bad=(501, "chunked bodies are not supported"))
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                return _Request(bad=(400, "malformed content-length"))
+            if length < 0:
+                return _Request(bad=(400, "malformed content-length"))
+            if length > MAX_BODY_BYTES:
+                return _Request(
+                    bad=(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+                )
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return None
+        return _Request(
+            method=method.upper(), path=path, headers=headers,
+            body=body, keep_alive=keep_alive,
+        )
+
+    async def _handle_request(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route, respond, return whether the connection stays open."""
+        self.requests_total += 1
+        extra_headers: dict[str, str] = {}
+        if request.bad is not None:
+            status, message = request.bad
+            payload = error_response(None, ProtocolError(message))
+            del payload["id"]
+            keep_alive = False
+            body, content_type = self._json_body(payload)
+        else:
+            keep_alive = request.keep_alive
+            try:
+                status, body, content_type = await self._route(request)
+            except _MethodNotAllowed as exc:
+                status = 405
+                extra_headers["Allow"] = exc.allowed
+                body, content_type = self._json_error(ProtocolError(str(exc)))
+            except ReproError as exc:
+                status, (body, content_type) = (
+                    _status_for(exc), self._json_error(exc),
+                )
+            except Exception as exc:  # never tear down the gateway
+                status, (body, content_type) = 500, self._json_error(exc)
+        try:
+            writer.write(
+                self._response_bytes(
+                    status, body, content_type, keep_alive, extra_headers
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            return False
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _json_body(payload: Mapping[str, Any]) -> tuple[bytes, str]:
+        return (
+            json.dumps(payload, separators=(",", ":"), ensure_ascii=False).encode(
+                "utf-8"
+            ),
+            "application/json",
+        )
+
+    @classmethod
+    def _json_error(cls, exc: BaseException) -> tuple[bytes, str]:
+        payload = error_response(None, exc)
+        del payload["id"]
+        return cls._json_body(payload)
+
+    @staticmethod
+    def _response_bytes(
+        status: int,
+        body: bytes,
+        content_type: str,
+        keep_alive: bool,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    async def _route(self, request: _Request) -> tuple[int, bytes, str]:
+        method, path = request.method, request.path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _MethodNotAllowed("GET")
+            body, ctype = self._json_body(
+                {
+                    "ok": True,
+                    "models_loaded": len(self.registry.loaded_entries()),
+                    "models_available": len(self.registry.available_ids()),
+                }
+            )
+            return 200, body, ctype
+        if path == "/metrics":
+            if method != "GET":
+                raise _MethodNotAllowed("GET")
+            return 200, await self._metrics_body(), METRICS_CONTENT_TYPE
+        if path == "/v1/models":
+            if method != "GET":
+                raise _MethodNotAllowed("GET")
+            body, ctype = self._json_body(
+                {"ok": True, "models": self.registry.models_payload()}
+            )
+            return 200, body, ctype
+        match = _MODEL_ROUTE.match(path)
+        if match is None:
+            raise RegistryError(f"no route {method} {path}")
+        model_id, action = match.group(1), match.group(2)
+        if action == "stats":
+            if method != "GET":
+                raise _MethodNotAllowed("GET")
+            stats = await self.registry.stats_for(model_id)
+            body, ctype = self._json_body({"ok": True, "stats": stats})
+            return 200, body, ctype
+        # action == "explain"
+        if method != "POST":
+            raise _MethodNotAllowed("POST")
+        return await self._explain(model_id, request.body)
+
+    async def _metrics_body(self) -> bytes:
+        # cache_info takes each session's lock (a flush may hold it):
+        # fetch off-loop, then render from loop-confined stats structures.
+        loop = asyncio.get_running_loop()
+        cache_infos: dict[str, Mapping[str, int]] = {}
+        for entry in self.registry.loaded_entries():
+            cache_infos[entry.model_id] = await loop.run_in_executor(
+                None, entry.service.session.cache_info
+            )
+        text = render_metrics(
+            self.registry,
+            cache_infos=cache_infos,
+            frontends={
+                "http": {
+                    "requests": self.requests_total,
+                    "connections": self.connections_total,
+                }
+            },
+        )
+        return text.encode("utf-8")
+
+    async def _explain(self, model_id: str, raw: bytes) -> tuple[int, bytes, str]:
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                "explain body must be a JSON object with 'query' or 'queries'"
+            )
+        method = payload.get("method", "auto")
+        if not isinstance(method, str):
+            raise ProtocolError(f"'method' must be a string, got {method!r}")
+        entry = await self.registry.entry_for(model_id)
+        base = {"ok": True, "model": entry.model_id, "version": entry.version,
+                "fingerprint": entry.fingerprint}
+        if "queries" in payload:
+            specs = payload["queries"]
+            if not isinstance(specs, list) or not specs:
+                raise ProtocolError("'queries' must be a non-empty JSON list")
+            # Validate every spec before admitting any: a malformed entry
+            # fails the whole request cheaply instead of half-serving it.
+            queries = [
+                query_from_spec(spec, entry.service.table) for spec in specs
+            ]
+            outcomes = await asyncio.gather(
+                *(entry.service.explain(q, method=method) for q in queries),
+                return_exceptions=True,
+            )
+            results = []
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    envelope = error_response(None, outcome)
+                    del envelope["id"]
+                    results.append(envelope)
+                else:
+                    results.append(
+                        {"ok": True, "report": report_to_dict(outcome)}
+                    )
+            body, ctype = self._json_body({**base, "results": results})
+            return 200, body, ctype
+        if "query" not in payload:
+            raise ProtocolError("explain body missing 'query' (or 'queries')")
+        query = query_from_spec(payload["query"], entry.service.table)
+        report = await entry.service.explain(query, method=method)
+        body, ctype = self._json_body(
+            {**base, "report": report_to_dict(report)}
+        )
+        return 200, body, ctype

@@ -20,6 +20,12 @@ Ops
 ``stats``
     ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}`` — the
     :class:`~repro.serve.service.ServerStats` snapshot.
+
+``explain`` and ``stats`` accept an optional ``"model": "<id>"`` field
+naming which model in the server's :class:`~repro.serve.registry.
+ModelRegistry` should answer.  Omitting it routes to the registry's
+default model (the only model, for a single-model server); an unknown id
+is a typed ``RegistryError`` response.
 ``ping``
     ``{"op": "ping"}`` → ``{"ok": true, "pong": true}`` — liveness probe.
 ``shutdown``

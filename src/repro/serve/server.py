@@ -1,4 +1,4 @@
-"""JSON-lines TCP front-end over :class:`ExplanationService`.
+"""JSON-lines TCP front-end over the model registry.
 
 Stdlib only: ``asyncio.start_server`` + the :mod:`repro.serve.protocol`
 framing.  Each connection may pipeline requests — every request line is
@@ -6,11 +6,18 @@ handled by its own task, so one connection's stream of explains still
 coalesces in the service's micro-batcher; responses carry the request's
 echoed ``id`` for matching (they may complete out of order).
 
+Requests route through a :class:`~repro.serve.registry.ModelRegistry`: an
+optional ``model`` field on ``explain`` / ``stats`` picks the model, and
+omitting it serves the registry's default.  The historical single-service
+constructor still works — it wraps the service in a pinned single-entry
+registry (:meth:`ModelRegistry.for_service`), so both shapes run the exact
+same dispatch path.
+
 Shutdown is a graceful drain: stop accepting connections, let every
-request already read finish, flush the service's admitted backlog, then
-close.  ``repro serve`` (the CLI) wires signals to :meth:`ExplanationServer.
-request_shutdown`; the ``shutdown`` op does the same when the server was
-started with ``allow_shutdown=True`` (the CI smoke path).
+request already read finish, flush every service's admitted backlog, then
+close.  ``repro serve`` (the CLI) wires signals via :func:`run_stack`; the
+``shutdown`` op does the same when the server was started with
+``allow_shutdown=True`` (the CI smoke path).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
 )
+from repro.serve.registry import ModelRegistry
 from repro.serve.service import ExplanationService
 
 DEFAULT_HOST = "127.0.0.1"
@@ -35,47 +43,82 @@ DEFAULT_PORT = 8765
 
 
 class ExplanationServer:
-    """One TCP endpoint serving one :class:`ExplanationService`.
+    """One TCP endpoint over one registry of models.
 
-    Use ``port=0`` to bind an ephemeral port (tests); the bound address is
-    on :attr:`host` / :attr:`port` after :meth:`start`.
+    Construct with either a single :class:`ExplanationService` (wrapped in
+    a pinned registry, drained when this server stops — the historical
+    shape) or ``registry=...`` (shared with other front-ends; its
+    lifecycle belongs to the caller).  Use ``port=0`` to bind an ephemeral
+    port (tests); the bound address is on :attr:`host` / :attr:`port`
+    after :meth:`start`.
     """
 
     def __init__(
         self,
-        service: ExplanationService,
+        service: ExplanationService | None = None,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         allow_shutdown: bool = False,
+        *,
+        registry: ModelRegistry | None = None,
+        shutdown_event: "asyncio.Event | None" = None,
     ) -> None:
-        self.service = service
+        if (service is None) == (registry is None):
+            raise ServeError(
+                "ExplanationServer needs exactly one of a service or a registry"
+            )
+        if registry is None:
+            assert service is not None
+            registry = ModelRegistry.for_service(service)
+            self._owns_registry = True
+        else:
+            self._owns_registry = False
+        self.registry = registry
         self.host = host
         self.port = port
         self.allow_shutdown = allow_shutdown
         self._server: asyncio.AbstractServer | None = None
-        self._stop_requested: asyncio.Event | None = None
+        self._stop_requested = shutdown_event
         self._draining = False
         self._request_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self.connections_total = 0
         self.requests_total = 0
 
+    @property
+    def service(self) -> ExplanationService:
+        """The default model's service (single-model compat accessor)."""
+        entries = self.registry.loaded_entries()
+        default = self.registry.default_model
+        for entry in entries:
+            if entry.model_id == default:
+                return entry.service
+        if len(entries) == 1:
+            return entries[0].service
+        raise ServeError(
+            "no single default service: this server routes a multi-model "
+            "registry; pick one via registry.service_for(model_id)"
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> "ExplanationServer":
-        await self.service.start()
-        self._stop_requested = asyncio.Event()
+        await self.registry.start()
+        if self._stop_requested is None:
+            self._stop_requested = asyncio.Event()
         try:
             self._server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port,
                 limit=MAX_LINE_BYTES,
             )
         except OSError as exc:
-            # A busy port must be a typed error, and the service we just
-            # started (flusher task, pools) must not leak behind it.
-            await self.service.stop()
+            # A busy port must be a typed error, and the services we just
+            # started (flusher tasks, pools) must not leak behind it —
+            # but only when this server owns the registry's lifecycle.
+            if self._owns_registry:
+                await self.registry.stop()
             raise ServeError(
                 f"cannot bind {self.host}:{self.port}: {exc}"
             ) from exc
@@ -97,14 +140,16 @@ class ExplanationServer:
         await self.stop()
 
     async def stop(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight, drain service.
+        """Graceful drain: stop accepting, finish in-flight, drain services.
 
         Ordering matters: the draining flag stops connection loops from
         spawning new request tasks, the gather loop then converges on the
         tasks already spawned (re-snapshotting to catch any raced in
         around the flag), and only after every outstanding response has
-        been written does the service drain and the writers close — so
-        every request that got a task gets its answer on the wire.
+        been written does the registry drain and the writers close — so
+        every request that got a task gets its answer on the wire.  A
+        shared registry (``_owns_registry=False``) is left running for its
+        owner to drain once after every front-end has stopped.
         """
         self._draining = True
         if self._server is not None:
@@ -113,7 +158,8 @@ class ExplanationServer:
             self._server = None
         while self._request_tasks:
             await asyncio.gather(*tuple(self._request_tasks), return_exceptions=True)
-        await self.service.stop()
+        if self._owns_registry:
+            await self.registry.stop()
         for writer in tuple(self._writers):
             writer.close()
         for writer in tuple(self._writers):
@@ -205,20 +251,29 @@ class ExplanationServer:
         except (ConnectionError, RuntimeError):
             pass  # peer went away before its answer did
 
+    def _requested_model(self, request: dict[str, Any]) -> str | None:
+        model = request.get("model")
+        if model is not None and not isinstance(model, str):
+            raise ProtocolError(f"'model' must be a string, got {model!r}")
+        return model
+
     async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         op = request["op"]
         request_id = request.get("id")
         if op == "ping":
             return ok_response(request_id, pong=True)
         if op == "stats":
+            entry = await self.registry.entry_for(self._requested_model(request))
             # cache_info takes the session lock, which the flush thread
             # may hold mid-explain — fetch it in a worker thread so the
             # loop never waits on it.  The ServerStats structures are
             # loop-confined, so the rest of the snapshot is taken here.
             cache_info = await asyncio.get_running_loop().run_in_executor(
-                None, self.service.session.cache_info
+                None, entry.service.session.cache_info
             )
-            stats = self.service.stats_snapshot(cache_info=cache_info)
+            stats = entry.service.stats_snapshot(cache_info=cache_info)
+            stats["model"] = entry.model_id
+            stats["version"] = entry.version
             stats["connections_total"] = self.connections_total
             stats["requests_total"] = self.requests_total
             return ok_response(request_id, stats=stats)
@@ -233,11 +288,12 @@ class ExplanationServer:
         # op == "explain" (decode_request already validated the op set)
         if "query" not in request:
             raise ProtocolError("explain request missing 'query'")
-        query = query_from_spec(request["query"], self.service.table)
+        entry = await self.registry.entry_for(self._requested_model(request))
+        query = query_from_spec(request["query"], entry.service.table)
         method = request.get("method", "auto")
         if not isinstance(method, str):
             raise ProtocolError(f"'method' must be a string, got {method!r}")
-        report = await self.service.explain(query, method=method)
+        report = await entry.service.explain(query, method=method)
         return ok_response(request_id, report=report_to_dict(report))
 
 
@@ -249,7 +305,8 @@ async def run_server(
     ready: "asyncio.Event | None" = None,
     announce=None,
 ) -> ExplanationServer:
-    """Start a server, announce it, serve until shutdown, drain, return it.
+    """Start a single-service TCP server, announce it, serve until
+    shutdown, drain, return it.
 
     ``announce`` (a callable taking one string) receives the one-line
     "serving on host:port" banner once the socket is bound — the CLI
@@ -263,13 +320,68 @@ async def run_server(
         announce(f"serving on {server.host}:{server.port}")
     if ready is not None:
         ready.set()
+    _install_signal_handlers(server.request_shutdown)
+    await server.serve_until_shutdown()
+    return server
+
+
+def _install_signal_handlers(handler) -> None:
     loop = asyncio.get_running_loop()
     try:
         import signal
 
-        loop.add_signal_handler(signal.SIGINT, server.request_shutdown)
-        loop.add_signal_handler(signal.SIGTERM, server.request_shutdown)
+        loop.add_signal_handler(signal.SIGINT, handler)
+        loop.add_signal_handler(signal.SIGTERM, handler)
     except (NotImplementedError, RuntimeError):  # pragma: no cover - win/embedded
         pass
-    await server.serve_until_shutdown()
+
+
+async def run_stack(
+    registry: ModelRegistry,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    http_port: int | None = None,
+    allow_shutdown: bool = False,
+    ready: "asyncio.Event | None" = None,
+    announce=None,
+) -> ExplanationServer:
+    """Serve one registry over TCP (always) and HTTP (when ``http_port``
+    is given) until shutdown, then drain everything exactly once.
+
+    One shared shutdown event covers the whole stack: signals and the TCP
+    ``shutdown`` op stop both front-ends, after which the registry — whose
+    lifecycle this function owns — drains every model's backlog.
+    ``announce`` receives "serving on h:p" for the TCP socket first (the
+    line the smoke harness and the CLI banner key on), then "http on h:p".
+    """
+    from repro.serve.http import HttpGateway  # circular-import guard
+
+    shutdown_event = asyncio.Event()
+    server = ExplanationServer(
+        registry=registry,
+        host=host,
+        port=port,
+        allow_shutdown=allow_shutdown,
+        shutdown_event=shutdown_event,
+    )
+    gateway: HttpGateway | None = None
+    try:
+        await registry.start()
+        await server.start()
+        if http_port is not None:
+            gateway = HttpGateway(registry, host=host, port=http_port)
+            await gateway.start()
+        if announce is not None:
+            announce(f"serving on {server.host}:{server.port}")
+            if gateway is not None:
+                announce(f"http on {gateway.host}:{gateway.port}")
+        if ready is not None:
+            ready.set()
+        _install_signal_handlers(shutdown_event.set)
+        await shutdown_event.wait()
+    finally:
+        if gateway is not None:
+            await gateway.stop()
+        await server.stop()
+        await registry.stop()
     return server

@@ -89,6 +89,15 @@ class ServerStats:
     batches: int = 0
     batch_sizes: Counter = field(default_factory=Counter)
     latencies: deque = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    #: Cumulative latency total/count (monotone, unlike the sliding
+    #: percentile window) — what the Prometheus summary _sum/_count export.
+    latency_sum_s: float = 0.0
+    latency_observations: int = 0
+    #: Content hash of the model this service answers with (see
+    #: :meth:`XInsightModel.fingerprint`); lets a stats/metrics consumer
+    #: verify which artifact is live behind the counters.
+    fingerprint: str | None = None
+    started_at: float = field(default_factory=time.monotonic)
 
     def observe_batch(self, size: int, unique: int) -> None:
         self.batches += 1
@@ -97,6 +106,12 @@ class ServerStats:
 
     def observe_latency(self, seconds: float) -> None:
         self.latencies.append(seconds)
+        self.latency_sum_s += seconds
+        self.latency_observations += 1
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_at
 
     def latency_ms(self) -> dict[str, float]:
         window = sorted(self.latencies)
@@ -119,6 +134,8 @@ class ServerStats:
                 str(size): count for size, count in sorted(self.batch_sizes.items())
             },
             "latency_ms": self.latency_ms(),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -182,7 +199,7 @@ class ExplanationService:
         self.queue_limit = queue_limit
         self.workers = default_workers() if workers is None else workers
         self.executor = make_executor(self.workers, executor_kind)
-        self.stats = ServerStats()
+        self.stats = ServerStats(fingerprint=model.fingerprint())
         self._queue: asyncio.Queue | None = None
         self._flusher: asyncio.Task | None = None
         self._flush_pool = None  # single dedicated flush thread, lazily built

@@ -1,20 +1,30 @@
 """End-to-end server smoke probe: boot ``repro serve``, query it, drain it.
 
-The tier-1 CI job runs this after the test suite::
+The tier-1 CI job runs both modes after the test suite::
 
-    PYTHONPATH=src python -m repro.serve.smoke
+    PYTHONPATH=src python -m repro.serve.smoke          # TCP, single model
+    PYTHONPATH=src python -m repro.serve.smoke --http   # registry + HTTP
 
-It exercises the full deployment surface through real subprocesses — CLI
-``fit`` writes the artifact, CLI ``serve`` boots the TCP server, a
-:class:`~repro.serve.client.ServeClient` sends ping / explain / pipelined
-burst / stats over the wire, the ``shutdown`` op triggers the drain — and
-fails loudly unless the server exits cleanly (code 0, "drained" banner).
+Each mode exercises the full deployment surface through real subprocesses —
+CLI ``fit`` writes the artifact, CLI ``serve`` boots the server, real
+clients drive the wire, the ``shutdown`` op triggers the drain — and fails
+loudly unless the server exits cleanly (code 0, "drained" banner).
+
+* Default mode: single-model TCP — :class:`~repro.serve.client.ServeClient`
+  sends ping / explain / pipelined burst / stats.
+* ``--http`` mode: a registry directory (``demo/1.json`` + ``data.csv``)
+  served with ``--registry ... --http-port 0`` — ``http.client`` probes
+  ``/healthz``, ``POST /v1/models/demo/explain`` (single and batch),
+  ``GET /v1/models``, per-model stats, and ``/metrics`` (which must parse
+  as Prometheus text exposition and count the explains just served).
+
 Also reusable from the test suite (`tests/test_serve.py` calls
 :func:`main` in-process).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -31,6 +41,7 @@ QUERY_SPEC = {
 }
 
 BANNER = re.compile(r"serving on ([\w.\-]+):(\d+)")
+HTTP_BANNER = re.compile(r"http on ([\w.\-]+):(\d+)")
 
 
 def _run_cli(*args: str) -> None:
@@ -42,72 +53,194 @@ def _run_cli(*args: str) -> None:
     )
 
 
-def main() -> int:
+def _await_banners(
+    server: subprocess.Popen, patterns: "list[re.Pattern]"
+) -> list[tuple[str, int]]:
+    """Read stderr lines until every pattern matched once; (host, port) each."""
+    found: dict[int, tuple[str, int]] = {}
+    seen: list[str] = []
+    deadline = time.monotonic() + 120
+    assert server.stderr is not None
+    while time.monotonic() < deadline and len(found) < len(patterns):
+        line = server.stderr.readline()
+        if not line:
+            break
+        seen.append(line)
+        for i, pattern in enumerate(patterns):
+            if i in found:
+                continue
+            match = pattern.search(line)
+            if match:
+                found[i] = (match.group(1), int(match.group(2)))
+    if len(found) < len(patterns):
+        raise RuntimeError(f"server never announced its address(es): {seen!r}")
+    return [found[i] for i in range(len(patterns))]
+
+
+def _finish(server: subprocess.Popen) -> None:
+    """Wait for a clean exit with a drain banner on stderr."""
+    code = server.wait(timeout=120)
+    assert server.stderr is not None
+    tail = server.stderr.read() or ""
+    if code != 0:
+        raise RuntimeError(f"server exited {code}: {tail!r}")
+    if "drained" not in tail:
+        raise RuntimeError(f"no drain banner in shutdown output: {tail!r}")
+
+
+def _smoke_tcp(tmp: str) -> None:
     from repro.data.io import write_csv
     from repro.datasets import generate_lungcancer
     from repro.serve.client import ServeClient
 
-    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
-        csv_path = str(Path(tmp) / "data.csv")
-        model_path = str(Path(tmp) / "model.json")
-        write_csv(generate_lungcancer(n_rows=800, seed=0), csv_path)
+    csv_path = str(Path(tmp) / "data.csv")
+    model_path = str(Path(tmp) / "model.json")
+    write_csv(generate_lungcancer(n_rows=800, seed=0), csv_path)
 
-        _run_cli("fit", csv_path, "--out", model_path, "--bins", "3")
+    _run_cli("fit", csv_path, "--out", model_path, "--bins", "3")
 
-        server = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve", csv_path,
-                "--model", model_path, "--port", "0",
-                "--max-wait-ms", "5", "--allow-shutdown",
-            ],
-            stderr=subprocess.PIPE,
-            text=True,
-            env=os.environ,
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", csv_path,
+            "--model", model_path, "--port", "0",
+            "--max-wait-ms", "5", "--allow-shutdown",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=os.environ,
+    )
+    try:
+        ((host, port),) = _await_banners(server, [BANNER])
+        with ServeClient(host, port, timeout=60) as client:
+            assert client.ping(), "ping failed"
+            report = client.explain(QUERY_SPEC)
+            assert "explanations" in report, f"bad report: {report!r}"
+            burst = client.explain_many([QUERY_SPEC] * 8)
+            assert burst == [report] * 8, "pipelined burst diverged"
+            stats = client.stats()
+            assert stats["completed"] >= 9, stats
+            assert stats["deduped"] >= 1, "burst never coalesced"
+            assert client.shutdown(), "shutdown not acknowledged"
+        _finish(server)
+    finally:
+        if server.poll() is None:  # pragma: no cover - failure path
+            server.kill()
+            server.wait()
+
+
+def _http_json(host: str, port: int, method: str, path: str, payload=None):
+    """One HTTP request against the gateway; (status, parsed-or-raw body)."""
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"} if body else {},
         )
-        try:
-            banner_lines: list[str] = []
-            deadline = time.monotonic() + 120
-            host = port = None
-            assert server.stderr is not None
-            while time.monotonic() < deadline:
-                line = server.stderr.readline()
-                if not line:
-                    break
-                banner_lines.append(line)
-                match = BANNER.search(line)
-                if match:
-                    host, port = match.group(1), int(match.group(2))
-                    break
-            if port is None:
-                raise RuntimeError(
-                    f"server never announced its address: {banner_lines!r}"
-                )
+        response = conn.getresponse()
+        raw = response.read()
+        if response.getheader("Content-Type", "").startswith("application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
 
-            with ServeClient(host, port, timeout=60) as client:
-                assert client.ping(), "ping failed"
-                report = client.explain(QUERY_SPEC)
-                assert "explanations" in report, f"bad report: {report!r}"
-                burst = client.explain_many([QUERY_SPEC] * 8)
-                assert burst == [report] * 8, "pipelined burst diverged"
-                stats = client.stats()
-                assert stats["completed"] >= 9, stats
-                assert stats["deduped"] >= 1, "burst never coalesced"
-                assert client.shutdown(), "shutdown not acknowledged"
 
-            code = server.wait(timeout=120)
-            tail = server.stderr.read() or ""
-            if code != 0:
-                raise RuntimeError(f"server exited {code}: {tail!r}")
-            if "drained" not in tail:
-                raise RuntimeError(f"no drain banner in shutdown output: {tail!r}")
-        finally:
-            if server.poll() is None:  # pragma: no cover - failure path
-                server.kill()
-                server.wait()
+def _smoke_http(tmp: str) -> None:
+    from repro.data.io import write_csv
+    from repro.datasets import generate_lungcancer
+    from repro.serve.client import ServeClient
+    from repro.serve.metrics import metric_value, parse_prometheus_text
 
-    print("serve smoke ok: boot, ping, explain, burst, stats, clean drain")
+    registry = Path(tmp) / "registry"
+    model_dir = registry / "demo"
+    model_dir.mkdir(parents=True)
+    csv_path = str(model_dir / "data.csv")
+    write_csv(generate_lungcancer(n_rows=800, seed=0), csv_path)
+
+    _run_cli("fit", csv_path, "--out", str(model_dir / "1.json"), "--bins", "3")
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--registry", str(registry), "--port", "0", "--http-port", "0",
+            "--max-wait-ms", "5", "--allow-shutdown",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=os.environ,
+    )
+    try:
+        (tcp_addr, (host, port)) = _await_banners(server, [BANNER, HTTP_BANNER])
+
+        status, health = _http_json(host, port, "GET", "/healthz")
+        assert status == 200 and health["ok"], (status, health)
+
+        status, answer = _http_json(
+            host, port, "POST", "/v1/models/demo/explain",
+            {"query": QUERY_SPEC},
+        )
+        assert status == 200 and answer["ok"], (status, answer)
+        assert answer["model"] == "demo" and answer["version"] == "1", answer
+        assert "explanations" in answer["report"], answer
+
+        status, batch = _http_json(
+            host, port, "POST", "/v1/models/demo/explain",
+            {"queries": [QUERY_SPEC] * 4},
+        )
+        assert status == 200 and len(batch["results"]) == 4, (status, batch)
+        assert all(r["report"] == answer["report"] for r in batch["results"]), (
+            "batch diverged from the single explain"
+        )
+
+        status, models = _http_json(host, port, "GET", "/v1/models")
+        assert status == 200, (status, models)
+        rows = {row["id"]: row for row in models["models"]}
+        assert rows["demo"]["loaded"] and rows["demo"]["versions"] == ["1"], rows
+
+        status, stats = _http_json(host, port, "GET", "/v1/models/demo/stats")
+        assert status == 200 and stats["stats"]["completed"] >= 5, (status, stats)
+
+        status, missing = _http_json(host, port, "GET", "/v1/models/ghost/stats")
+        assert status == 404, (status, missing)
+        assert missing["error"]["type"] == "RegistryError", missing
+
+        status, text = _http_json(host, port, "GET", "/metrics")
+        assert status == 200, (status, text)
+        samples = parse_prometheus_text(text)  # raises on malformed output
+        completed = metric_value(
+            samples, "repro_serve_completed_total", model="demo"
+        )
+        assert completed >= 5, f"metrics lost the served explains: {completed}"
+
+        # The TCP front-end shares the registry: route by model field, then
+        # drain the whole stack over the wire.
+        with ServeClient(tcp_addr[0], tcp_addr[1], timeout=60) as client:
+            report = client.explain(QUERY_SPEC, model="demo")
+            assert report == answer["report"], "TCP and HTTP reports diverged"
+            assert client.shutdown(), "shutdown not acknowledged"
+        _finish(server)
+    finally:
+        if server.poll() is None:  # pragma: no cover - failure path
+            server.kill()
+            server.wait()
+
+
+def main(http: bool = False) -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        if http:
+            _smoke_http(tmp)
+            print(
+                "serve smoke ok (http): boot, healthz, explain, batch, "
+                "models, stats, metrics, tcp routing, clean drain"
+            )
+        else:
+            _smoke_tcp(tmp)
+            print("serve smoke ok: boot, ping, explain, burst, stats, clean drain")
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(http="--http" in sys.argv[1:]))

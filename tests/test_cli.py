@@ -401,7 +401,34 @@ class TestIngestAndStore:
     def test_ingest_refuses_overwrite(self, lungcancer_csv, lung_store, capsys):
         code = main(["ingest", lungcancer_csv, "--out", lung_store])
         assert code == 2
-        assert "already holds" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "already holds" in err
+        assert "--force" in err  # the error names the escape hatch
+
+    def test_ingest_force_replaces_store(self, lungcancer_csv, tmp_path, capsys):
+        store_dir = tmp_path / "s"
+        assert main(["ingest", lungcancer_csv, "--out", str(store_dir)]) == 0
+        capsys.readouterr()
+        code = main(["ingest", lungcancer_csv, "--out", str(store_dir), "--force"])
+        assert code == 0
+        assert "ingested 3000 rows" in capsys.readouterr().out
+        # The replaced store still opens and serves.
+        from repro.data.table import Table
+
+        assert Table.from_store(str(store_dir)).n_rows == 3000
+
+    def test_ingest_force_never_clobbers_foreign_directories(
+        self, lungcancer_csv, tmp_path, capsys
+    ):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "notes.txt").write_text("not a store")
+        code = main(
+            ["ingest", lungcancer_csv, "--out", str(target), "--force"]
+        )
+        assert code == 2
+        assert "refusing" in capsys.readouterr().err
+        assert (target / "notes.txt").read_text() == "not a store"
 
     def test_explain_from_store_matches_csv(self, lungcancer_csv, lung_store, capsys):
         query = [
@@ -461,3 +488,22 @@ class TestIngestAndStore:
         )
         assert code == 2
         assert "--chunk-rows" in capsys.readouterr().err
+
+
+class TestServeRegistryArgs:
+    """serve --registry argument validation (the server boot itself is
+    covered by tests/test_registry.py and the smoke probes)."""
+
+    def test_registry_excludes_single_model_args(self, lungcancer_csv, capsys):
+        code = main(
+            ["serve", lungcancer_csv, "--registry", "somewhere", "--port", "0"]
+        )
+        assert code == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_registry_must_exist(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--registry", str(tmp_path / "absent"), "--port", "0"]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err

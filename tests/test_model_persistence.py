@@ -178,15 +178,23 @@ class TestServingNeverMintsCategories:
         assert spec.labels(np.array([0.0, 1.0])) == ["=0", "=1"]
 
 
+def _golden_payload() -> dict:
+    """The golden payload minus the save-time fingerprint, so mutation
+    tests exercise parse validation rather than tamper detection."""
+    payload = json.loads(GOLDEN.read_text())
+    payload.pop("fingerprint", None)
+    return payload
+
+
 class TestBinSpecPayloadValidation:
     def test_unknown_method_is_a_model_error(self):
-        payload = json.loads(GOLDEN.read_text())
+        payload = _golden_payload()
         payload["bin_specs"]["Pay"]["method"] = "freq"
         with pytest.raises(ModelError, match="malformed"):
             XInsightModel.from_dict(payload)
 
     def test_empty_bins_is_a_model_error(self):
-        payload = json.loads(GOLDEN.read_text())
+        payload = _golden_payload()
         payload["bin_specs"]["Pay"]["bins"] = []
         with pytest.raises(ModelError, match="malformed"):
             XInsightModel.from_dict(payload)
@@ -219,6 +227,7 @@ class TestGoldenSchema:
         assert set(payload) == {
             "format",
             "schema_version",
+            "fingerprint",
             "pag",
             "sepsets",
             "fd_graph",
@@ -231,7 +240,7 @@ class TestGoldenSchema:
         assert payload["schema_version"] == 1
 
     def test_future_schema_version_is_rejected(self):
-        payload = json.loads(GOLDEN.read_text())
+        payload = _golden_payload()
         payload["schema_version"] = SCHEMA_VERSION + 1
         with pytest.raises(ModelError, match="schema version"):
             XInsightModel.from_dict(payload)
@@ -258,10 +267,47 @@ class TestGoldenSchema:
             XInsightModel.from_dict(payload)
 
     def test_wrong_typed_section_is_a_model_error(self):
-        payload = json.loads(GOLDEN.read_text())
+        payload = _golden_payload()
         payload["bin_specs"] = "not-a-mapping"
         with pytest.raises(ModelError, match="malformed"):
             XInsightModel.from_dict(payload)
+
+
+class TestFingerprint:
+    """The content hash: stable across save/load, and tamper-evident."""
+
+    def test_fingerprint_survives_a_round_trip(self, fitted_model, tmp_path):
+        path = fitted_model.save(tmp_path / "model.json")
+        reloaded = XInsightModel.load(path)
+        assert reloaded.fingerprint() == fitted_model.fingerprint()
+        assert json.loads(path.read_text())["fingerprint"] == (
+            fitted_model.fingerprint()
+        )
+
+    def test_fingerprint_is_cached_and_deterministic(self, fitted_model):
+        assert fitted_model.fingerprint() == fitted_model.fingerprint()
+        assert len(fitted_model.fingerprint()) == 64  # sha256 hex
+
+    def test_fingerprint_tracks_content_not_identity(self, fitted_model):
+        golden = XInsightModel.load(GOLDEN)
+        assert golden.fingerprint() != fitted_model.fingerprint() or (
+            golden.to_dict() == fitted_model.to_dict()
+        )
+
+    def test_tampered_artifact_is_rejected_on_load(self, fitted_model, tmp_path):
+        path = fitted_model.save(tmp_path / "model.json")
+        payload = json.loads(path.read_text())
+        payload["fit"]["alpha"] = 0.123456
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelError, match="fingerprint mismatch"):
+            XInsightModel.load(path)
+
+    def test_pre_fingerprint_artifact_still_loads(self):
+        # Artifacts saved before the fingerprint key existed are schema v1
+        # too; the key is optional save metadata, not schema.
+        model = XInsightModel.from_dict(_golden_payload())
+        golden = XInsightModel.load(GOLDEN)
+        assert model.fingerprint() == golden.fingerprint()
 
 
 class TestPagSerializationValidation:

@@ -1,0 +1,658 @@
+"""Model registry + HTTP gateway: routing, hot reload, eviction, metrics.
+
+Pins the multi-tenant serving contract of :mod:`repro.serve.registry` /
+:mod:`repro.serve.http`:
+
+* two models served from one process answer byte-identically to direct
+  per-model :class:`~repro.core.session.ExplainSession` calls, over both
+  the TCP ``model`` field and the HTTP gateway;
+* hot reload swaps a new artifact version in without dropping anything
+  already admitted on the old service (drain, not drop);
+* the LRU bound evicts idle models gracefully;
+* traffic to distinct models never serializes on a registry-wide lock;
+* ``/metrics`` parses as strict Prometheus text exposition with per-model
+  series.
+"""
+
+import asyncio
+import json
+import os
+import threading
+
+import pytest
+
+from repro.core import ExplainSession, fit_model
+from repro.core.reporting import report_to_dict
+from repro.data import Aggregate, Subspace, WhyQuery, write_csv
+from repro.data.io import read_csv
+from repro.data.table import Table
+from repro.datasets import generate_lungcancer
+from repro.errors import RegistryError
+from repro.serve import (
+    ExplanationServer,
+    HttpGateway,
+    ModelRegistry,
+    ServeClient,
+    ServeResponseError,
+    metric_value,
+    parse_prometheus_text,
+)
+
+SPEC = {
+    "s1": {"Location": "A"},
+    "s2": {"Location": "B"},
+    "measure": "LungCancer",
+    "agg": "AVG",
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_query(agg="AVG"):
+    return WhyQuery.create(
+        Subspace.of(Location="A"),
+        Subspace.of(Location="B"),
+        "LungCancer",
+        Aggregate(agg) if not isinstance(agg, Aggregate) else agg,
+    )
+
+
+@pytest.fixture(scope="module")
+def table_alpha():
+    return generate_lungcancer(n_rows=800, seed=0)
+
+
+@pytest.fixture(scope="module")
+def table_beta():
+    return generate_lungcancer(n_rows=700, seed=3)
+
+
+@pytest.fixture(scope="module")
+def model_alpha(table_alpha):
+    return fit_model(table_alpha, measure_bins=3)
+
+
+@pytest.fixture(scope="module")
+def model_beta(table_beta):
+    return fit_model(table_beta, measure_bins=4)
+
+
+@pytest.fixture()
+def registry_root(tmp_path, table_alpha, table_beta, model_alpha, model_beta):
+    """Two-model registry: alpha on a CSV, beta on a column store."""
+    root = tmp_path / "registry"
+    alpha = root / "alpha"
+    alpha.mkdir(parents=True)
+    write_csv(table_alpha, alpha / "data.csv")
+    model_alpha.save(alpha / "1.json")
+    beta = root / "beta"
+    beta.mkdir()
+    table_beta.to_store(beta / "data.store")
+    model_beta.save(beta / "1.json")
+    return root
+
+
+@pytest.fixture(scope="module")
+def direct_reports(model_alpha, model_beta, registry_sources):
+    """What a per-model direct session answers — the parity oracle."""
+    alpha_table, beta_table = registry_sources
+    query = make_query()
+    return {
+        "alpha": report_to_dict(
+            ExplainSession(model_alpha, alpha_table).explain(query)
+        ),
+        "beta": report_to_dict(
+            ExplainSession(model_beta, beta_table).explain(query)
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def registry_sources(tmp_path_factory, table_alpha, table_beta):
+    """The tables exactly as the registry will load them (CSV round-trip
+    for alpha, store mapping for beta), so parity compares like with like."""
+    tmp = tmp_path_factory.mktemp("registry-sources")
+    csv_path = tmp / "alpha.csv"
+    write_csv(table_alpha, csv_path)
+    table_beta.to_store(tmp / "beta.store")
+    return read_csv(csv_path), Table.from_store(tmp / "beta.store")
+
+
+class TestRegistryBasics:
+    def test_lists_available_models_without_loading(self, registry_root):
+        registry = ModelRegistry(registry_root)
+        assert registry.available_ids() == ["alpha", "beta"]
+        assert registry.loaded_entries() == []
+        assert registry.versions("alpha") == ["1"]
+
+    def test_lazy_load_serves_parity_reports(self, registry_root, direct_reports):
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                query = make_query()
+                out = {}
+                for model_id in ("alpha", "beta"):
+                    entry = await registry.entry_for(model_id)
+                    out[model_id] = report_to_dict(
+                        await entry.service.explain(query)
+                    )
+                return out, registry.available_ids()
+
+        reports, ids = run(scenario())
+        assert reports == direct_reports
+        assert ids == ["alpha", "beta"]
+
+    def test_unknown_and_invalid_ids_are_registry_errors(self, registry_root):
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                with pytest.raises(RegistryError, match="unknown model"):
+                    await registry.entry_for("ghost")
+                with pytest.raises(RegistryError, match="invalid model id"):
+                    await registry.entry_for("../escape")
+                with pytest.raises(RegistryError, match="name one of"):
+                    await registry.entry_for(None)  # two models, no default
+
+        run(scenario())
+
+    def test_default_model_resolution(self, registry_root):
+        async def scenario():
+            registry = ModelRegistry(registry_root, default_model="beta")
+            async with registry:
+                entry = await registry.entry_for(None)
+                return entry.model_id
+
+        assert run(scenario()) == "beta"
+
+    def test_single_model_registry_needs_no_default(
+        self, registry_root, model_beta
+    ):
+        import shutil
+
+        shutil.rmtree(registry_root / "beta")
+
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                return (await registry.entry_for(None)).model_id
+
+        assert run(scenario()) == "alpha"
+
+    def test_missing_root_is_a_registry_error(self, tmp_path):
+        with pytest.raises(RegistryError, match="does not exist"):
+            ModelRegistry(tmp_path / "absent")
+
+    def test_model_dir_without_artifacts_is_a_registry_error(
+        self, registry_root
+    ):
+        bare = registry_root / "bare"
+        bare.mkdir()
+        (bare / "data.csv").write_text("x\n1\n")
+
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                with pytest.raises(RegistryError, match="no artifact"):
+                    await registry.entry_for("bare")
+
+        run(scenario())
+
+    def test_model_dir_without_data_is_a_registry_error(
+        self, registry_root, model_alpha
+    ):
+        bare = registry_root / "nodata"
+        bare.mkdir()
+        model_alpha.save(bare / "1.json")
+
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                with pytest.raises(RegistryError, match="no serving data"):
+                    await registry.entry_for("nodata")
+
+        run(scenario())
+
+    def test_models_payload_shape(self, registry_root):
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                await registry.entry_for("alpha")
+                return registry.models_payload()
+
+        rows = {row["id"]: row for row in run(scenario())}
+        assert rows["alpha"]["loaded"] is True
+        assert rows["alpha"]["version"] == "1"
+        assert len(rows["alpha"]["fingerprint"]) == 64
+        assert rows["beta"] == {"id": "beta", "versions": ["1"], "loaded": False}
+
+
+class TestHotReload:
+    def test_new_version_swaps_in(
+        self, registry_root, model_alpha, model_beta, direct_reports
+    ):
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                first = await registry.entry_for("alpha")
+                first_report = report_to_dict(
+                    await first.service.explain(make_query())
+                )
+                # A higher version lands on disk (different content).
+                model_beta.save(registry_root / "alpha" / "2.json")
+                second = await registry.entry_for("alpha")
+                second_report = report_to_dict(
+                    await second.service.explain(make_query())
+                )
+                return first, first_report, second, second_report
+
+        first, first_report, second, second_report = run(scenario())
+        assert first_report == direct_reports["alpha"]
+        assert second.version == "2"
+        assert second.fingerprint != first.fingerprint
+        assert second.service is not first.service
+        # The new artifact serves against alpha's own data.
+        assert second_report != first_report
+
+    def test_numeric_versions_beat_lexical_ones(
+        self, registry_root, model_beta
+    ):
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                model_beta.save(registry_root / "alpha" / "candidate.json")
+                entry = await registry.entry_for("alpha")
+                return entry.version, registry.versions("alpha")
+
+        version, versions = run(scenario())
+        assert version == "1"  # numeric 1 outranks lexical "candidate"
+        assert versions == ["candidate", "1"]
+
+    def test_touched_but_identical_artifact_keeps_the_warm_service(
+        self, registry_root
+    ):
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                first = await registry.entry_for("alpha")
+                artifact = registry_root / "alpha" / "1.json"
+                stat = artifact.stat()
+                os.utime(artifact, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+                second = await registry.entry_for("alpha")
+                return first.service is second.service
+
+        assert run(scenario()) is True
+
+    def test_hot_swap_drains_the_old_service_losslessly(
+        self, registry_root, model_beta
+    ):
+        """Nothing admitted on the pre-swap service is ever dropped: its
+        flusher is blocked mid-batch, the swap happens, and every blocked
+        request still resolves on the old service."""
+
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                entry = await registry.entry_for("alpha")
+                old_service = entry.service
+                release = threading.Event()
+                real_batch = old_service.session.explain_batch
+
+                def blocking_batch(queries, **kwargs):
+                    release.wait(timeout=30)
+                    return real_batch(queries, **kwargs)
+
+                old_service.session.explain_batch = blocking_batch
+                futures = [old_service.submit(make_query()) for _ in range(6)]
+                await asyncio.sleep(0.05)  # flusher grabs a batch, blocks
+
+                model_beta.save(registry_root / "alpha" / "2.json")
+                swapped = await registry.entry_for("alpha")
+                assert swapped.service is not old_service
+
+                release.set()
+                reports = await asyncio.gather(*futures)
+                # New requests already route to the new service.
+                await swapped.service.explain(make_query())
+                return len(reports), old_service, swapped.service
+
+        count, old_service, new_service = run(scenario())
+        assert count == 6
+        assert old_service.stats.completed == 6
+        assert old_service._closed  # background drain finished on stop()
+        assert new_service.stats.completed == 1
+
+
+class TestEvictionAndConcurrency:
+    def test_lru_bound_evicts_the_idle_model(self, registry_root):
+        async def scenario():
+            async with ModelRegistry(registry_root, max_models=1) as registry:
+                alpha = await registry.entry_for("alpha")
+                await alpha.service.explain(make_query())
+                beta = await registry.entry_for("beta")
+                loaded = [e.model_id for e in registry.loaded_entries()]
+                await beta.service.explain(make_query())
+                return loaded, alpha.service, beta.service
+
+        loaded, alpha_service, beta_service = run(scenario())
+        assert loaded == ["beta"]
+        assert alpha_service._closed  # evicted = drained, not abandoned
+        assert beta_service.stats.completed == 1
+        # Both ids remain available: eviction unloads, it does not delete.
+
+    def test_evicted_model_reloads_on_demand(self, registry_root):
+        async def scenario():
+            async with ModelRegistry(registry_root, max_models=1) as registry:
+                await registry.entry_for("alpha")
+                await registry.entry_for("beta")
+                back = await registry.entry_for("alpha")
+                return [e.model_id for e in registry.loaded_entries()], back
+
+        loaded, back = run(scenario())
+        assert loaded == ["alpha"]
+        assert back.version == "1"
+
+    def test_distinct_models_do_not_serialize_on_one_lock(self, registry_root):
+        """While alpha's flusher is wedged mid-batch, beta must still
+        answer — per-model isolation, no registry-wide serialization."""
+
+        async def scenario():
+            async with ModelRegistry(registry_root) as registry:
+                alpha = await registry.entry_for("alpha")
+                release = threading.Event()
+                real_batch = alpha.service.session.explain_batch
+
+                def blocking_batch(queries, **kwargs):
+                    release.wait(timeout=30)
+                    return real_batch(queries, **kwargs)
+
+                alpha.service.session.explain_batch = blocking_batch
+                stuck = alpha.service.submit(make_query())
+                await asyncio.sleep(0.05)
+
+                beta_report = await asyncio.wait_for(
+                    (await registry.entry_for("beta")).service.explain(
+                        make_query()
+                    ),
+                    timeout=30,
+                )
+                release.set()
+                await stuck
+                return report_to_dict(beta_report)
+
+        assert "explanations" in run(scenario())
+
+    def test_pinned_service_is_never_evicted(self, table_alpha, model_alpha):
+        from repro.serve import ExplanationService
+
+        async def scenario():
+            service = ExplanationService(model_alpha, table_alpha)
+            registry = ModelRegistry.for_service(service, model_id="solo")
+            async with registry:
+                entry = await registry.entry_for(None)
+                assert entry.pinned
+                report = await entry.service.explain(make_query())
+                return registry.available_ids(), report
+
+        ids, report = run(scenario())
+        assert ids == ["solo"]
+        assert report_to_dict(report)["explanations"]
+
+
+def _http_request(host, port, method, path, payload=None, raw_body=None):
+    """Blocking HTTP round trip; returns (status, headers, parsed body)."""
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        body = raw_body
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        parsed = (
+            json.loads(raw)
+            if content_type.startswith("application/json")
+            else raw.decode("utf-8")
+        )
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def http_stack(registry_root):
+    """Run client_work(host, port, registry) in a thread against a live
+    HTTP gateway over the two-model registry."""
+
+    def runner(client_work, **registry_kwargs):
+        async def scenario():
+            registry = ModelRegistry(registry_root, **registry_kwargs)
+            async with registry:
+                gateway = HttpGateway(registry, port=0)
+                async with gateway:
+                    result: dict = {}
+
+                    def work():
+                        try:
+                            result["value"] = client_work(
+                                gateway.host, gateway.port, registry
+                            )
+                        except BaseException as exc:
+                            result["error"] = exc
+
+                    thread = threading.Thread(target=work)
+                    thread.start()
+                    while thread.is_alive():
+                        await asyncio.sleep(0.02)
+                    thread.join(timeout=30)
+                    if "error" in result:
+                        raise result["error"]
+                    return result.get("value")
+
+        return run(scenario())
+
+    return runner
+
+
+class TestHttpGateway:
+    def test_healthz_and_models_listing(self, http_stack):
+        def client_work(host, port, registry):
+            status, _, health = _http_request(host, port, "GET", "/healthz")
+            assert status == 200 and health["ok"] is True
+            status, _, models = _http_request(host, port, "GET", "/v1/models")
+            assert status == 200
+            return models
+
+        models = http_stack(client_work)
+        assert [row["id"] for row in models["models"]] == ["alpha", "beta"]
+        assert not any(row["loaded"] for row in models["models"])
+
+    def test_explain_single_and_batch_parity(self, http_stack, direct_reports):
+        def client_work(host, port, registry):
+            status, _, single = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain",
+                payload={"query": SPEC},
+            )
+            assert status == 200, single
+            status, _, batch = _http_request(
+                host, port, "POST", "/v1/models/beta/explain",
+                payload={"queries": [SPEC, dict(SPEC, agg="SUM"), SPEC]},
+            )
+            assert status == 200, batch
+            return single, batch
+
+        single, batch = http_stack(client_work)
+        assert single["ok"] and single["model"] == "alpha"
+        assert single["version"] == "1" and len(single["fingerprint"]) == 64
+        assert single["report"] == direct_reports["alpha"]
+        assert [r["ok"] for r in batch["results"]] == [True, True, True]
+        assert batch["results"][0]["report"] == direct_reports["beta"]
+        assert batch["results"][2]["report"] == direct_reports["beta"]
+        assert batch["results"][1]["report"] != direct_reports["beta"]  # SUM
+
+    def test_stats_endpoint_loads_and_reports(self, http_stack):
+        def client_work(host, port, registry):
+            _http_request(
+                host, port, "POST", "/v1/models/alpha/explain",
+                payload={"query": SPEC},
+            )
+            status, _, stats = _http_request(
+                host, port, "GET", "/v1/models/alpha/stats"
+            )
+            assert status == 200
+            return stats["stats"]
+
+        stats = http_stack(client_work)
+        assert stats["model"] == "alpha" and stats["version"] == "1"
+        assert stats["completed"] == 1
+        assert stats["uptime_seconds"] > 0
+        assert "workspace_hits" in stats["cache"]
+
+    def test_error_status_matrix(self, http_stack):
+        def client_work(host, port, registry):
+            outcomes = {}
+            status, _, body = _http_request(
+                host, port, "GET", "/v1/models/ghost/stats"
+            )
+            outcomes["unknown_model"] = (status, body["error"]["type"])
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain",
+                raw_body=b"{not json",
+            )
+            outcomes["bad_json"] = (status, body["error"]["type"])
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain",
+                payload={"nope": 1},
+            )
+            outcomes["missing_query"] = (status, body["error"]["type"])
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain",
+                payload={"query": dict(SPEC, measure="Nope")},
+            )
+            outcomes["bad_measure"] = (status, body["error"]["type"])
+            status, headers, body = _http_request(
+                host, port, "POST", "/healthz", payload={}
+            )
+            outcomes["wrong_method"] = (
+                status, headers.get("Allow"), body["error"]["type"]
+            )
+            status, _, body = _http_request(host, port, "GET", "/nope")
+            outcomes["no_route"] = (status, body["error"]["type"])
+            # After the whole abuse matrix the gateway still serves.
+            status, _, health = _http_request(host, port, "GET", "/healthz")
+            outcomes["alive"] = (status, health["ok"])
+            return outcomes
+
+        outcomes = http_stack(client_work)
+        assert outcomes["unknown_model"] == (404, "RegistryError")
+        assert outcomes["bad_json"] == (400, "ProtocolError")
+        assert outcomes["missing_query"] == (400, "ProtocolError")
+        assert outcomes["bad_measure"] == (400, "QueryError")
+        assert outcomes["wrong_method"] == (405, "GET", "ProtocolError")
+        assert outcomes["no_route"] == (404, "RegistryError")
+        assert outcomes["alive"] == (200, True)
+
+    def test_metrics_parse_as_prometheus_text(self, http_stack):
+        def client_work(host, port, registry):
+            for model_id in ("alpha", "beta"):
+                _http_request(
+                    host, port, "POST", f"/v1/models/{model_id}/explain",
+                    payload={"queries": [SPEC, SPEC]},
+                )
+            status, headers, text = _http_request(host, port, "GET", "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            return text
+
+        text = http_stack(client_work)
+        samples = parse_prometheus_text(text)  # raises on any format drift
+        for model_id in ("alpha", "beta"):
+            assert metric_value(
+                samples, "repro_serve_completed_total", model=model_id
+            ) == 2
+            assert metric_value(
+                samples, "repro_serve_batch_size_count", model=model_id
+            ) >= 1
+            # Histogram buckets are cumulative and capped by +Inf.
+            inf = metric_value(
+                samples, "repro_serve_batch_size_bucket",
+                model=model_id, le="+Inf",
+            )
+            assert inf >= 1
+            assert metric_value(
+                samples, "repro_serve_latency_seconds",
+                model=model_id, quantile="0.99",
+            ) > 0
+        assert metric_value(samples, "repro_serve_models_loaded") == 2
+        assert metric_value(
+            samples, "repro_serve_frontend_requests_total", frontend="http"
+        ) >= 3  # two explains + this scrape
+
+
+class TestTcpModelRouting:
+    def test_model_field_routes_and_default_errors(
+        self, registry_root, direct_reports
+    ):
+        async def scenario():
+            registry = ModelRegistry(registry_root)
+            async with registry:
+                server = ExplanationServer(registry=registry, port=0)
+                await server.start()
+                result: dict = {}
+
+                def work():
+                    try:
+                        with ServeClient(server.host, server.port) as client:
+                            result["alpha"] = client.explain(SPEC, model="alpha")
+                            result["beta"] = client.explain(SPEC, model="beta")
+                            result["stats"] = client.stats(model="beta")
+                            try:
+                                client.explain(SPEC)  # two models, no default
+                            except ServeResponseError as exc:
+                                result["no_default"] = exc.type
+                            try:
+                                client.explain(SPEC, model="ghost")
+                            except ServeResponseError as exc:
+                                result["ghost"] = exc.type
+                    except BaseException as exc:
+                        result["error"] = exc
+
+                thread = threading.Thread(target=work)
+                thread.start()
+                while thread.is_alive():
+                    await asyncio.sleep(0.02)
+                thread.join(timeout=30)
+                await server.stop()
+                if "error" in result:
+                    raise result["error"]
+                return result
+
+        result = run(scenario())
+        assert result["alpha"] == direct_reports["alpha"]
+        assert result["beta"] == direct_reports["beta"]
+        assert result["stats"]["model"] == "beta"
+        assert result["stats"]["version"] == "1"
+        assert result["no_default"] == "RegistryError"
+        assert result["ghost"] == "RegistryError"
+
+    def test_non_string_model_field_is_a_protocol_error(self, registry_root):
+        async def scenario():
+            registry = ModelRegistry(registry_root)
+            async with registry:
+                server = ExplanationServer(registry=registry, port=0)
+                await server.start()
+                result: dict = {}
+
+                def work():
+                    with ServeClient(server.host, server.port) as client:
+                        response = client.request(
+                            {"op": "explain", "query": SPEC, "model": 7}
+                        )
+                        result["type"] = response["error"]["type"]
+
+                thread = threading.Thread(target=work)
+                thread.start()
+                while thread.is_alive():
+                    await asyncio.sleep(0.02)
+                thread.join(timeout=30)
+                await server.stop()
+                return result["type"]
+
+        assert run(scenario()) == "ProtocolError"

@@ -312,6 +312,29 @@ class TestServiceBatching:
             with pytest.raises(ServeError):
                 ExplanationService(model, table, **kwargs)
 
+    def test_snapshot_carries_uptime_and_fingerprint(self, model, table, query):
+        async def scenario():
+            async with ExplanationService(model, table) as service:
+                await service.explain(query)
+                return service.stats_snapshot()
+
+        snap = run(scenario())
+        assert snap["uptime_seconds"] > 0
+        assert snap["fingerprint"] == model.fingerprint()
+
+
+class TestClientConnectErrors:
+    def test_connect_refused_is_typed_and_names_the_address(self):
+        import socket
+
+        # Grab an ephemeral port, then close it so nothing listens there.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServeError, match=f"127.0.0.1:{port}"):
+            ServeClient("127.0.0.1", port, timeout=5)
+
 
 @pytest.fixture()
 def running_server(model, table):

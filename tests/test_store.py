@@ -99,6 +99,33 @@ class TestStoreRoundTrip:
         with pytest.raises(StoreError, match="already holds"):
             ram_table.to_store(store.path)
 
+    def test_force_replaces_existing_store(self, ram_table, tmp_path):
+        target = tmp_path / "s"
+        ram_table.to_store(target)
+        smaller = make_table(n=100, seed=SEED + 1)
+        replaced = smaller.to_store(target, force=True)
+        assert replaced.n_rows == 100
+        # No leftover column files from the larger original store.
+        assert len(sorted(target.glob("col_*.npy"))) == len(replaced.columns)
+        assert Table.from_store(target).n_rows == 100
+
+    def test_write_refuses_leftover_column_files(self, ram_table, tmp_path):
+        target = tmp_path / "crashed"
+        target.mkdir()
+        (target / "col_00000.npy").write_bytes(b"half-written")
+        with pytest.raises(StoreError, match="leftover column file"):
+            ram_table.to_store(target)
+        ram_table.to_store(target, force=True)
+        assert Table.from_store(target).n_rows == ram_table.n_rows
+
+    def test_force_refuses_foreign_directory(self, ram_table, tmp_path):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "thesis.txt").write_text("irreplaceable")
+        with pytest.raises(StoreError, match="refusing"):
+            ram_table.to_store(target, force=True)
+        assert (target / "thesis.txt").read_text() == "irreplaceable"
+
     def test_unknown_column_raises(self, store):
         with pytest.raises(StoreError, match="no column"):
             store.load_column("nope")
