@@ -1,0 +1,158 @@
+"""Observability overhead: the tracer must be free when nobody is tracing.
+
+ISSUE 8's zero-overhead-when-off contract, measured two ways against one
+fitted model and a serving-style query stream:
+
+* **No-op span cost** — every instrumented call site goes through
+  :func:`repro.obs.span`, which yields the falsy ``NULL_SPAN`` when no
+  trace is active.  We microbenchmark that inactive path, count the span
+  sites an explain actually crosses (by walking one traced explain's span
+  tree), and assert the product stays under 3% of the untraced per-query
+  explain time.  This is the robust form of the bound: it cannot be washed
+  out by run-to-run noise in the explain itself.
+* **Byte identity** — the same stream served traced and untraced must
+  produce byte-identical serialized reports: tracing may observe the
+  explain, never steer it.
+
+Wall-clock traced-vs-untraced timings ride along in the trajectory
+(``BENCH_obs.json``) so regressions show up across PRs, but the assertion
+stands on the microbenchmark.
+
+Opt-in (tier-1 excludes ``slow``):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_obs_overhead.py -m slow -q -s
+
+or render the markdown table directly::
+
+    PYTHONPATH=src python benchmarks/test_obs_overhead.py
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core import ExplainSession, fit_model
+from repro.core.reporting import report_to_dict
+from repro.datasets import generate_syn_b, serving_queries
+
+pytestmark = pytest.mark.slow
+
+N_ROWS = 10_000
+N_QUERIES = 24
+N_SPAN_CALLS = 200_000
+SEED = 21
+MAX_NOOP_OVERHEAD = 0.03  # 3% of per-query explain time
+TRAJECTORY = Path(__file__).parent / "BENCH_obs.json"
+
+
+def _span_count(span) -> int:
+    return 1 + sum(_span_count(child) for child in span.children)
+
+
+def measure(n_rows: int = N_ROWS, seed: int = SEED) -> dict:
+    case = generate_syn_b(n_rows=n_rows, seed=seed)
+    queries = serving_queries(case, N_QUERIES)
+    model = fit_model(case.table, measure_bins=4)
+
+    # Untraced stream on a fresh session (cold caches, like production boot).
+    session = ExplainSession(model, case.table)
+    start = time.perf_counter()
+    plain_reports = session.explain_batch(queries)
+    untraced_seconds = time.perf_counter() - start
+
+    # Traced stream on another fresh session: same work, every query carries
+    # a request-scoped trace.
+    session = ExplainSession(model, case.table)
+    traces = [obs.Trace(name="bench", trace_id=f"bench-{i}")
+              for i in range(len(queries))]
+    start = time.perf_counter()
+    traced_reports = session.explain_batch(queries, traces=traces)
+    traced_seconds = time.perf_counter() - start
+
+    # Byte identity: tracing observes the explain, never steers it.
+    plain_bytes = json.dumps(
+        [report_to_dict(r) for r in plain_reports], sort_keys=True
+    ).encode()
+    traced_bytes = json.dumps(
+        [report_to_dict(r) for r in traced_reports], sort_keys=True
+    ).encode()
+    assert plain_bytes == traced_bytes, "tracing changed the reports"
+
+    # How many span sites does one explain actually cross?  Walk a traced
+    # span tree instead of hard-coding the instrumentation inventory.
+    spans_per_query = max(_span_count(t.root) for t in traces)
+
+    # The inactive fast path: obs.span with no ambient trace.
+    start = time.perf_counter()
+    for _ in range(N_SPAN_CALLS):
+        with obs.span("bench", probe=1):
+            pass
+    noop_span_seconds = (time.perf_counter() - start) / N_SPAN_CALLS
+
+    untraced_per_query = untraced_seconds / len(queries)
+    noop_overhead = noop_span_seconds * spans_per_query / untraced_per_query
+    return {
+        "n_rows": n_rows,
+        "n_queries": len(queries),
+        "untraced_qps": len(queries) / untraced_seconds,
+        "traced_qps": len(queries) / traced_seconds,
+        "untraced_per_query_us": untraced_per_query * 1e6,
+        "noop_span_ns": noop_span_seconds * 1e9,
+        "spans_per_query": spans_per_query,
+        "noop_overhead_pct": noop_overhead * 100,
+        "byte_identical": True,
+    }
+
+
+def run_experiment():
+    from repro.bench import BenchTable
+
+    table = BenchTable(
+        "Observability overhead — no-op tracer cost vs per-query explain time",
+        ["Workload", "Untraced q/s", "Traced q/s", "No-op span",
+         "Spans/query", "Off overhead"],
+    )
+    m = measure()
+    table.add_row(
+        f"{m['n_rows']} rows × {m['n_queries']} queries",
+        f"{m['untraced_qps']:.2f}",
+        f"{m['traced_qps']:.2f}",
+        f"{m['noop_span_ns']:.0f} ns",
+        str(m["spans_per_query"]),
+        f"{m['noop_overhead_pct']:.3f}%",
+    )
+    table.note(
+        "off overhead = inactive obs.span cost × span sites per explain, as "
+        "a share of the untraced per-query time; reports are asserted "
+        "byte-identical traced vs untraced."
+    )
+    return table
+
+
+class TestObsOverhead:
+    def test_noop_tracer_is_free_and_results_identical(self):
+        from repro.bench import append_trajectory
+
+        m = measure()
+        print(
+            f"\nobs overhead {m['n_rows']}r/{m['n_queries']}q: "
+            f"untraced={m['untraced_qps']:.2f} q/s "
+            f"traced={m['traced_qps']:.2f} q/s "
+            f"noop span={m['noop_span_ns']:.0f}ns × {m['spans_per_query']} "
+            f"spans = {m['noop_overhead_pct']:.3f}% when off"
+        )
+        # The traced run must have exercised real instrumentation, or the
+        # overhead bound would be vacuous.
+        assert m["spans_per_query"] >= 5
+        assert m["noop_overhead_pct"] < MAX_NOOP_OVERHEAD * 100, (
+            f"no-op tracer costs {m['noop_overhead_pct']:.3f}% of an explain "
+            f"(budget: {MAX_NOOP_OVERHEAD:.0%})"
+        )
+        append_trajectory(TRAJECTORY, {"bench": "obs_overhead", **m})
+
+
+if __name__ == "__main__":
+    run_experiment().show()

@@ -7,7 +7,8 @@ Usage examples::
     python -m repro groupby data.csv --by Location --measure LungCancer
     python -m repro ingest data.csv --out data.store
     python -m repro fit --store data.store --out model.json
-    python -m repro fit data.csv --out model.json
+    python -m repro fit data.csv --out model.json --trace fit-trace.json
+    python -m repro inspect model.json
     python -m repro explain data.csv --model model.json \\
         --s1 Location=A --s2 Location=B --measure LungCancer --agg AVG --top 5
     python -m repro batch-explain data.csv --model model.json \\
@@ -35,6 +36,12 @@ batch query file is a JSON list of objects like
 "measure": "LungCancer", "agg": "AVG"}`` — the same spec one wire
 ``explain`` request carries.
 
+``inspect`` prints a saved artifact's learned content and the persisted
+fit profile (per-phase and per-skeleton-depth timings); ``fit --trace``
+and ``serve --trace-dir`` export Chrome trace-event timelines, and the
+global ``--log-level`` / ``--log-json`` flags control the structured
+``repro`` logs (every record carries the active trace id).
+
 Assignments use ``Dimension=value``; value strings are matched against the
 raw CSV cells (numbers are parsed like the loader does).
 """
@@ -44,9 +51,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
 import sys
+import time
 from typing import Sequence
 
+from repro import obs
 from repro.core.model import (
     DEFAULT_ALPHA,
     DEFAULT_MAX_DSEP_SIZE,
@@ -73,10 +83,13 @@ from repro.serve import (
     DEFAULT_MAX_WAIT_MS,
     DEFAULT_PORT,
     DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TRACE_RING,
     ExplanationService,
     ModelRegistry,
     run_stack,
 )
+
+LOG = logging.getLogger("repro.cli")
 
 
 def _subspace(assignments: Sequence[str], table: Table) -> Subspace:
@@ -247,13 +260,25 @@ def cmd_groupby(args: argparse.Namespace) -> int:
 
 def cmd_ingest(args: argparse.Namespace) -> int:
     """Persist a CSV as a zero-copy column store (ingest → fit → serve)."""
+    started = time.perf_counter()
     table = read_csv(args.file)
     store = table.to_store(args.out, force=args.force)
     dims = len(store.dimensions)
+    seconds = round(time.perf_counter() - started, 3)
     print(
         f"ingested {store.n_rows} rows into {store.path}: "
         f"{dims} dimension(s), {len(store.measures)} measure(s) "
         f"({len(store.columns)} mapped column file(s))"
+    )
+    LOG.info(
+        "ingest complete",
+        extra={
+            "event": "ingest_complete",
+            "rows": store.n_rows,
+            "columns": len(store.columns),
+            "seconds": seconds,
+            "out": str(store.path),
+        },
     )
     return 0
 
@@ -261,14 +286,94 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 def cmd_fit(args: argparse.Namespace) -> int:
     table = _table_for(args)
     print("fitting the offline phase ...", file=sys.stderr)
-    with _executor_scope(args) as ex:
-        model = fit_model(table, executor=ex, **_fit_kwargs(args))
+    started = time.perf_counter()
+    trace = obs.Trace(name="fit") if args.trace else None
+    with obs.activate(trace):
+        with _executor_scope(args) as ex:
+            model = fit_model(table, executor=ex, **_fit_kwargs(args))
     path = model.save(args.out)
+    if trace is not None:
+        trace.finish()
+        trace.write_chrome_trace(args.trace)
+        print(f"wrote fit trace to {args.trace}", file=sys.stderr)
+    seconds = round(time.perf_counter() - started, 3)
     print(
         f"saved model to {path}: {model.pag.n_nodes} nodes, "
         f"{model.pag.n_edges} edges, {len(model.fd_graph.dependencies)} FDs, "
         f"{len(model.bin_specs)} discretized measure(s)"
     )
+    LOG.info(
+        "fit complete",
+        extra={
+            "event": "fit_complete",
+            "rows": table.n_rows,
+            "columns": len(model.columns),
+            "seconds": seconds,
+            "out": str(path),
+        },
+    )
+    return 0
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds * 1000:.1f} ms" if seconds < 1 else f"{seconds:.2f} s"
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Describe a saved model artifact: learned content + fit profile."""
+    model = XInsightModel.load(args.model)
+    print(
+        f"{args.model}: {model.pag.n_nodes} nodes, {model.pag.n_edges} edges, "
+        f"{len(model.fd_graph.dependencies)} FDs, "
+        f"{len(model.bin_specs)} discretized measure(s)"
+    )
+    print(f"fingerprint: {model.fingerprint()}")
+    print(
+        f"fit parameters: alpha={model.alpha} max_depth={model.max_depth} "
+        f"max_dsep_size={model.max_dsep_size} measure_bins={model.measure_bins}"
+    )
+    profile = model.fit_profile
+    if not profile:
+        print("no fit profile recorded (artifact predates profiling)")
+        return 0
+    print(
+        f"fit profile: {profile.get('rows', '?')} rows, "
+        f"{profile.get('columns', '?')} variables, "
+        f"{_format_seconds(profile.get('total_seconds', 0.0))} total"
+    )
+    for phase in profile.get("phases", []):
+        detail = ", ".join(
+            f"{key}={value}"
+            for key, value in phase.items()
+            if key not in ("name", "seconds", "phases")
+        )
+        print(
+            f"  {phase['name']:<16} {_format_seconds(phase.get('seconds', 0.0)):>12}"
+            + (f"  ({detail})" if detail else "")
+        )
+        for sub in phase.get("phases", []):
+            sub_detail = ", ".join(
+                f"{key}={value}"
+                for key, value in sub.items()
+                if key not in ("name", "seconds")
+            )
+            print(
+                f"    {sub['name']:<14} {_format_seconds(sub.get('seconds', 0.0)):>12}"
+                + (f"  ({sub_detail})" if sub_detail else "")
+            )
+    depths = profile.get("skeleton_depths", [])
+    if depths:
+        print("  skeleton depths:")
+        for entry in depths:
+            extras = ", ".join(
+                f"{key}={value}"
+                for key, value in entry.items()
+                if key not in ("depth", "seconds")
+            )
+            print(
+                f"    depth {entry['depth']}: "
+                f"{_format_seconds(entry.get('seconds', 0.0))} ({extras})"
+            )
     return 0
 
 
@@ -339,6 +444,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         workers=args.workers,
         executor_kind=args.executor,
+        slow_query_ms=args.slow_query_ms,
+        trace_ring=args.trace_ring,
+        trace_dir=args.trace_dir,
     )
     service: ExplanationService | None = None
     if args.registry:
@@ -402,6 +510,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="warning", metavar="LEVEL",
+        help="threshold for the structured 'repro' logs on stderr "
+        "(debug|info|warning|error; default warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line (machine-readable; "
+        "each record carries the active trace id)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_fds = sub.add_parser("fds", help="detect functional dependencies")
@@ -441,10 +560,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fit.add_argument("file", nargs="?", default=None)
     p_fit.add_argument("--out", required=True, metavar="MODEL.json")
+    p_fit.add_argument(
+        "--trace", default=None, metavar="TRACE.json",
+        help="also write a Chrome trace-event timeline of the fit "
+        "(open in Perfetto / chrome://tracing)",
+    )
     _add_store_flags(p_fit)
     _add_fit_flags(p_fit)
     _add_parallel_flags(p_fit)
     p_fit.set_defaults(func=cmd_fit)
+
+    p_ins = sub.add_parser(
+        "inspect", help="describe a saved model artifact and its fit profile"
+    )
+    p_ins.add_argument("model", metavar="MODEL.json")
+    p_ins.set_defaults(func=cmd_inspect)
 
     p_exp = sub.add_parser("explain", help="answer a Why Query")
     p_exp.add_argument("file", nargs="?", default=None)
@@ -525,6 +655,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-shutdown", action="store_true",
         help="honour the wire 'shutdown' op (CI smoke / orchestration)",
     )
+    p_srv.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="log a structured slow_query warning (with per-stage timings) "
+        "for requests over this admission-to-answer latency",
+    )
+    p_srv.add_argument(
+        "--trace-ring", type=int, default=DEFAULT_TRACE_RING, metavar="N",
+        help="per-model bound on retained request traces "
+        "(GET /v1/models/<id>/traces, wire 'traces' op)",
+    )
+    p_srv.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one Chrome trace-event JSON file per request into DIR "
+        "(open in Perfetto / chrome://tracing)",
+    )
     _add_fit_flags(p_srv)
     _add_parallel_flags(p_srv)
     p_srv.set_defaults(func=cmd_serve)
@@ -534,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(level=args.log_level, json_logs=args.log_json)
     try:
         return args.func(args)
     except ReproError as exc:

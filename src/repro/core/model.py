@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro import obs
 
 from repro.core.xlearner import XLearnerResult, xlearner
 from repro.data.discretize import BinSpec, fit_bins
@@ -78,6 +81,12 @@ class XInsightModel:
     max_depth: int | None = None
     max_dsep_size: int | None = DEFAULT_MAX_DSEP_SIZE
     measure_bins: int = DEFAULT_MEASURE_BINS
+    fit_profile: dict[str, Any] | None = field(default=None, compare=False)
+    """Phase profile of the fit that produced this model (``repro inspect``
+    surfaces it).  Save-time metadata like the fingerprint: excluded from
+    :meth:`to_dict`, the content hash, and equality — two fits with
+    identical learned content stay interchangeable artifacts no matter how
+    long each phase took."""
 
     # ------------------------------------------------------------------
     # Online-phase helpers
@@ -159,6 +168,13 @@ class XInsightModel:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "XInsightModel":
+        fit_profile = None
+        if isinstance(payload, dict) and "profile" in payload:
+            # Like the fingerprint, the profile is save-time metadata: it
+            # rides outside the canonical payload and must come off before
+            # the content hash is recomputed.
+            fit_profile = payload["profile"]
+            payload = {k: v for k, v in payload.items() if k != "profile"}
         if isinstance(payload, dict) and "fingerprint" in payload:
             # The fingerprint is save-time metadata over the canonical
             # payload (it is not part of the hash input itself); a mismatch
@@ -200,6 +216,7 @@ class XInsightModel:
                 max_depth=fit["max_depth"],
                 max_dsep_size=fit["max_dsep_size"],
                 measure_bins=int(fit["measure_bins"]),
+                fit_profile=fit_profile,
             )
         except (KeyError, TypeError, AttributeError, ValueError, SchemaError) as exc:
             raise ModelError(f"malformed model artifact: {exc!r}") from exc
@@ -216,6 +233,11 @@ class XInsightModel:
         path = Path(path)
         payload = self.to_dict()
         payload["fingerprint"] = self.fingerprint()
+        if self.fit_profile is not None:
+            # Save-time metadata, outside the fingerprinted payload — a
+            # profiled and an unprofiled save of the same model share a
+            # fingerprint, and pre-profile artifacts stay loadable.
+            payload["profile"] = self.fit_profile
         try:
             path.write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -272,14 +294,17 @@ def fit_offline(
     a serial fit, so parallel-fit artifacts are interchangeable with
     serial ones.
     """
+    fit_started = time.perf_counter()
     graph_table = table
     aliases: dict[str, str] = {}
     specs: dict[str, BinSpec] = {}
-    for measure in table.measures:
-        spec = fit_bins(table, measure, n_bins=measure_bins)
-        graph_table = spec.apply(graph_table)
-        aliases[measure] = spec.column
-        specs[measure] = spec
+    with obs.span("discretize", measures=len(table.measures)):
+        for measure in table.measures:
+            spec = fit_bins(table, measure, n_bins=measure_bins)
+            graph_table = spec.apply(graph_table)
+            aliases[measure] = spec.column
+            specs[measure] = spec
+    discretize_seconds = round(time.perf_counter() - fit_started, 6)
     if columns is None:
         columns = graph_table.dimensions
     columns = tuple(columns)
@@ -299,6 +324,20 @@ def fit_offline(
         workers=workers,
         executor=executor,
     )
+    profile: dict[str, Any] = {
+        "total_seconds": round(time.perf_counter() - fit_started, 6),
+        "rows": table.n_rows,
+        "columns": len(columns),
+        "phases": [
+            {
+                "name": "discretize",
+                "seconds": discretize_seconds,
+                "measures": len(table.measures),
+            },
+            *learner.profile.get("phases", []),
+        ],
+        "skeleton_depths": learner.profile.get("skeleton_depths", []),
+    }
     model = XInsightModel(
         pag=learner.pag,
         sepsets=learner.fci_result.sepsets,
@@ -310,6 +349,7 @@ def fit_offline(
         max_depth=max_depth,
         max_dsep_size=max_dsep_size,
         measure_bins=measure_bins,
+        fit_profile=profile,
     )
     return model, learner, ci_test, graph_table
 

@@ -16,10 +16,12 @@ built for.
 
 from __future__ import annotations
 
+import os
 import threading
-from dataclasses import asdict, dataclass
-from typing import Iterable
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
 
+from repro import obs
 from repro.core.explanation import Explanation, ExplanationType
 from repro.core.model import XInsightModel
 from repro.core.xplainer import XPlainerConfig, explain_attribute
@@ -304,59 +306,106 @@ class ExplainSession:
         config: XPlainerConfig | None = None,
     ) -> XInsightReport:
         self.stats.queries += 1
-        workspace = self.workspace_for(query).oriented()
-        if workspace.query != query:
-            # Δ < 0 swapped the siblings.  Prefer the cached oriented
-            # workspace (it already holds this query's profiles — a fresh
-            # swap starts empty); otherwise register the swap under its own
-            # key so pre-oriented repeats hit the cache too.
-            cached = self._workspaces.get(workspace.query)
-            if cached is not None:
-                self._workspaces[workspace.query] = self._workspaces.pop(
-                    workspace.query
-                )  # LRU touch
-                workspace = cached
-            else:
-                self._cache_workspace(workspace.query, workspace)
-            query = workspace.query
-        delta = workspace.delta
-        translations = self.translations_for(query)
-        config = config or self.config
+        stats = self.stats
+        with obs.span("explain") as explain_span:
+            with obs.span("workspace") as sp:
+                hits_before = stats.workspace_hits
+                workspace = self.workspace_for(query).oriented()
+                if workspace.query != query:
+                    # Δ < 0 swapped the siblings.  Prefer the cached oriented
+                    # workspace (it already holds this query's profiles — a
+                    # fresh swap starts empty); otherwise register the swap
+                    # under its own key so pre-oriented repeats hit the cache
+                    # too.
+                    cached = self._workspaces.get(workspace.query)
+                    if cached is not None:
+                        self._workspaces[workspace.query] = self._workspaces.pop(
+                            workspace.query
+                        )  # LRU touch
+                        workspace = cached
+                    else:
+                        self._cache_workspace(workspace.query, workspace)
+                    query = workspace.query
+                if sp:
+                    sp.tag(
+                        cache="hit"
+                        if stats.workspace_hits > hits_before
+                        else "miss"
+                    )
+            delta = workspace.delta
+            with obs.span("translation") as sp:
+                hits_before = stats.translation_hits
+                translations = self.translations_for(query)
+                if sp:
+                    sp.tag(
+                        cache="hit"
+                        if stats.translation_hits > hits_before
+                        else "miss",
+                        candidates=len(translations),
+                    )
+            config = config or self.config
 
-        explainable = [
-            (variable, self.node_of(variable), verdict)
-            for variable, verdict in translations.items()
-            if verdict.semantics is not XDASemantics.NO_EXPLAINABILITY
-        ]
-        workspace.build_profiles([attribute for _, attribute, _ in explainable])
+            explainable = [
+                (variable, self.node_of(variable), verdict)
+                for variable, verdict in translations.items()
+                if verdict.semantics is not XDASemantics.NO_EXPLAINABILITY
+            ]
+            # Homogeneity verdicts are pure graph lookups (memoized), so
+            # hoisting them out of the search loop keeps results identical
+            # while giving the phase its own span + cache accounting.
+            with obs.span("homogeneity") as sp:
+                hits_before = stats.homogeneity_hits
+                misses_before = stats.homogeneity_misses
+                homogeneous = {
+                    variable: self.is_homogeneous(query, variable)
+                    for variable, _, _ in explainable
+                }
+                if sp:
+                    sp.tag(
+                        cache_hits=stats.homogeneity_hits - hits_before,
+                        cache_misses=stats.homogeneity_misses - misses_before,
+                    )
 
-        explanations: list[Explanation] = []
-        for variable, attribute, verdict in explainable:
-            found = explain_attribute(
-                self.graph_table,
-                query,
-                attribute,
-                config=config,
-                method=method,
-                homogeneous=self.is_homogeneous(query, variable),
-                workspace=workspace,
-            )
-            if found is None:
-                continue
-            explanations.append(
-                Explanation(
-                    type=ExplanationType.from_semantics(verdict.semantics),
-                    predicate=found.predicate,
-                    responsibility=found.responsibility,
-                    attribute=variable,
-                    role=verdict.role,
-                    score=found.score,
-                    contingency=found.contingency,
+            with obs.span("search") as sp:
+                workspace.build_profiles(
+                    [attribute for _, attribute, _ in explainable]
                 )
+                explanations: list[Explanation] = []
+                for variable, attribute, verdict in explainable:
+                    found = explain_attribute(
+                        self.graph_table,
+                        query,
+                        attribute,
+                        config=config,
+                        method=method,
+                        homogeneous=homogeneous[variable],
+                        workspace=workspace,
+                    )
+                    if found is None:
+                        continue
+                    explanations.append(
+                        Explanation(
+                            type=ExplanationType.from_semantics(verdict.semantics),
+                            predicate=found.predicate,
+                            responsibility=found.responsibility,
+                            attribute=variable,
+                            role=verdict.role,
+                            score=found.score,
+                            contingency=found.contingency,
+                        )
+                    )
+                if sp:
+                    sp.tag(
+                        attributes=len(explainable),
+                        explanations=len(explanations),
+                    )
+            explanations.sort(
+                key=lambda e: (e.type is not ExplanationType.CAUSAL, -e.score)
             )
-        explanations.sort(
-            key=lambda e: (e.type is not ExplanationType.CAUSAL, -e.score)
-        )
+            if explain_span:
+                explain_span.tag(
+                    delta=round(delta, 6), explanations=len(explanations)
+                )
         return XInsightReport(query, delta, explanations, translations)
 
     def explain_batch(
@@ -366,7 +415,9 @@ class ExplainSession:
         config: XPlainerConfig | None = None,
         workers: int | None = None,
         executor=None,
-    ) -> list[XInsightReport]:
+        traces: "Iterable[obs.Trace | None] | None" = None,
+        on_error: str = "raise",
+    ) -> list:
         """Answer a stream of Why Queries against the one fitted model.
 
         Reports come back in input order; all per-context graph work is
@@ -383,19 +434,76 @@ class ExplainSession:
         identical to serial; only this session's translation/homogeneity
         cache counters stay untouched — the per-worker sessions cache
         privately.
+
+        ``traces`` threads one optional :class:`repro.obs.Trace` per query
+        through the explain: serial explains run with that trace activated
+        (phase spans land under its ``attach_at``), while sharded explains
+        ship the trace id across the pickle boundary and graft the span
+        tree each worker returns back into the parent trace.
+
+        ``on_error`` selects failure semantics: ``"raise"`` (default)
+        propagates the first per-query exception, ``"return"`` attempts
+        every query exactly once and returns the exception object in that
+        query's slot — the mode the micro-batching service uses so one
+        poison query neither kills its batch-mates nor double-counts
+        :class:`SessionStats` on a retry.
         """
         queries = list(queries)
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+        trace_list = list(traces) if traces is not None else None
+        if trace_list is not None and len(trace_list) != len(queries):
+            raise ValueError("traces must match queries one-to-one")
         from repro.parallel import executor_scope, plan_shards
 
         with executor_scope(workers, executor) as ex:
             if ex.workers <= 1 or len(queries) <= 1:
-                return [self.explain(q, method=method, config=config) for q in queries]
+                results: list = []
+                for index, query in enumerate(queries):
+                    trace = trace_list[index] if trace_list is not None else None
+                    try:
+                        with obs.activate(trace):
+                            results.append(
+                                self.explain(query, method=method, config=config)
+                            )
+                    except Exception as exc:
+                        if on_error == "raise":
+                            raise
+                        results.append(exc)
+                return results
             task = self._shard_task_for(config or self.config, method)
             shards = plan_shards(len(queries), ex.workers)
-            merged = ex.map(task, [s.take(queries) for s in shards])
+            if trace_list is None and on_error == "raise":
+                merged = ex.map(task, [s.take(queries) for s in shards])
+                flat = [report for chunk in merged for report in chunk]
+            else:
+                trace_ids = [
+                    trace.trace_id if trace is not None else None
+                    for trace in (trace_list or [None] * len(queries))
+                ]
+                payloads = [
+                    TracedShard(
+                        s.take(queries),
+                        s.take(trace_ids),
+                        return_exceptions=(on_error == "return"),
+                    )
+                    for s in shards
+                ]
+                outcomes = ex.map(task, payloads)
+                flat = []
+                for outcome in outcomes:
+                    for report, span_tree in zip(outcome.reports, outcome.spans):
+                        trace = (
+                            trace_list[len(flat)]
+                            if trace_list is not None
+                            else None
+                        )
+                        if trace is not None and span_tree is not None:
+                            trace.graft_shard(span_tree)
+                        flat.append(report)
         with self._lock:
             self.stats.queries += len(queries)
-        return [report for chunk in merged for report in chunk]
+        return flat
 
     def _shard_task_for(
         self, config: XPlainerConfig, method: str
@@ -425,6 +533,32 @@ class ExplainSession:
                 )
                 self._shard_task = task
             return task
+
+
+@dataclass
+class TracedShard:
+    """Shard payload carrying trace context across the pickle boundary.
+
+    ``trace_ids`` pairs one optional trace id with each query; the worker
+    opens a local :class:`repro.obs.Trace` per traced query and ships the
+    finished span tree back (see :meth:`repro.obs.Trace.shard_payload`)
+    for the parent to graft.  ``return_exceptions`` mirrors
+    ``explain_batch(on_error="return")``: per-query failures come back as
+    exception objects in the report slot instead of aborting the shard.
+    """
+
+    queries: list[WhyQuery]
+    trace_ids: list[str | None]
+    return_exceptions: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """What a worker returns for a :class:`TracedShard`: reports (or
+    exceptions) plus one span-tree payload per traced query."""
+
+    reports: list
+    spans: list[dict[str, Any] | None] = field(default_factory=list)
 
 
 class ExplainShardTask:
@@ -466,6 +600,29 @@ class ExplainShardTask:
         )
 
     def run(
-        self, session: ExplainSession, queries: Iterable[WhyQuery]
-    ) -> list[XInsightReport]:
-        return [session.explain(q, method=self.method) for q in queries]
+        self, session: ExplainSession, payload: "Iterable[WhyQuery] | TracedShard"
+    ) -> "list[XInsightReport] | ShardOutcome":
+        if isinstance(payload, TracedShard):
+            reports: list = []
+            spans: list[dict[str, Any] | None] = []
+            for query, trace_id in zip(payload.queries, payload.trace_ids):
+                trace = (
+                    obs.Trace(name="shard", trace_id=trace_id)
+                    if trace_id is not None
+                    else None
+                )
+                if trace is not None:
+                    trace.root.tag(pid=os.getpid())
+                try:
+                    with obs.activate(trace):
+                        result: Any = session.explain(query, method=self.method)
+                except Exception as exc:
+                    if not payload.return_exceptions:
+                        raise
+                    result = exc
+                reports.append(result)
+                spans.append(
+                    trace.shard_payload() if trace is not None else None
+                )
+            return ShardOutcome(reports, spans)
+        return [session.explain(q, method=self.method) for q in payload]

@@ -18,9 +18,11 @@ The returned FD-augmented PAG G concatenates G1 and G2 (line 17).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
+from repro import obs
 from repro.data.table import Table
 from repro.discovery.fci import FCIResult, default_ci_test, fci, warn_if_unsharded
 from repro.errors import DiscoveryError
@@ -40,6 +42,11 @@ class XLearnerResult:
     """S2: (peeled node, chosen parent) pairs, in peeling order."""
     fci_result: FCIResult
     """G1: the PAG learned by FCI over the FD-root variables."""
+    profile: dict[str, Any] = field(default_factory=dict)
+    """Phase timings of this discovery run (``{"phases": [...],
+    "skeleton_depths": [...]}``, JSON-safe) — the offline half of the
+    observability story; :func:`repro.core.model.fit_offline` persists it
+    into the model's fit metadata."""
 
     @property
     def graph(self) -> MixedGraph:
@@ -107,8 +114,18 @@ def xlearner(
     columns = tuple(columns)
     if len(columns) < 2:
         raise DiscoveryError("XLearner needs at least two variables")
+    phases: list[dict[str, Any]] = []
     if fd_graph is None:
-        fd_graph = fd_graph_from_table(table, columns, tolerance=fd_tolerance)
+        phase_started = time.perf_counter()
+        with obs.span("fd_detect"):
+            fd_graph = fd_graph_from_table(table, columns, tolerance=fd_tolerance)
+        phases.append(
+            {
+                "name": "fd_detect",
+                "seconds": round(time.perf_counter() - phase_started, 6),
+                "fd_edges": fd_graph.graph.n_edges,
+            }
+        )
     if ci_test is None:
         # The vectorized columnar engine: skeleton learning batches its
         # probes through it depth by depth (parity with the per-stratum
@@ -118,7 +135,16 @@ def xlearner(
     cardinality = {c: table.cardinality(c) for c in columns if c in table.dimensions}
 
     # Stage 1: peel FD sinks into the harmonious skeleton S2.
-    s2_edges = peel_fd_sinks(fd_graph, cardinality)
+    phase_started = time.perf_counter()
+    with obs.span("fd_peel"):
+        s2_edges = peel_fd_sinks(fd_graph, cardinality)
+    phases.append(
+        {
+            "name": "fd_peel",
+            "seconds": round(time.perf_counter() - phase_started, 6),
+            "peeled": len(s2_edges),
+        }
+    )
     peeled = {x for x, _ in s2_edges}
 
     # Stage 2: standard PAG learning over the faithfulness-compliant rest.
@@ -127,17 +153,29 @@ def xlearner(
     fci_nodes = tuple(
         n for n in fd_graph.nodes if n not in peeled
     )
+    phase_started = time.perf_counter()
     with executor_scope(workers, executor) as ex:
         warn_if_unsharded(ci_test, ex)
-        fci_result = fci(
-            fci_nodes,
-            ci_test,
-            max_depth=max_depth,
-            max_dsep_size=max_dsep_size,
-            executor=ex,
-        )
+        with obs.span("fci"):
+            fci_result = fci(
+                fci_nodes,
+                ci_test,
+                max_depth=max_depth,
+                max_dsep_size=max_dsep_size,
+                executor=ex,
+            )
+    phases.append(
+        {
+            "name": "fci",
+            "seconds": round(time.perf_counter() - phase_started, 6),
+            "tests": fci_result.tests_run,
+            "variables": len(fci_nodes),
+            "phases": fci_result.profile.get("phases", []),
+        }
+    )
 
     # Stage 3: orient S2 along the FDs and concatenate (lines 13–17).
+    phase_started = time.perf_counter()
     pag = fci_result.pag.copy()
     for x, y in s2_edges:
         pag.add_node(x)
@@ -153,4 +191,14 @@ def xlearner(
         from repro.discovery.knowledge import apply_background_knowledge
 
         pag = apply_background_knowledge(pag, knowledge)
-    return XLearnerResult(pag, fd_graph, s2_edges, fci_result)
+    phases.append(
+        {
+            "name": "fd_orient",
+            "seconds": round(time.perf_counter() - phase_started, 6),
+        }
+    )
+    profile = {
+        "phases": phases,
+        "skeleton_depths": fci_result.profile.get("skeleton_depths", []),
+    }
+    return XLearnerResult(pag, fd_graph, s2_edges, fci_result, profile)

@@ -8,11 +8,13 @@ tests) and with statistical tests on data (benchmarks).
 
 from __future__ import annotations
 
+import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Hashable, Sequence
+from typing import Any, Hashable, Sequence
 
+from repro import obs
 from repro.discovery.orientation import apply_fci_rules
 from repro.discovery.skeleton import (
     SepsetMap,
@@ -34,6 +36,10 @@ class FCIResult:
     pag: MixedGraph
     sepsets: SepsetMap
     tests_run: int
+    #: Phase profile: ``{"phases": [{"name", "seconds", ...}],
+    #: "skeleton_depths": [...]}`` (JSON-safe; flows into the model's
+    #: persisted fit profile).
+    profile: dict[str, Any] = field(default_factory=dict)
 
 
 def possible_d_sep(graph: MixedGraph, x: Node) -> set[Node]:
@@ -117,25 +123,56 @@ def fci(
         sharded skeleton already probed when ``ci_test`` caches.
     """
     start_calls = ci_test.calls
-    skel: SkeletonResult = learn_skeleton(nodes, ci_test, max_depth, executor=executor)
+    phases: list[dict[str, Any]] = []
+    phase_started = time.perf_counter()
+    with obs.span("skeleton"):
+        skel: SkeletonResult = learn_skeleton(
+            nodes, ci_test, max_depth, executor=executor
+        )
+    phases.append(
+        {
+            "name": "skeleton",
+            "seconds": round(time.perf_counter() - phase_started, 6),
+            "tests": skel.tests_run,
+        }
+    )
     graph = skel.graph
     sepsets = skel.sepsets
 
-    orient_colliders(graph, sepsets)
-    if use_possible_d_sep:
-        removed = _possible_d_sep_prune(graph, sepsets, ci_test, max_dsep_size)
-        # Reset orientations and redo R0 with the enriched sepsets.
-        if removed:
-            for u, v, *_ in list(graph.edges()):
-                graph.set_mark(u, v, Endpoint.CIRCLE)
-                graph.set_mark(v, u, Endpoint.CIRCLE)
-            orient_colliders(graph, sepsets)
-        elif True:
-            # Even without removals the marks set by R0 stay valid.
-            pass
+    phase_started = time.perf_counter()
+    calls_before = ci_test.calls
+    with obs.span("possible_d_sep"):
+        orient_colliders(graph, sepsets)
+        if use_possible_d_sep:
+            removed = _possible_d_sep_prune(graph, sepsets, ci_test, max_dsep_size)
+            # Reset orientations and redo R0 with the enriched sepsets.
+            if removed:
+                for u, v, *_ in list(graph.edges()):
+                    graph.set_mark(u, v, Endpoint.CIRCLE)
+                    graph.set_mark(v, u, Endpoint.CIRCLE)
+                orient_colliders(graph, sepsets)
+            elif True:
+                # Even without removals the marks set by R0 stay valid.
+                pass
+    phases.append(
+        {
+            "name": "possible_d_sep",
+            "seconds": round(time.perf_counter() - phase_started, 6),
+            "tests": ci_test.calls - calls_before,
+        }
+    )
 
-    apply_fci_rules(graph, sepsets, complete_rules=complete_rules)
-    return FCIResult(graph, sepsets, ci_test.calls - start_calls)
+    phase_started = time.perf_counter()
+    with obs.span("orientation"):
+        apply_fci_rules(graph, sepsets, complete_rules=complete_rules)
+    phases.append(
+        {
+            "name": "orientation",
+            "seconds": round(time.perf_counter() - phase_started, 6),
+        }
+    )
+    profile = {"phases": phases, "skeleton_depths": skel.profile}
+    return FCIResult(graph, sepsets, ci_test.calls - start_calls, profile)
 
 
 def warn_if_unsharded(ci_test: CITest, executor) -> None:

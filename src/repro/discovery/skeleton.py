@@ -26,15 +26,20 @@ what makes parallel discovery exact rather than approximate.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Hashable, Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.graph.endpoints import Endpoint
 from repro.graph.mixed_graph import MixedGraph
 from repro.independence.base import CITest
 
 Node = Hashable
+
+LOG = logging.getLogger("repro.discovery")
 
 
 @dataclass
@@ -103,6 +108,11 @@ class SkeletonResult:
     graph: MixedGraph
     sepsets: SepsetMap
     tests_run: int
+    #: Per-depth profile records: ``{"depth", "pairs", "probes",
+    #: "edges_removed", "tests", "seconds"}`` plus ``"cache_hits"`` when
+    #: the CI test exposes cache counters (JSON-safe; persisted into the
+    #: model's fit profile).
+    profile: list[dict[str, Any]] = field(default_factory=list)
 
 
 def _depth_visits(
@@ -160,56 +170,87 @@ def learn_skeleton(
     start_calls = ci_test.calls
     use_batch = getattr(ci_test, "supports_batch", False) if batch is None else batch
 
+    profile: list[dict[str, Any]] = []
     depth = 0
     while True:
         if max_depth is not None and depth > max_depth:
             break
-        # PC-stable: freeze the adjacency structure for this depth.
-        frozen_neighbors = {node: set(graph.neighbors(node)) for node in nodes}
-        visits, any_candidate = _depth_visits(nodes, frozen_neighbors, depth)
-        to_remove: list[tuple[Node, Node, set[Node]]] = []
-        removed_pairs: set[frozenset] = set()
+        depth_started = time.perf_counter()
+        calls_before = ci_test.calls
+        hits_before = getattr(ci_test, "hits", None)
+        with obs.span("skeleton.depth", depth=depth) as sp:
+            # PC-stable: freeze the adjacency structure for this depth.
+            frozen_neighbors = {
+                node: set(graph.neighbors(node)) for node in nodes
+            }
+            visits, any_candidate = _depth_visits(nodes, frozen_neighbors, depth)
+            to_remove: list[tuple[Node, Node, set[Node]]] = []
+            removed_pairs: set[frozenset] = set()
 
-        if use_batch:
-            probes = [
-                (x, y, subset) for x, y, subsets in visits for subset in subsets
-            ]
-            if executor is None or executor.workers <= 1:
-                # Keep the serial call positional-only: tests that override
-                # ``test_batch`` without the executor kwarg stay supported.
-                results = ci_test.test_batch(probes)
+            if use_batch:
+                probes = [
+                    (x, y, subset)
+                    for x, y, subsets in visits
+                    for subset in subsets
+                ]
+                if executor is None or executor.workers <= 1:
+                    # Keep the serial call positional-only: tests that
+                    # override ``test_batch`` without the executor kwarg
+                    # stay supported.
+                    results = ci_test.test_batch(probes)
+                else:
+                    results = ci_test.test_batch(probes, executor=executor)
+                verdicts = [r.independent(ci_test.alpha) for r in results]
+                offset = 0
+                for x, y, subsets in visits:
+                    pair = frozenset((x, y))
+                    if pair not in removed_pairs:
+                        for k, subset in enumerate(subsets):
+                            if verdicts[offset + k]:
+                                to_remove.append((x, y, set(subset)))
+                                removed_pairs.add(pair)
+                                break
+                    offset += len(subsets)
             else:
-                results = ci_test.test_batch(probes, executor=executor)
-            verdicts = [r.independent(ci_test.alpha) for r in results]
-            offset = 0
-            for x, y, subsets in visits:
-                pair = frozenset((x, y))
-                if pair not in removed_pairs:
-                    for k, subset in enumerate(subsets):
-                        if verdicts[offset + k]:
+                for x, y, subsets in visits:
+                    pair = frozenset((x, y))
+                    if pair in removed_pairs:
+                        continue
+                    for subset in subsets:
+                        if ci_test.independent(x, y, subset):
                             to_remove.append((x, y, set(subset)))
                             removed_pairs.add(pair)
                             break
-                offset += len(subsets)
-        else:
-            for x, y, subsets in visits:
-                pair = frozenset((x, y))
-                if pair in removed_pairs:
-                    continue
-                for subset in subsets:
-                    if ci_test.independent(x, y, subset):
-                        to_remove.append((x, y, set(subset)))
-                        removed_pairs.add(pair)
-                        break
 
-        for x, y, z in to_remove:
-            if graph.has_edge(x, y):
-                graph.remove_edge(x, y)
-            sepsets.record(x, y, z)
+            for x, y, z in to_remove:
+                if graph.has_edge(x, y):
+                    graph.remove_edge(x, y)
+                sepsets.record(x, y, z)
+
+        entry: dict[str, Any] = {
+            "depth": depth,
+            "pairs": len(visits),
+            "probes": sum(len(subsets) for _, _, subsets in visits),
+            "edges_removed": len(to_remove),
+            "tests": ci_test.calls - calls_before,
+            "seconds": round(time.perf_counter() - depth_started, 6),
+        }
+        if hits_before is not None:
+            entry["cache_hits"] = getattr(ci_test, "hits", 0) - hits_before
+        profile.append(entry)
+        if sp:
+            sp.tag(**{key: val for key, val in entry.items() if key != "depth"})
+        LOG.debug(
+            "skeleton depth %d: %d probes, %d removed",
+            depth,
+            entry["probes"],
+            entry["edges_removed"],
+            extra={"event": "skeleton_depth", **entry},
+        )
         if not any_candidate:
             break
         depth += 1
-    return SkeletonResult(graph, sepsets, ci_test.calls - start_calls)
+    return SkeletonResult(graph, sepsets, ci_test.calls - start_calls, profile)
 
 
 def orient_colliders(

@@ -1,0 +1,44 @@
+"""Cross-cutting observability: request tracing + structured logging.
+
+The package is dependency-free within the repo (it imports nothing from
+other ``repro`` modules), so every layer — discovery, session, serving,
+CLI — can instrument itself with ``from repro import obs`` without import
+cycles.  See :mod:`repro.obs.trace` for the tracing model and
+:mod:`repro.obs.logging` for log configuration.
+"""
+
+from repro.obs.logging import (
+    JsonLogFormatter,
+    TextLogFormatter,
+    TraceIdFilter,
+    configure_logging,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Trace,
+    TraceRing,
+    activate,
+    current_trace,
+    current_trace_id,
+    new_trace_id,
+    span,
+    valid_trace_id,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "JsonLogFormatter",
+    "Span",
+    "TextLogFormatter",
+    "Trace",
+    "TraceIdFilter",
+    "TraceRing",
+    "activate",
+    "configure_logging",
+    "current_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "span",
+    "valid_trace_id",
+]

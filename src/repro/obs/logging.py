@@ -1,0 +1,137 @@
+"""Structured logging for the ``repro`` logger hierarchy.
+
+Every subsystem logs through a child of the ``repro`` logger
+(``repro.serve``, ``repro.discovery``, ``repro.cli``) using the stdlib
+``extra={...}`` mechanism for structured fields.  :func:`configure_logging`
+installs one stream handler on the ``repro`` root:
+
+* text mode — ``HH:MM:SS.mmm LEVEL logger [trace_id] message key=value …``
+* ``--log-json`` — one JSON object per line with ``ts``/``level``/
+  ``logger``/``event``/``message``/``trace_id`` plus every extra field.
+
+A :class:`TraceIdFilter` stamps each record with the ambient trace id
+from :mod:`repro.obs.trace`, so any log line emitted while a trace is
+active is correlatable with the request that caused it.  Until
+:func:`configure_logging` runs, ``repro`` loggers propagate to the root
+logger like any library's (pytest's ``caplog`` and host applications keep
+working); configuring turns propagation off so lines are emitted exactly
+once in the chosen format.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, TextIO
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "JsonLogFormatter",
+    "TextLogFormatter",
+    "TraceIdFilter",
+    "configure_logging",
+]
+
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not user-supplied fields.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "x", logging.INFO, "x", 0, "x", None, None
+    ).__dict__
+) | {"message", "asctime", "taskName", "trace_id", "event"}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict[str, Any]:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class TraceIdFilter(logging.Filter):
+    """Stamp records with the ambient trace id (or ``None``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "trace_id"):
+            record.trace_id = current_trace_id()
+        return True
+
+
+def _json_default(value: Any) -> Any:
+    try:
+        return str(value)
+    except Exception:  # pragma: no cover - defensive
+        return "<unrepresentable>"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line; ``extra`` fields ride at the top level."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "event", None) or message,
+            "message": message,
+            "trace_id": getattr(record, "trace_id", None),
+        }
+        payload.update(_extra_fields(record))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=_json_default)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable line with trace id and ``key=value`` extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        trace_id = getattr(record, "trace_id", None) or "-"
+        parts = [
+            f"{stamp}.{int(record.msecs):03d}",
+            record.levelname,
+            record.name,
+            f"[{trace_id}]",
+            record.getMessage(),
+        ]
+        for key, value in sorted(_extra_fields(record).items()):
+            parts.append(f"{key}={value}")
+        line = " ".join(parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def configure_logging(
+    level: str = "info",
+    json_logs: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the handler on the ``repro`` root logger.
+
+    Idempotent: a second call swaps the handler rather than stacking a
+    duplicate, so tests and long-lived processes can reconfigure freely.
+    """
+
+    resolved = logging.getLevelName(level.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonLogFormatter() if json_logs else TextLogFormatter())
+    handler.addFilter(TraceIdFilter())
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

@@ -48,6 +48,7 @@ from repro.serve.service import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_WAIT_MS,
     DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TRACE_RING,
     ExplanationService,
     ServerStats,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "DEFAULT_MAX_WAIT_MS",
     "DEFAULT_PORT",
     "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_TRACE_RING",
     "ExplanationServer",
     "ExplanationService",
     "HttpGateway",

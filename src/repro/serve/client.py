@@ -137,15 +137,16 @@ class ServeClient:
         query_spec: Mapping[str, Any],
         method: str = "auto",
         model: str | None = None,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Answer one query spec; returns the report dict.  ``model``
-        routes to a registry entry (omit it on a single-model server)."""
-        response = self.request(
-            self._with_model(
-                {"op": "explain", "query": dict(query_spec), "method": method},
-                model,
-            )
-        )
+        routes to a registry entry (omit it on a single-model server);
+        ``trace_id`` propagates a caller-chosen trace id (the server
+        generates and echoes one either way)."""
+        payload = {"op": "explain", "query": dict(query_spec), "method": method}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        response = self.request(self._with_model(payload, model))
         return dict(raise_for_error(response)["report"])
 
     def explain_many(
@@ -169,6 +170,11 @@ class ServeClient:
     def stats(self, model: str | None = None) -> dict[str, Any]:
         response = self.request(self._with_model({"op": "stats"}, model))
         return dict(raise_for_error(response)["stats"])
+
+    def traces(self, model: str | None = None) -> list[dict[str, Any]]:
+        """Recent request traces of a model, most recent first."""
+        response = self.request(self._with_model({"op": "traces"}, model))
+        return list(raise_for_error(response)["traces"])
 
     def shutdown(self) -> bool:
         """Ask the server to drain and exit (needs ``allow_shutdown``)."""

@@ -24,10 +24,20 @@ Routes
     loaded models — live version, fingerprint, age, idleness, counters.
 ``GET /v1/models/{id}/stats``
     The model's full :class:`ServerStats` snapshot (loads it if needed).
+``GET /v1/models/{id}/traces``
+    The model's ring buffer of recent request traces, most recent first
+    (span trees with per-phase timings; see :mod:`repro.obs.trace`).
 ``GET /healthz``
     Cheap liveness: ``{"ok": true, ...}``, no model loading.
 ``GET /metrics``
     Prometheus text exposition (see :mod:`repro.serve.metrics`).
+
+Tracing contract: every request may carry an ``X-Repro-Trace-Id`` header
+(or a ``trace_id`` body field on explain; the header wins); the gateway
+generates an id otherwise, opens a request-scoped trace per explain, and
+echoes the id in the response header on **every** route and status, plus
+inside every JSON error envelope — including 429/503 rejections and
+per-item batch failures, which also echo the item's optional ``id``.
 
 Failures map to status codes by exception type — 400 malformed request /
 query, 404 unknown model, 405 wrong method, 413/431 oversized, 429
@@ -46,6 +56,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro import obs
 from repro.core.reporting import report_to_dict
 from repro.data.query import query_from_spec
 from repro.errors import (
@@ -85,7 +96,10 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(explain|stats)$")
+_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(explain|stats|traces)$")
+
+#: Header carrying the request-scoped trace id, inbound and outbound.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 def _status_for(exc: BaseException) -> int:
@@ -125,6 +139,9 @@ class _Request:
     #: Set when parsing failed: (status, message); the response closes the
     #: connection because the stream position is no longer trustworthy.
     bad: tuple[int, str] | None = None
+    #: Resolved request trace id: the inbound ``X-Repro-Trace-Id`` header,
+    #: else the body's ``trace_id`` field (explain), else freshly minted.
+    trace_id: str | None = None
 
 
 class HttpGateway:
@@ -289,24 +306,36 @@ class HttpGateway:
         extra_headers: dict[str, str] = {}
         if request.bad is not None:
             status, message = request.bad
-            payload = error_response(None, ProtocolError(message))
+            request.trace_id = obs.new_trace_id()
+            payload = error_response(
+                None, ProtocolError(message), trace_id=request.trace_id
+            )
             del payload["id"]
             keep_alive = False
             body, content_type = self._json_body(payload)
         else:
             keep_alive = request.keep_alive
             try:
+                request.trace_id = self._header_trace_id(request)
                 status, body, content_type = await self._route(request)
             except _MethodNotAllowed as exc:
                 status = 405
                 extra_headers["Allow"] = exc.allowed
-                body, content_type = self._json_error(ProtocolError(str(exc)))
+                body, content_type = self._json_error(
+                    ProtocolError(str(exc)), self._ensure_trace_id(request)
+                )
             except ReproError as exc:
                 status, (body, content_type) = (
-                    _status_for(exc), self._json_error(exc),
+                    _status_for(exc),
+                    self._json_error(exc, self._ensure_trace_id(request)),
                 )
             except Exception as exc:  # never tear down the gateway
-                status, (body, content_type) = 500, self._json_error(exc)
+                status, (body, content_type) = 500, self._json_error(
+                    exc, self._ensure_trace_id(request)
+                )
+        # Every response — success, typed error (429/503 included), even a
+        # parse failure — echoes the trace id so clients can correlate.
+        extra_headers[TRACE_HEADER] = self._ensure_trace_id(request)
         try:
             writer.write(
                 self._response_bytes(
@@ -332,10 +361,30 @@ class HttpGateway:
         )
 
     @classmethod
-    def _json_error(cls, exc: BaseException) -> tuple[bytes, str]:
-        payload = error_response(None, exc)
+    def _json_error(
+        cls, exc: BaseException, trace_id: str | None = None
+    ) -> tuple[bytes, str]:
+        payload = error_response(None, exc, trace_id=trace_id)
         del payload["id"]
         return cls._json_body(payload)
+
+    @staticmethod
+    def _header_trace_id(request: _Request) -> str | None:
+        candidate = request.headers.get(TRACE_HEADER.lower())
+        if candidate is None:
+            return None
+        if not obs.valid_trace_id(candidate):
+            raise ProtocolError(
+                f"invalid {TRACE_HEADER} {candidate!r}: expected 1-64 chars "
+                "of [A-Za-z0-9._-]"
+            )
+        return candidate
+
+    @staticmethod
+    def _ensure_trace_id(request: _Request) -> str:
+        if request.trace_id is None:
+            request.trace_id = obs.new_trace_id()
+        return request.trace_id
 
     @staticmethod
     def _response_bytes(
@@ -389,10 +438,18 @@ class HttpGateway:
             stats = await self.registry.stats_for(model_id)
             body, ctype = self._json_body({"ok": True, "stats": stats})
             return 200, body, ctype
+        if action == "traces":
+            if method != "GET":
+                raise _MethodNotAllowed("GET")
+            traces = await self.registry.traces_for(model_id)
+            body, ctype = self._json_body(
+                {"ok": True, "model": model_id, "traces": traces}
+            )
+            return 200, body, ctype
         # action == "explain"
         if method != "POST":
             raise _MethodNotAllowed("POST")
-        return await self._explain(model_id, request.body)
+        return await self._explain(model_id, request)
 
     async def _metrics_body(self) -> bytes:
         # cache_info takes each session's lock (a flush may hold it):
@@ -415,7 +472,10 @@ class HttpGateway:
         )
         return text.encode("utf-8")
 
-    async def _explain(self, model_id: str, raw: bytes) -> tuple[int, bytes, str]:
+    async def _explain(
+        self, model_id: str, request: _Request
+    ) -> tuple[int, bytes, str]:
+        raw = request.body
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else None
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -427,9 +487,19 @@ class HttpGateway:
         method = payload.get("method", "auto")
         if not isinstance(method, str):
             raise ProtocolError(f"'method' must be a string, got {method!r}")
+        body_tid = payload.get("trace_id")
+        if body_tid is not None:
+            if not obs.valid_trace_id(body_tid):
+                raise ProtocolError(
+                    f"invalid trace_id {body_tid!r}: expected 1-64 chars of "
+                    "[A-Za-z0-9._-]"
+                )
+            if request.trace_id is None:  # the header, when sent, wins
+                request.trace_id = body_tid
+        trace_id = self._ensure_trace_id(request)
         entry = await self.registry.entry_for(model_id)
         base = {"ok": True, "model": entry.model_id, "version": entry.version,
-                "fingerprint": entry.fingerprint}
+                "fingerprint": entry.fingerprint, "trace_id": trace_id}
         if "queries" in payload:
             specs = payload["queries"]
             if not isinstance(specs, list) or not specs:
@@ -439,26 +509,54 @@ class HttpGateway:
             queries = [
                 query_from_spec(spec, entry.service.table) for spec in specs
             ]
+            item_ids = [
+                spec.get("id") if isinstance(spec, Mapping) else None
+                for spec in specs
+            ]
+            # Each batch item gets its own trace under the request's id
+            # (dot-suffixed), so the ring and the per-item envelopes stay
+            # correlatable with the one id the client sent.
+            traces = [
+                obs.Trace(name="request", trace_id=f"{trace_id}.{index}")
+                for index in range(len(queries))
+            ]
+            for index, trace in enumerate(traces):
+                trace.root.tag(
+                    op="explain", proto="http", model=entry.model_id,
+                    item=index,
+                )
             outcomes = await asyncio.gather(
-                *(entry.service.explain(q, method=method) for q in queries),
+                *(
+                    entry.service.explain(q, method=method, trace=t)
+                    for q, t in zip(queries, traces)
+                ),
                 return_exceptions=True,
             )
             results = []
-            for outcome in outcomes:
+            for index, outcome in enumerate(outcomes):
                 if isinstance(outcome, BaseException):
-                    envelope = error_response(None, outcome)
-                    del envelope["id"]
-                    results.append(envelope)
-                else:
-                    results.append(
-                        {"ok": True, "report": report_to_dict(outcome)}
+                    envelope = error_response(
+                        item_ids[index], outcome,
+                        trace_id=traces[index].trace_id,
                     )
+                else:
+                    envelope = {
+                        "id": item_ids[index],
+                        "ok": True,
+                        "trace_id": traces[index].trace_id,
+                        "report": report_to_dict(outcome),
+                    }
+                if envelope.get("id") is None:
+                    del envelope["id"]
+                results.append(envelope)
             body, ctype = self._json_body({**base, "results": results})
             return 200, body, ctype
         if "query" not in payload:
             raise ProtocolError("explain body missing 'query' (or 'queries')")
         query = query_from_spec(payload["query"], entry.service.table)
-        report = await entry.service.explain(query, method=method)
+        trace = obs.Trace(name="request", trace_id=trace_id)
+        trace.root.tag(op="explain", proto="http", model=entry.model_id)
+        report = await entry.service.explain(query, method=method, trace=trace)
         body, ctype = self._json_body(
             {**base, "report": report_to_dict(report)}
         )

@@ -42,6 +42,7 @@ _COUNTERS = (
     ("rejected", "Requests shed at admission (queue full)."),
     ("deduped", "Requests answered by another request's explain."),
     ("batches", "Micro-batch flushes executed."),
+    ("slow_queries", "Requests over the slow-query latency threshold."),
 )
 
 

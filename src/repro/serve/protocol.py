@@ -26,6 +26,11 @@ naming which model in the server's :class:`~repro.serve.registry.
 ModelRegistry` should answer.  Omitting it routes to the registry's
 default model (the only model, for a single-model server); an unknown id
 is a typed ``RegistryError`` response.
+``traces``
+    ``{"op": "traces"}`` → ``{"ok": true, "traces": [...]}`` — the
+    model's ring buffer of recent request traces, most recent first
+    (span trees with per-phase timings; see :mod:`repro.obs.trace`).
+    Accepts ``"model"`` like ``explain``/``stats``.
 ``ping``
     ``{"op": "ping"}`` → ``{"ok": true, "pong": true}`` — liveness probe.
 ``shutdown``
@@ -41,6 +46,12 @@ Every failure is a typed error response, never a dropped connection::
 ``error.type`` is the :mod:`repro.errors` class name (``ProtocolError``,
 ``QueryError``, ``ServiceOverloadedError``, ``ServiceClosedError``, ...),
 so clients can switch on it without parsing messages.
+
+Tracing contract: every request may carry an optional ``"trace_id"``
+string (1-64 chars of ``[A-Za-z0-9._-]``); the server generates one
+otherwise and echoes it as ``"trace_id"`` in **every** response — success
+or typed error, including admission rejections — so overload failures are
+correlatable from the client side.
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ from typing import Any, Mapping
 from repro.errors import ProtocolError, ReproError
 
 #: Ops a server understands; anything else is a ProtocolError.
-OPS = ("explain", "stats", "ping", "shutdown")
+OPS = ("explain", "stats", "traces", "ping", "shutdown")
 
 #: Upper bound on one request line (bytes). Also passed to the asyncio
 #: stream reader as its buffer limit, so an unframed flood cannot balloon
@@ -101,16 +112,22 @@ def ok_response(request_id: Any = None, **fields: Any) -> dict[str, Any]:
     return {"id": request_id, "ok": True, **fields}
 
 
-def error_response(request_id: Any, exc: BaseException) -> dict[str, Any]:
+def error_response(
+    request_id: Any, exc: BaseException, trace_id: str | None = None
+) -> dict[str, Any]:
     """A typed error response for ``exc``.
 
     Library errors surface their own class name; anything else is reported
     as ``InternalError`` with the message intact (the server never lets an
-    exception tear down the connection).
+    exception tear down the connection).  ``trace_id`` rides along when
+    known so even rejections are correlatable.
     """
     name = type(exc).__name__ if isinstance(exc, ReproError) else "InternalError"
-    return {
+    response: dict[str, Any] = {
         "id": request_id,
         "ok": False,
         "error": {"type": name, "message": str(exc)},
     }
+    if trace_id is not None:
+        response["trace_id"] = trace_id
+    return response

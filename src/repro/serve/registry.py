@@ -415,6 +415,12 @@ class ModelRegistry:
         stats["version"] = entry.version
         return stats
 
+    async def traces_for(self, model_id: str | None = None) -> list[dict[str, Any]]:
+        """One model's recent request traces, most recent first (loads the
+        model if needed; the trace ring takes its own lock)."""
+        entry = await self.entry_for(model_id)
+        return entry.service.traces_snapshot()
+
     def aggregate_counters(self) -> dict[str, int]:
         """Summed core counters across the loaded set (the CLI's exit
         banner; per-model numbers live in the stats/metrics surfaces)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+from repro import obs
 from repro.core.reporting import report_to_dict
 from repro.data.query import query_from_spec
 from repro.errors import ProtocolError, ReproError, ServeError
@@ -236,14 +237,20 @@ class ExplanationServer:
     ) -> None:
         self.requests_total += 1
         request_id: Any = None
+        trace_id: str | None = None
         try:
             request = decode_request(line)
             request_id = request.get("id")
-            response = await self._dispatch(request)
+            trace_id = self._trace_id_of(request)
+            response = await self._dispatch(request, trace_id)
         except ReproError as exc:
-            response = error_response(request_id, exc)
+            response = error_response(request_id, exc, trace_id=trace_id)
         except Exception as exc:  # never tear down the connection
-            response = error_response(request_id, exc)
+            response = error_response(request_id, exc, trace_id=trace_id)
+        # Every response — success, typed error, admission rejection —
+        # carries a trace id so failures stay correlatable client-side.
+        if response.get("trace_id") is None:
+            response["trace_id"] = trace_id or obs.new_trace_id()
         try:
             async with write_lock:
                 writer.write(encode_line(response))
@@ -257,11 +264,33 @@ class ExplanationServer:
             raise ProtocolError(f"'model' must be a string, got {model!r}")
         return model
 
-    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+    @staticmethod
+    def _trace_id_of(request: dict[str, Any]) -> str:
+        """The request's ``trace_id`` (validated) or a freshly minted one."""
+        candidate = request.get("trace_id")
+        if candidate is None:
+            return obs.new_trace_id()
+        if not obs.valid_trace_id(candidate):
+            raise ProtocolError(
+                f"invalid trace_id {candidate!r}: expected 1-64 chars of "
+                "[A-Za-z0-9._-]"
+            )
+        return candidate
+
+    async def _dispatch(
+        self, request: dict[str, Any], trace_id: str
+    ) -> dict[str, Any]:
         op = request["op"]
         request_id = request.get("id")
         if op == "ping":
             return ok_response(request_id, pong=True)
+        if op == "traces":
+            entry = await self.registry.entry_for(self._requested_model(request))
+            return ok_response(
+                request_id,
+                model=entry.model_id,
+                traces=entry.service.traces_snapshot(),
+            )
         if op == "stats":
             entry = await self.registry.entry_for(self._requested_model(request))
             # cache_info takes the session lock, which the flush thread
@@ -293,7 +322,9 @@ class ExplanationServer:
         method = request.get("method", "auto")
         if not isinstance(method, str):
             raise ProtocolError(f"'method' must be a string, got {method!r}")
-        report = await entry.service.explain(query, method=method)
+        trace = obs.Trace(name="request", trace_id=trace_id)
+        trace.root.tag(op="explain", proto="tcp", model=entry.model_id)
+        report = await entry.service.explain(query, method=method, trace=trace)
         return ok_response(request_id, report=report_to_dict(report))
 
 

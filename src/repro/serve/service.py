@@ -34,13 +34,16 @@ flight at a time and the session lock is uncontended; parallelism happens
 from __future__ import annotations
 
 import asyncio
+import logging
 import math
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Iterable
+from pathlib import Path
+from typing import Any
 
+from repro import obs
 from repro.core.model import XInsightModel
 from repro.core.session import ExplainSession, XInsightReport
 from repro.core.xplainer import XPlainerConfig
@@ -49,9 +52,14 @@ from repro.data.table import Table
 from repro.errors import ServeError, ServiceClosedError, ServiceOverloadedError
 from repro.parallel import default_workers, make_executor
 
+LOG = logging.getLogger("repro.serve")
+
 DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_WAIT_MS = 2.0
 DEFAULT_QUEUE_LIMIT = 1024
+#: How many recent request traces each service keeps for the ``traces``
+#: surfaces (TCP op + ``GET /v1/models/{id}/traces``).
+DEFAULT_TRACE_RING = 64
 
 #: How many recent request latencies the percentile window keeps.
 LATENCY_WINDOW = 4096
@@ -97,7 +105,12 @@ class ServerStats:
     #: :meth:`XInsightModel.fingerprint`); lets a stats/metrics consumer
     #: verify which artifact is live behind the counters.
     fingerprint: str | None = None
-    started_at: float = field(default_factory=time.monotonic)
+    #: Requests whose latency crossed the slow-query threshold.
+    slow_queries: int = 0
+    # One monotonic clock for *every* duration in the service: request
+    # latency (``enqueued_at``), flush timing, and uptime all read
+    # ``time.perf_counter`` so they are mutually comparable.
+    started_at: float = field(default_factory=time.perf_counter)
 
     def observe_batch(self, size: int, unique: int) -> None:
         self.batches += 1
@@ -111,7 +124,7 @@ class ServerStats:
 
     @property
     def uptime_seconds(self) -> float:
-        return time.monotonic() - self.started_at
+        return time.perf_counter() - self.started_at
 
     def latency_ms(self) -> dict[str, float]:
         window = sorted(self.latencies)
@@ -134,6 +147,7 @@ class ServerStats:
                 str(size): count for size, count in sorted(self.batch_sizes.items())
             },
             "latency_ms": self.latency_ms(),
+            "slow_queries": self.slow_queries,
             "uptime_seconds": round(self.uptime_seconds, 3),
             "fingerprint": self.fingerprint,
         }
@@ -147,6 +161,12 @@ class _Pending:
     method: str
     future: asyncio.Future
     enqueued_at: float
+    #: Request-scoped trace the front-end opened (None for untraced
+    #: embedders).  ``queue_span`` covers admission→flush-pickup;
+    #: ``flush_span`` covers the flush the request rode in.
+    trace: obs.Trace | None = None
+    queue_span: obs.Span | None = None
+    flush_span: obs.Span | None = None
 
 
 class ExplanationService:
@@ -171,6 +191,17 @@ class ExplanationService:
         defaults to the ``REPRO_WORKERS`` env; 1 means in-process serial.
         The per-worker sessions are private (session affinity), so only
         the primary session's ``cache_info`` appears in the stats.
+    slow_query_ms:
+        When set, any request whose queue→answer latency crosses the
+        threshold bumps ``ServerStats.slow_queries`` and emits one
+        structured ``slow_query`` warning on the ``repro.serve`` logger
+        with the trace's full stage breakdown.
+    trace_ring:
+        Capacity of the per-service ring buffer of recent trace
+        snapshots (0 disables retention; traced requests still run).
+    trace_dir:
+        When set, every traced request writes a Chrome trace-event JSON
+        file ``<trace_id>.trace.json`` there (Perfetto-viewable).
     """
 
     def __init__(
@@ -184,6 +215,9 @@ class ExplanationService:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         workers: int | None = None,
         executor_kind: str | None = None,
+        slow_query_ms: float | None = None,
+        trace_ring: int = DEFAULT_TRACE_RING,
+        trace_dir: str | Path | None = None,
     ) -> None:
         if max_batch < 1:
             raise ServeError(f"max_batch must be ≥ 1, got {max_batch}")
@@ -191,6 +225,8 @@ class ExplanationService:
             raise ServeError(f"max_wait_ms must be ≥ 0, got {max_wait_ms}")
         if queue_limit < 1:
             raise ServeError(f"queue_limit must be ≥ 1, got {queue_limit}")
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ServeError(f"slow_query_ms must be ≥ 0, got {slow_query_ms}")
         self.session = ExplainSession(model, table, config=config)
         self.model = model
         self.table = table
@@ -200,6 +236,9 @@ class ExplanationService:
         self.workers = default_workers() if workers is None else workers
         self.executor = make_executor(self.workers, executor_kind)
         self.stats = ServerStats(fingerprint=model.fingerprint())
+        self.slow_query_ms = slow_query_ms
+        self.traces = obs.TraceRing(trace_ring)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._queue: asyncio.Queue | None = None
         self._flusher: asyncio.Task | None = None
         self._flush_pool = None  # single dedicated flush thread, lazily built
@@ -224,6 +263,8 @@ class ExplanationService:
         if self._flusher is None:
             from concurrent.futures import ThreadPoolExecutor
 
+            if self.trace_dir is not None:
+                self.trace_dir.mkdir(parents=True, exist_ok=True)
             self._queue = asyncio.Queue(maxsize=self.queue_limit)
             self._flush_pool = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-serve-flush"
@@ -262,11 +303,18 @@ class ExplanationService:
     # Request surface
     # ------------------------------------------------------------------
 
-    def submit(self, query: WhyQuery, method: str = "auto") -> asyncio.Future:
+    def submit(
+        self,
+        query: WhyQuery,
+        method: str = "auto",
+        trace: obs.Trace | None = None,
+    ) -> asyncio.Future:
         """Admit one request; returns the future its report resolves on.
 
-        Raises the typed admission errors synchronously:
-        :class:`ServiceClosedError` when draining/stopped,
+        ``trace`` is the request-scoped trace the front-end opened (or
+        ``None`` for untraced embedders — tracing is strictly opt-in, the
+        no-op path costs nothing).  Raises the typed admission errors
+        synchronously: :class:`ServiceClosedError` when draining/stopped,
         :class:`ServiceOverloadedError` when the queue is full.
         """
         if self._flusher is None or self._queue is None:
@@ -278,7 +326,10 @@ class ExplanationService:
             method=method,
             future=asyncio.get_running_loop().create_future(),
             enqueued_at=time.perf_counter(),
+            trace=trace,
         )
+        if trace is not None:
+            pending.queue_span = trace.start_span("queue")
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
@@ -289,9 +340,20 @@ class ExplanationService:
         self.stats.submitted += 1
         return pending.future
 
-    async def explain(self, query: WhyQuery, method: str = "auto") -> XInsightReport:
+    async def explain(
+        self,
+        query: WhyQuery,
+        method: str = "auto",
+        trace: obs.Trace | None = None,
+    ) -> XInsightReport:
         """Submit and await one request (the coroutine most callers want)."""
-        return await self.submit(query, method)
+        return await self.submit(query, method, trace=trace)
+
+    def traces_snapshot(self) -> list[dict[str, Any]]:
+        """Most-recent-first snapshots of recently served traced requests
+        (the payload of the TCP ``traces`` op and the HTTP traces route).
+        Thread-safe — the ring takes its own lock."""
+        return self.traces.snapshot()
 
     def stats_snapshot(self, cache_info: dict | None = None) -> dict[str, Any]:
         """The full ``ServerStats`` surface: counters, histogram, p50/p99
@@ -314,6 +376,8 @@ class ExplanationService:
             "queue_limit": self.queue_limit,
             "workers": self.workers,
             "executor": self.executor.kind,
+            "slow_query_ms": self.slow_query_ms,
+            "trace_ring": self.traces.capacity,
         }
         return snap
 
@@ -371,58 +435,172 @@ class ExplanationService:
         for pending in batch:
             groups.setdefault((pending.query, pending.method), []).append(pending)
         self.stats.observe_batch(len(batch), len(groups))
+        for pending in batch:
+            trace = pending.trace
+            if trace is not None:
+                if pending.queue_span is not None:
+                    pending.queue_span.finish()
+                pending.flush_span = trace.start_span(
+                    "flush", batch_size=len(batch), unique=len(groups)
+                )
+
+        # One request per dedup group — the first traced waiter — carries
+        # the explain's phase spans; its ride-alongs are tagged with the
+        # primary's trace id so the full breakdown stays one hop away.
+        primaries: dict[tuple[WhyQuery, str], _Pending | None] = {
+            key: next((p for p in waiters if p.trace is not None), None)
+            for key, waiters in groups.items()
+        }
 
         by_method: dict[str, list[WhyQuery]] = {}
         for query, method in groups:
             by_method.setdefault(method, []).append(query)
         results: dict[tuple[WhyQuery, str], XInsightReport | BaseException] = {}
         for method, queries in by_method.items():
-            results.update(await self._explain_unique(loop, queries, method))
+            traces: list[obs.Trace | None] = []
+            for query in queries:
+                primary = primaries[(query, method)]
+                if primary is not None and primary.trace is not None:
+                    # Hang the explain's spans under this request's flush
+                    # span; reset after the flush so later grafts (and the
+                    # ring snapshot) see a finished, rooted tree.
+                    if primary.flush_span is not None:
+                        primary.trace.attach_at = primary.flush_span
+                    traces.append(primary.trace)
+                else:
+                    traces.append(None)
+            results.update(
+                await self._explain_unique(loop, queries, method, traces)
+            )
+            for query in queries:
+                primary = primaries[(query, method)]
+                if primary is not None and primary.trace is not None:
+                    primary.trace.attach_at = primary.trace.root
 
         now = time.perf_counter()
         for key, waiters in groups.items():
             outcome = results[key]
             failed = isinstance(outcome, BaseException)
+            primary = primaries[key]
             for pending in waiters:
-                self.stats.observe_latency(now - pending.enqueued_at)
+                latency_s = now - pending.enqueued_at
+                self.stats.observe_latency(latency_s)
                 if failed:
                     self.stats.failed += 1
                 else:
                     self.stats.completed += 1
+                self._finish_trace(pending, primary, failed, latency_s)
                 if not pending.future.done():  # the waiter may have gone away
                     if failed:
                         pending.future.set_exception(outcome)
                     else:
                         pending.future.set_result(outcome)
 
+    def _finish_trace(
+        self,
+        pending: _Pending,
+        primary: _Pending | None,
+        failed: bool,
+        latency_s: float,
+    ) -> None:
+        """Close a request's trace: ring snapshot, slow log, Chrome file."""
+        trace = pending.trace
+        if trace is None:
+            return
+        if pending.flush_span is not None:
+            if pending is not primary and primary is not None:
+                pending.flush_span.tag(
+                    deduped=True, primary_trace=primary.trace.trace_id
+                )
+            pending.flush_span.finish()
+        trace.finish()
+        latency_ms = round(latency_s * 1e3, 3)
+        slow = (
+            self.slow_query_ms is not None and latency_ms >= self.slow_query_ms
+        )
+        entry = trace.to_dict()
+        entry.update(
+            ok=not failed,
+            latency_ms=latency_ms,
+            slow=slow,
+            query=str(pending.query),
+        )
+        self.traces.append(entry)
+        if slow:
+            self.stats.slow_queries += 1
+            LOG.warning(
+                "slow query: %.3f ms (threshold %.3f ms)",
+                latency_ms,
+                self.slow_query_ms,
+                extra={
+                    "event": "slow_query",
+                    "trace_id": trace.trace_id,
+                    "latency_ms": latency_ms,
+                    "threshold_ms": self.slow_query_ms,
+                    "ok": not failed,
+                    "query": str(pending.query),
+                    "stages_ms": trace.stage_breakdown(),
+                },
+            )
+        if self.trace_dir is not None:
+            try:
+                trace.write_chrome_trace(
+                    self.trace_dir / f"{trace.trace_id}.trace.json"
+                )
+            except OSError as exc:  # never fail a request on a profile write
+                LOG.warning(
+                    "could not write chrome trace: %s",
+                    exc,
+                    extra={"event": "trace_write_failed", "trace_id": trace.trace_id},
+                )
+        LOG.debug(
+            "request served",
+            extra={
+                "event": "request_served",
+                "trace_id": trace.trace_id,
+                "latency_ms": latency_ms,
+                "ok": not failed,
+            },
+        )
+
     async def _explain_unique(
-        self, loop: asyncio.AbstractEventLoop, queries: list[WhyQuery], method: str
+        self,
+        loop: asyncio.AbstractEventLoop,
+        queries: list[WhyQuery],
+        method: str,
+        traces: list[obs.Trace | None],
     ) -> dict[tuple[WhyQuery, str], XInsightReport | BaseException]:
         """One ``explain_batch`` over the deduped queries of one method.
 
-        If the batch call fails, fall back to query-at-a-time so a single
-        poison query only fails its own requesters, never its batchmates.
+        ``on_error="return"`` gives per-query failure isolation inside the
+        single batch call: a poison query fails only its own requesters,
+        every query is attempted exactly once, and ``SessionStats`` counts
+        each attempt once (no batch-then-retry double counting).  The
+        outer fallback only fires on infrastructure-level failures (a dead
+        executor, an unpicklable payload) — it retries query-at-a-time on
+        the in-process session so the batch's requesters still get
+        individual answers.
         """
         run = partial(
             self.session.explain_batch, queries, method=method,
-            executor=self.executor,
+            executor=self.executor, traces=traces, on_error="return",
         )
         try:
-            reports: Iterable[XInsightReport | BaseException] = (
+            reports: list[XInsightReport | BaseException] = (
                 await loop.run_in_executor(self._flush_pool, run)
             )
         except Exception:
-            reports = []
-            for query in queries:
-                try:
-                    reports.append(
-                        await loop.run_in_executor(
-                            self._flush_pool,
-                            partial(self.session.explain, query, method=method),
-                        )
-                    )
-                except Exception as exc:
-                    reports.append(exc)
+            LOG.exception(
+                "batch explain failed; retrying query-at-a-time",
+                extra={"event": "batch_fallback", "queries": len(queries)},
+            )
+            reports = await loop.run_in_executor(
+                self._flush_pool,
+                partial(
+                    self.session.explain_batch, queries, method=method,
+                    traces=traces, on_error="return",
+                ),
+            )
         return {
             (query, method): report for query, report in zip(queries, reports)
         }

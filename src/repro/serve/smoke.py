@@ -11,12 +11,19 @@ clients drive the wire, the ``shutdown`` op triggers the drain — and fails
 loudly unless the server exits cleanly (code 0, "drained" banner).
 
 * Default mode: single-model TCP — :class:`~repro.serve.client.ServeClient`
-  sends ping / explain / pipelined burst / stats.
+  sends ping / explain / pipelined burst / stats, plus a traced explain
+  whose caller-chosen trace id must be echoed and must surface in the
+  ``traces`` op with the four online-phase child spans.
 * ``--http`` mode: a registry directory (``demo/1.json`` + ``data.csv``)
-  served with ``--registry ... --http-port 0`` — ``http.client`` probes
-  ``/healthz``, ``POST /v1/models/demo/explain`` (single and batch),
-  ``GET /v1/models``, per-model stats, and ``/metrics`` (which must parse
-  as Prometheus text exposition and count the explains just served).
+  served with ``--registry ... --http-port 0 --trace-dir ...`` —
+  ``http.client`` probes ``/healthz``, ``POST /v1/models/demo/explain``
+  (single and batch; the single request carries an ``X-Repro-Trace-Id``
+  that must come back in the response header, body and
+  ``GET /v1/models/demo/traces``), ``GET /v1/models``, per-model stats,
+  and ``/metrics`` (which must parse as Prometheus text exposition and
+  count the explains just served).  The per-request Chrome trace files
+  land in ``$REPRO_SMOKE_TRACE_DIR`` (default: the temp dir) and are
+  shape-checked, so CI can upload them as a workflow artifact.
 
 Also reusable from the test suite (`tests/test_serve.py` calls
 :func:`main` in-process).
@@ -42,6 +49,42 @@ QUERY_SPEC = {
 
 BANNER = re.compile(r"serving on ([\w.\-]+):(\d+)")
 HTTP_BANNER = re.compile(r"http on ([\w.\-]+):(\d+)")
+
+#: The online-phase spans every traced explain must expose (ISSUE 8).
+EXPLAIN_SPANS = {"translation", "homogeneity", "workspace", "search"}
+
+
+def _span_names(span: dict) -> set:
+    """Every span name in a serialized span tree."""
+    names = {span["name"]}
+    for child in span.get("children", []):
+        names |= _span_names(child)
+    return names
+
+
+def _check_trace(entries: list, trace_id: str) -> None:
+    """Assert the ring holds ``trace_id`` with the four explain spans."""
+    match = [e for e in entries if e["trace_id"] == trace_id]
+    assert match, f"trace {trace_id!r} not in ring: {entries!r}"
+    (entry,) = match
+    assert entry["ok"] and entry["root"]["name"] == "request", entry
+    names = _span_names(entry["root"])
+    missing = EXPLAIN_SPANS - names
+    assert not missing, f"trace lacks spans {missing!r} (has {sorted(names)})"
+
+
+def _check_chrome_traces(trace_dir: Path) -> int:
+    """Validate every exported Chrome trace file; returns how many."""
+    files = sorted(trace_dir.glob("*.trace.json"))
+    assert files, f"no Chrome traces under {trace_dir}"
+    for path in files:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert events, f"{path} has no events"
+        for event in events:
+            assert {"ph", "name", "pid"} <= set(event), (path, event)
+        assert any(e["ph"] == "X" and "dur" in e for e in events), path
+    return len(files)
 
 
 def _run_cli(*args: str) -> None:
@@ -113,10 +156,17 @@ def _smoke_tcp(tmp: str) -> None:
         ((host, port),) = _await_banners(server, [BANNER])
         with ServeClient(host, port, timeout=60) as client:
             assert client.ping(), "ping failed"
-            report = client.explain(QUERY_SPEC)
+            trace_id = "smoke-tcp-trace"
+            response = client.request(
+                {"op": "explain", "query": QUERY_SPEC, "trace_id": trace_id}
+            )
+            assert response["ok"], response
+            assert response["trace_id"] == trace_id, response
+            report = response["report"]
             assert "explanations" in report, f"bad report: {report!r}"
             burst = client.explain_many([QUERY_SPEC] * 8)
             assert burst == [report] * 8, "pipelined burst diverged"
+            _check_trace(client.traces(), trace_id)
             stats = client.stats()
             assert stats["completed"] >= 9, stats
             assert stats["deduped"] >= 1, "burst never coalesced"
@@ -128,24 +178,31 @@ def _smoke_tcp(tmp: str) -> None:
             server.wait()
 
 
-def _http_json(host: str, port: int, method: str, path: str, payload=None):
-    """One HTTP request against the gateway; (status, parsed-or-raw body)."""
+def _http_request(host, port, method, path, payload=None, headers=None):
+    """One HTTP request against the gateway; (status, body, response headers)."""
     import http.client
 
     conn = http.client.HTTPConnection(host, port, timeout=60)
     try:
         body = json.dumps(payload).encode() if payload is not None else None
-        conn.request(
-            method, path, body=body,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
+        request_headers = dict(headers or {})
+        if body is not None:
+            request_headers.setdefault("Content-Type", "application/json")
+        conn.request(method, path, body=body, headers=request_headers)
         response = conn.getresponse()
         raw = response.read()
+        response_headers = dict(response.getheaders())
         if response.getheader("Content-Type", "").startswith("application/json"):
-            return response.status, json.loads(raw)
-        return response.status, raw.decode("utf-8")
+            return response.status, json.loads(raw), response_headers
+        return response.status, raw.decode("utf-8"), response_headers
     finally:
         conn.close()
+
+
+def _http_json(host: str, port: int, method: str, path: str, payload=None):
+    """One HTTP request against the gateway; (status, parsed-or-raw body)."""
+    status, body, _headers = _http_request(host, port, method, path, payload)
+    return status, body
 
 
 def _smoke_http(tmp: str) -> None:
@@ -162,11 +219,15 @@ def _smoke_http(tmp: str) -> None:
 
     _run_cli("fit", csv_path, "--out", str(model_dir / "1.json"), "--bins", "3")
 
+    trace_dir = Path(
+        os.environ.get("REPRO_SMOKE_TRACE_DIR") or (Path(tmp) / "traces")
+    )
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
             "--registry", str(registry), "--port", "0", "--http-port", "0",
             "--max-wait-ms", "5", "--allow-shutdown",
+            "--trace-dir", str(trace_dir),
         ],
         stderr=subprocess.PIPE,
         text=True,
@@ -178,11 +239,15 @@ def _smoke_http(tmp: str) -> None:
         status, health = _http_json(host, port, "GET", "/healthz")
         assert status == 200 and health["ok"], (status, health)
 
-        status, answer = _http_json(
+        trace_id = "smoke-http-trace"
+        status, answer, answer_headers = _http_request(
             host, port, "POST", "/v1/models/demo/explain",
             {"query": QUERY_SPEC},
+            headers={"X-Repro-Trace-Id": trace_id},
         )
         assert status == 200 and answer["ok"], (status, answer)
+        assert answer["trace_id"] == trace_id, answer
+        assert answer_headers.get("X-Repro-Trace-Id") == trace_id, answer_headers
         assert answer["model"] == "demo" and answer["version"] == "1", answer
         assert "explanations" in answer["report"], answer
 
@@ -203,6 +268,10 @@ def _smoke_http(tmp: str) -> None:
         status, stats = _http_json(host, port, "GET", "/v1/models/demo/stats")
         assert status == 200 and stats["stats"]["completed"] >= 5, (status, stats)
 
+        status, traced = _http_json(host, port, "GET", "/v1/models/demo/traces")
+        assert status == 200 and traced["ok"], (status, traced)
+        _check_trace(traced["traces"], trace_id)
+
         status, missing = _http_json(host, port, "GET", "/v1/models/ghost/stats")
         assert status == 404, (status, missing)
         assert missing["error"]["type"] == "RegistryError", missing
@@ -222,6 +291,8 @@ def _smoke_http(tmp: str) -> None:
             assert report == answer["report"], "TCP and HTTP reports diverged"
             assert client.shutdown(), "shutdown not acknowledged"
         _finish(server)
+        exported = _check_chrome_traces(trace_dir)
+        print(f"validated {exported} exported Chrome trace file(s)")
     finally:
         if server.poll() is None:  # pragma: no cover - failure path
             server.kill()
@@ -233,12 +304,16 @@ def main(http: bool = False) -> int:
         if http:
             _smoke_http(tmp)
             print(
-                "serve smoke ok (http): boot, healthz, explain, batch, "
-                "models, stats, metrics, tcp routing, clean drain"
+                "serve smoke ok (http): boot, healthz, traced explain, batch, "
+                "models, stats, traces, metrics, chrome export, tcp routing, "
+                "clean drain"
             )
         else:
             _smoke_tcp(tmp)
-            print("serve smoke ok: boot, ping, explain, burst, stats, clean drain")
+            print(
+                "serve smoke ok: boot, ping, traced explain, burst, traces, "
+                "stats, clean drain"
+            )
     return 0
 
 
