@@ -444,6 +444,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         workers=args.workers,
         executor_kind=args.executor,
+        default_timeout_ms=args.default_timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
         slow_query_ms=args.slow_query_ms,
         trace_ring=args.trace_ring,
         trace_dir=args.trace_dir,
@@ -650,6 +652,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT, metavar="N",
         help="admission bound; beyond it requests get a typed rejection",
+    )
+    p_srv.add_argument(
+        "--default-timeout-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to requests that carry no timeout_ms of "
+        "their own (past it they resolve as a typed DeadlineExceededError "
+        "/ HTTP 504; default: no deadline)",
+    )
+    p_srv.add_argument(
+        "--max-timeout-ms", type=float, default=None, metavar="MS",
+        help="cap on the timeout_ms a request may ask for "
+        "(default: uncapped)",
     )
     p_srv.add_argument(
         "--allow-shutdown", action="store_true",

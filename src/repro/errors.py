@@ -65,3 +65,16 @@ class ServiceOverloadedError(ServeError):
 
 class ServiceClosedError(ServeError):
     """The service is draining or stopped and accepts no new requests."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline passed before its report was produced — either
+    it expired while queued (shed before its flush) or its flush outran the
+    remaining budget.  Maps to HTTP 504 on the gateway."""
+
+
+class ArtifactQuarantinedError(RegistryError):
+    """A model artifact failed to load (parse error, fingerprint mismatch,
+    unreadable file) and is negative-cached: requests are refused without
+    re-reading the file until the quarantine backoff expires or the
+    artifact changes on disk (see :mod:`repro.serve.registry`)."""

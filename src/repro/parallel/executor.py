@@ -24,20 +24,31 @@ worker count for every entry point that takes ``workers=None``.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import warnings
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from contextlib import contextmanager
 from typing import Any, Iterator, Sequence
 
 from repro.errors import ReproError
 
+LOG = logging.getLogger("repro.parallel")
+
 REPRO_WORKERS_ENV = "REPRO_WORKERS"
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
 DEFAULT_KIND = "process"
+
+#: How many pool rebuilds one ``ProcessExecutor.map`` call may spend on
+#: worker deaths before it degrades to in-process serial execution.
+DEFAULT_MAX_RESTARTS = 3
 
 
 class ShardTask:
@@ -151,7 +162,21 @@ def _process_init(task: ShardTask) -> None:
 
 def _process_run(payload: Any) -> Any:
     assert _WORKER_TASK is not None, "worker used before initialization"
+    # Fault-injection hook (chaos harness).  Gated on the raw env var so
+    # the unarmed path costs one dict lookup and never imports the serve
+    # package into discovery workers; the name must match
+    # ``repro.serve.faults.FAULTS_ENV`` (pinned by a test).
+    if os.environ.get("REPRO_FAULTS"):
+        from repro.serve import faults
+
+        state = faults.active()
+        if state is not None:
+            state.maybe_kill_worker()
     return _WORKER_TASK.run(_WORKER_STATE, payload)
+
+
+#: map()-internal marker for a shard whose result has not landed yet.
+_MISSING = object()
 
 
 class ProcessExecutor(Executor):
@@ -162,12 +187,39 @@ class ProcessExecutor(Executor):
     payload out and the verdicts back.  The pool (and its built state) is
     reused across ``map`` calls with the same task — e.g. the one batch per
     PC-stable depth — and transparently rebuilt when the task changes.
+
+    **Self-healing.**  A worker death (OOM kill, segfault, fault-injected
+    ``os._exit``) breaks the whole :class:`ProcessPoolExecutor`; results
+    already returned are kept, the pool is rebuilt, and only the lost
+    shards re-run.  ``map`` spends at most ``max_restarts`` rebuilds per
+    call; past that it degrades to in-process serial execution of the
+    remaining shards with a structured WARNING — a batch is never failed
+    because of worker churn.  Restart/re-run totals are on
+    :attr:`worker_restarts` / :attr:`shard_retries` (serving surfaces them
+    as ``worker_restarts_total`` / ``retries_total``).
+
+    Shard re-runs are safe by the :class:`ShardTask` contract: tasks are
+    pure functions of (state, payload), so a re-run returns the identical
+    result the lost run would have.  Application exceptions raised by the
+    task itself still propagate immediately — healing only covers
+    infrastructure death, never a deterministic failure.
     """
 
     kind = "process"
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self, workers: int, max_restarts: int = DEFAULT_MAX_RESTARTS
+    ) -> None:
         super().__init__(workers)
+        if max_restarts < 0:
+            raise ReproError(f"max_restarts must be ≥ 0, got {max_restarts}")
+        self.max_restarts = max_restarts
+        #: Pool rebuilds forced by worker deaths (monotone, process-lifetime).
+        self.worker_restarts = 0
+        #: Shards re-run (pool rebuild or serial degrade) after a death.
+        self.shard_retries = 0
+        #: ``map`` calls that fell back to in-process serial execution.
+        self.serial_degrades = 0
         self._pool: ProcessPoolExecutor | None = None
         self._task: ShardTask | None = None
 
@@ -186,13 +238,82 @@ class ProcessExecutor(Executor):
     def map(self, task: ShardTask, payloads: Sequence[Any]) -> list[Any]:
         if not payloads:
             return []
-        return list(self._pool_for(task).map(_process_run, payloads))
+        results: list[Any] = [_MISSING] * len(payloads)
+        pending = list(range(len(payloads)))
+        restarts_spent = 0
+        while pending:
+            pool = self._pool_for(task)
+            futures = [(i, pool.submit(_process_run, payloads[i])) for i in pending]
+            broken = False
+            for i, future in futures:
+                try:
+                    results[i] = future.result()
+                except BrokenExecutor:
+                    # This shard's result is lost; every later future on
+                    # the broken pool fails the same way — keep collecting
+                    # so `pending` shrinks to exactly the lost shards.
+                    broken = True
+            if not broken:
+                return results
+            pending = [i for i in pending if results[i] is _MISSING]
+            self._discard_pool()
+            if restarts_spent >= self.max_restarts:
+                break
+            restarts_spent += 1
+            self.worker_restarts += 1
+            self.shard_retries += len(pending)
+            LOG.warning(
+                "process pool broken; rebuilding (restart %d/%d) and "
+                "re-running %d lost shard(s)",
+                restarts_spent,
+                self.max_restarts,
+                len(pending),
+                extra={
+                    "event": "worker_pool_restart",
+                    "restart": restarts_spent,
+                    "max_restarts": self.max_restarts,
+                    "lost_shards": len(pending),
+                },
+            )
+        if pending:
+            # Repeated pool deaths: stop burning restarts and finish the
+            # batch in-process.  Slower, but the caller gets its results.
+            self.serial_degrades += 1
+            self.shard_retries += len(pending)
+            LOG.warning(
+                "process pool died %d time(s) in one map; degrading %d "
+                "remaining shard(s) to in-process serial execution",
+                restarts_spent + 1,
+                len(pending),
+                extra={
+                    "event": "executor_serial_degrade",
+                    "restarts": restarts_spent + 1,
+                    "remaining_shards": len(pending),
+                },
+            )
+            state = task.build_state()
+            for i in pending:
+                results[i] = task.run(state, payloads[i])
+        return results
+
+    def _discard_pool(self) -> None:
+        """Drop the pool without surfacing shutdown errors — a broken
+        pool's cleanup must never mask the recovery path."""
+        pool, self._pool, self._task = self._pool, None, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - platform-specific cleanup
+                LOG.debug("broken pool shutdown raised", exc_info=True)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._task = None
+        """Idempotent release; safe on a broken pool (never raises)."""
+        pool, self._pool, self._task = self._pool, None, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:  # pragma: no cover - platform-specific cleanup
+                LOG.debug("pool shutdown raised; already broken", exc_info=True)
 
 
 # Bad REPRO_WORKERS values already warned about (one warning per value per

@@ -15,12 +15,23 @@ and the batched Δ kernels; this package puts a server in front of them:
   the same registry (``/v1/models/...``, ``/healthz``, Prometheus
   ``/metrics``) and the combined TCP+HTTP serving stack;
 * :class:`ServeClient` — blocking pipelining client for scripts, tests,
-  benchmarks and the CI smoke probe;
+  benchmarks and the CI smoke probe, with :class:`RetryPolicy`-governed
+  safe retries (connect failures, overload rejections);
 * :class:`ServerStats` — queue depth, batch-size histogram, p50/p99
-  latency and the session's cache hit rates in one snapshot.
+  latency and the session's cache hit rates in one snapshot;
+* :class:`FaultPlan` (:mod:`repro.serve.faults`) — deterministic fault
+  injection (worker kills, flush delays, artifact corruption, dropped
+  connections) behind the ``REPRO_FAULTS`` env var, driving the chaos
+  smoke (``python -m repro.serve.smoke --chaos``).
 """
 
-from repro.serve.client import ServeClient, ServeResponseError, raise_for_error
+from repro.serve.client import (
+    RetryPolicy,
+    ServeClient,
+    ServeResponseError,
+    raise_for_error,
+)
+from repro.serve.faults import FAULTS_ENV, FaultPlan
 from repro.serve.http import DEFAULT_HTTP_PORT, HttpGateway
 from repro.serve.metrics import (
     CONTENT_TYPE as METRICS_CONTENT_TYPE,
@@ -64,11 +75,14 @@ __all__ = [
     "DEFAULT_TRACE_RING",
     "ExplanationServer",
     "ExplanationService",
+    "FAULTS_ENV",
+    "FaultPlan",
     "HttpGateway",
     "MAX_LINE_BYTES",
     "METRICS_CONTENT_TYPE",
     "ModelRegistry",
     "OPS",
+    "RetryPolicy",
     "ServeClient",
     "ServeResponseError",
     "ServerStats",

@@ -13,12 +13,26 @@ or any analyst script without pulling in an HTTP stack::
 ``pipeline`` sends many requests before reading any response — that is
 what lets a single connection exercise the server's micro-batcher.
 Responses are matched back to requests by the echoed ``id``.
+
+Resilience: pass a :class:`RetryPolicy` and the client retries — with
+jittered exponential backoff — exactly the failures where the request
+provably never executed: connection establishment, and typed overload
+rejections (the server answered "queue full", so nothing was admitted).
+A request that may have reached the server (sent but unanswered) is
+**never** retried here; that judgement belongs to the caller, who knows
+whether the operation is idempotent.  A socket timeout mid-response
+leaves the stream position untrustworthy, so the client marks itself
+broken and every later call fails fast with a typed error instead of
+silently pairing responses to the wrong requests.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ServeError
@@ -29,6 +43,38 @@ from repro.serve.protocol import encode_line
 #: it is a typed failure, never a silent truncation: a truncated readline
 #: would desync every later response on the connection.
 MAX_RESPONSE_BYTES = 64 << 20
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for provably-safe retries.
+
+    ``attempts`` bounds total tries (1 = no retry).  Try *n* (0-based)
+    sleeps ``base_delay_s * 2**n`` seconds first, capped at
+    ``max_delay_s`` and spread by ``±jitter`` (a fraction) so synchronized
+    clients don't re-stampede a recovering server in lockstep.  ``seed``
+    makes the jitter sequence reproducible in tests.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ServeError(f"attempts must be ≥ 1, got {self.attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ServeError("retry delays must be ≥ 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServeError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        delay = min(self.base_delay_s * (2 ** attempt), self.max_delay_s)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
 
 
 class ServeResponseError(ServeError):
@@ -48,20 +94,72 @@ def raise_for_error(response: Mapping[str, Any]) -> Mapping[str, Any]:
 
 
 class ServeClient:
-    """One connection to an :class:`~repro.serve.server.ExplanationServer`."""
+    """One connection to an :class:`~repro.serve.server.ExplanationServer`.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            # Raw ConnectionRefusedError / socket.timeout without the target
-            # address is useless three layers up a retry loop; surface the
-            # typed library error with the host:port it actually dialed.
-            raise ServeError(
-                f"cannot connect to explanation server at {host}:{port}: {exc}"
-            ) from exc
-        self._reader = self._sock.makefile("rb")
+    ``retry`` (optional) arms connect-time and overload-rejection retries
+    — see the module docstring for exactly what is and is not retried.
+    ``retries`` counts every re-attempt this client performed.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self.retries = 0
+        self._rng = random.Random(retry.seed if retry is not None else None)
+        self._broken = False
+        self._sock: socket.socket | None = None
+        self._reader = None
         self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        attempts = self.retry.attempts if self.retry is not None else 1
+        last_exc: OSError | None = None
+        for attempt in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._reader = self._sock.makefile("rb")
+                self._broken = False
+                return
+            except OSError as exc:
+                last_exc = exc
+                if attempt + 1 < attempts:
+                    self.retries += 1
+                    time.sleep(self.retry.delay_s(attempt, self._rng))
+        # Raw ConnectionRefusedError / socket.timeout without the target
+        # address is useless three layers up a retry loop; surface the
+        # typed library error with the host:port it actually dialed.
+        raise ServeError(
+            f"cannot connect to explanation server at {self.host}:{self.port} "
+            f"after {attempts} attempt(s): {last_exc}"
+        ) from last_exc
+
+    def reconnect(self) -> None:
+        """Drop the current connection (however broken) and dial a fresh
+        one under the same retry policy."""
+        self.close()
+        self._connect()
+
+    def _mark_broken(self) -> None:
+        self._broken = True
+        self.close()
+
+    def _check_usable(self) -> None:
+        if self._broken or self._sock is None:
+            raise ServeError(
+                "connection is unusable (closed, or a timeout mid-response "
+                "desynced the stream); call reconnect() or open a new client"
+            )
 
     # ------------------------------------------------------------------
     # Raw request/response
@@ -69,23 +167,50 @@ class ServeClient:
 
     def send(self, payload: Mapping[str, Any]) -> Any:
         """Send one request line; returns the ``id`` it carries."""
+        self._check_usable()
         payload = dict(payload)
         if "id" not in payload:
             self._next_id += 1
             payload["id"] = self._next_id
-        self._sock.sendall(encode_line(payload))
+        try:
+            self._sock.sendall(encode_line(payload))
+        except OSError as exc:
+            # The line may have partially (or fully!) reached the server —
+            # this request's fate is unknowable, so never auto-retried.
+            self._mark_broken()
+            raise ServeError(f"connection failed mid-send: {exc}") from exc
         return payload["id"]
 
     def recv(self) -> dict[str, Any]:
         """Read one response line (raises :class:`ServeError` on EOF,
-        over-long lines, or malformed payloads — never desyncs silently)."""
-        line = self._reader.readline(MAX_RESPONSE_BYTES + 1)
+        timeouts, over-long lines, or malformed payloads — never desyncs
+        silently: any failure that leaves the stream position unknown
+        marks the connection unusable)."""
+        self._check_usable()
+        try:
+            line = self._reader.readline(MAX_RESPONSE_BYTES + 1)
+        except socket.timeout as exc:
+            # A timeout mid-readline may have consumed part of a response:
+            # the next readline would return a torn line and every later
+            # response would pair with the wrong request.  Kill the
+            # connection instead of desyncing.
+            self._mark_broken()
+            raise ServeError(
+                f"timed out after {self.timeout}s mid-response; the stream "
+                "position is unknown — connection closed, reconnect to "
+                "continue"
+            ) from exc
+        except OSError as exc:
+            self._mark_broken()
+            raise ServeError(f"connection failed mid-response: {exc}") from exc
         if not line:
+            self._mark_broken()
             raise ServeError("server closed the connection")
         if not line.endswith(b"\n") and len(line) > MAX_RESPONSE_BYTES:
+            self._mark_broken()
             raise ServeError(
                 f"response line exceeds {MAX_RESPONSE_BYTES} bytes; "
-                "stream is no longer trustworthy — close this connection"
+                "stream is no longer trustworthy — connection closed"
             )
         try:
             response = json.loads(line.decode("utf-8"))
@@ -96,9 +221,34 @@ class ServeClient:
         return response
 
     def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        """One synchronous round trip (response may be an error envelope)."""
-        self.send(payload)
-        return self.recv()
+        """One synchronous round trip (response may be an error envelope).
+
+        With a :class:`RetryPolicy`, a typed overload rejection is
+        re-sent after backoff — the server answered "queue full", so the
+        request provably never executed and the stream stayed in sync.
+        Everything else (including transport failures) surfaces to the
+        caller untried: only they know whether a resend is safe.
+        """
+        payload = dict(payload)
+        if "id" not in payload:
+            self._next_id += 1
+            payload["id"] = self._next_id
+        attempts = self.retry.attempts if self.retry is not None else 1
+        response: dict[str, Any] = {}
+        for attempt in range(attempts):
+            self.send(payload)
+            response = self.recv()
+            error_type = (response.get("error") or {}).get("type")
+            if (
+                attempt + 1 < attempts
+                and not response.get("ok")
+                and error_type == "ServiceOverloadedError"
+            ):
+                self.retries += 1
+                time.sleep(self.retry.delay_s(attempt, self._rng))
+                continue
+            return response
+        return response
 
     def pipeline(
         self, payloads: Sequence[Mapping[str, Any]]
@@ -182,10 +332,20 @@ class ServeClient:
         return bool(raise_for_error(response).get("draining"))
 
     def close(self) -> None:
+        """Close the socket (idempotent; the client can ``reconnect``)."""
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
         try:
-            self._reader.close()
+            if reader is not None:
+                reader.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
     def __enter__(self) -> "ServeClient":
         return self

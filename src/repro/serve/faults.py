@@ -1,0 +1,205 @@
+"""Deterministic fault injection for the serving stack (chaos harness).
+
+Production failure modes — a process worker segfaulting mid-shard, a slow
+flush, a corrupt artifact on disk, a load balancer dropping connections —
+are exactly the paths ordinary tests never exercise.  This module gives
+the stack one switchboard for injecting them *deterministically*, so the
+chaos smoke (``python -m repro.serve.smoke --chaos``) and the robustness
+suite can assert recovery instead of hoping for it.
+
+A :class:`FaultPlan` describes which faults are armed:
+
+* ``kill_worker_every`` / ``kill_worker_prob`` — a pool worker calls
+  ``os._exit`` mid-shard (every Nth shard run, and/or with probability p
+  per run).  Exercises :class:`~repro.parallel.executor.ProcessExecutor`
+  self-healing: pool rebuild, lost-shard re-run, serial degrade.
+* ``flush_delay_ms`` — every service flush sleeps first.  Exercises
+  deadline shedding and ``asyncio.wait_for`` budget enforcement.
+* ``corrupt_artifact_every`` — every Nth registry artifact read fails as
+  if the file were corrupt.  Exercises artifact quarantine.
+* ``drop_connection_every`` — the TCP server closes a connection instead
+  of dispatching its Nth read request line.  The drop happens **before
+  admission**, so the request provably never executed and a client may
+  retry it safely.  Exercises client reconnect/retry.
+
+Arming is process-wide through the ``REPRO_FAULTS`` env var (a JSON
+object of the fields above) so process-pool workers — which inherit the
+environment — arm themselves at first use; :func:`arm` / :func:`disarm`
+set/clear the variable in-process for tests.  When nothing is armed
+every hook is one cached ``None`` check — the serving hot path pays
+nothing.
+
+Decisions are deterministic given (plan, call sequence): counters drive
+the ``*_every`` faults and a seeded :class:`random.Random` drives the
+probabilistic ones, so a failing chaos run replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+
+#: Env var carrying the armed :class:`FaultPlan` as JSON.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exit code of a fault-killed worker (distinguishable from a real crash).
+KILLED_WORKER_EXIT = 73
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults are armed, and the seed that makes them replayable."""
+
+    seed: int = 0
+    #: Kill the pool worker on every Nth shard run it executes (0 = off).
+    kill_worker_every: int = 0
+    #: ... and/or with this probability per shard run.
+    kill_worker_prob: float = 0.0
+    #: Sleep this long at the top of every service flush (0 = off).
+    flush_delay_ms: float = 0.0
+    #: Fail every Nth registry artifact read as corrupt (0 = off).
+    corrupt_artifact_every: int = 0
+    #: Drop every Nth TCP request line before dispatch (0 = off).
+    drop_connection_every: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_worker_every", "corrupt_artifact_every",
+                     "drop_connection_every"):
+            if getattr(self, name) < 0:
+                raise ServeError(f"{name} must be ≥ 0, got {getattr(self, name)}")
+        if not 0.0 <= self.kill_worker_prob <= 1.0:
+            raise ServeError(
+                f"kill_worker_prob must be in [0, 1], got {self.kill_worker_prob}"
+            )
+        if self.flush_delay_ms < 0:
+            raise ServeError(
+                f"flush_delay_ms must be ≥ 0, got {self.flush_delay_ms}"
+            )
+
+    @property
+    def armed(self) -> bool:
+        return bool(
+            self.kill_worker_every
+            or self.kill_worker_prob
+            or self.flush_delay_ms
+            or self.corrupt_artifact_every
+            or self.drop_connection_every
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a JSON-shaped mapping, rejecting unknown keys
+        (a typo'd fault name must not silently arm nothing)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ServeError(
+                f"unknown fault field(s) {sorted(unknown)!r}; "
+                f"expected a subset of {sorted(known)!r}"
+            )
+        try:
+            return cls(**{key: spec[key] for key in spec})
+        except TypeError as exc:
+            raise ServeError(f"malformed fault plan {dict(spec)!r}: {exc}") from exc
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan armed via ``REPRO_FAULTS``, or None.  Malformed JSON is
+        a typed error — a chaos run with a broken plan must fail loudly,
+        not silently run fault-free."""
+        raw = os.environ.get(FAULTS_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            spec = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"{FAULTS_ENV} is not valid JSON: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise ServeError(f"{FAULTS_ENV} must be a JSON object, got {raw!r}")
+        return cls.from_spec(spec)
+
+    def to_env(self) -> str:
+        """The JSON value to put in ``REPRO_FAULTS`` (compact, stable)."""
+        payload = {k: v for k, v in asdict(self).items() if v}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class FaultState:
+    """One process's live fault decisions: plan + counters + seeded RNG.
+
+    Counter state is per-process (a fresh pool worker starts its counters
+    at zero), which is what makes worker kills survivable: the rebuilt
+    worker gets ``kill_worker_every - 1`` clean runs before its next kill.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed ^ os.getpid())
+        self.shard_runs = 0
+        self.artifact_reads = 0
+        self.request_lines = 0
+
+    def maybe_kill_worker(self) -> None:
+        """Die mid-shard the way a segfaulting worker would (no cleanup,
+        no exception — the parent sees only a broken pool)."""
+        self.shard_runs += 1
+        every = self.plan.kill_worker_every
+        if every and self.shard_runs % every == 0:
+            os._exit(KILLED_WORKER_EXIT)
+        if self.plan.kill_worker_prob and (
+            self._rng.random() < self.plan.kill_worker_prob
+        ):
+            os._exit(KILLED_WORKER_EXIT)
+
+    def flush_delay_s(self) -> float:
+        """Seconds the current flush should stall before serving."""
+        return self.plan.flush_delay_ms / 1e3
+
+    def should_corrupt_artifact(self) -> bool:
+        self.artifact_reads += 1
+        every = self.plan.corrupt_artifact_every
+        return bool(every and self.artifact_reads % every == 0)
+
+    def should_drop_connection(self) -> bool:
+        self.request_lines += 1
+        every = self.plan.drop_connection_every
+        return bool(every and self.request_lines % every == 0)
+
+
+#: Sentinel meaning "env not inspected yet" (distinct from "inspected, off").
+_UNREAD = object()
+_state: Any = _UNREAD
+
+
+def active() -> FaultState | None:
+    """The process-wide fault state, or None when nothing is armed.
+
+    The env var is parsed once per process (and re-parsed after
+    :func:`arm`/:func:`disarm`), so the unarmed serving hot path pays a
+    single global read per hook.
+    """
+    global _state
+    if _state is _UNREAD:
+        plan = FaultPlan.from_env()
+        _state = FaultState(plan) if plan is not None and plan.armed else None
+    return _state
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm ``plan`` for this process *and* (via env) future child
+    processes — pool workers spawned after this call self-arm."""
+    global _state
+    os.environ[FAULTS_ENV] = plan.to_env()
+    _state = FaultState(plan) if plan.armed else None
+
+
+def disarm() -> None:
+    """Clear the armed plan (idempotent)."""
+    global _state
+    os.environ.pop(FAULTS_ENV, None)
+    _state = None

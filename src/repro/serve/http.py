@@ -41,8 +41,10 @@ per-item batch failures, which also echo the item's optional ``id``.
 
 Failures map to status codes by exception type — 400 malformed request /
 query, 404 unknown model, 405 wrong method, 413/431 oversized, 429
-overloaded (shed at admission), 503 draining — and every error body is the
-same typed envelope the TCP protocol uses.  Connections are keep-alive by
+overloaded (shed at admission), 503 draining or a quarantined artifact,
+504 deadline exceeded (the explain body's optional ``timeout_ms`` budget)
+— and every error body is the same typed envelope the TCP protocol uses.
+429/503 responses carry a ``Retry-After`` header.  Connections are keep-alive by
 default; requests on one connection are served sequentially (plain
 HTTP/1.1 semantics), concurrency comes from many connections, and batching
 from the per-model service underneath.
@@ -60,6 +62,8 @@ from repro import obs
 from repro.core.reporting import report_to_dict
 from repro.data.query import query_from_spec
 from repro.errors import (
+    ArtifactQuarantinedError,
+    DeadlineExceededError,
     ModelError,
     ProtocolError,
     QueryError,
@@ -94,7 +98,12 @@ _REASONS = {
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: Clients may retry after this many seconds on 429/503 (the statuses
+#: whose cause — a full queue, an active quarantine — is transient).
+RETRY_AFTER_S = 1
 
 _MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(explain|stats|traces)$")
 
@@ -104,6 +113,10 @@ TRACE_HEADER = "X-Repro-Trace-Id"
 
 def _status_for(exc: BaseException) -> int:
     """Map a library exception to the HTTP status the caller can act on."""
+    if isinstance(exc, ArtifactQuarantinedError):
+        return 503  # transient: clears on backoff expiry / artifact change
+    if isinstance(exc, DeadlineExceededError):
+        return 504
     if isinstance(exc, RegistryError):
         return 404
     if isinstance(exc, ServiceOverloadedError):
@@ -336,6 +349,10 @@ class HttpGateway:
         # Every response — success, typed error (429/503 included), even a
         # parse failure — echoes the trace id so clients can correlate.
         extra_headers[TRACE_HEADER] = self._ensure_trace_id(request)
+        if status in (429, 503):
+            # Both causes are transient (shed load, active quarantine):
+            # tell well-behaved clients when a retry is worth it.
+            extra_headers.setdefault("Retry-After", str(RETRY_AFTER_S))
         try:
             writer.write(
                 self._response_bytes(
@@ -487,6 +504,19 @@ class HttpGateway:
         method = payload.get("method", "auto")
         if not isinstance(method, str):
             raise ProtocolError(f"'method' must be a string, got {method!r}")
+        timeout_ms = payload.get("timeout_ms")
+        if timeout_ms is not None:
+            if isinstance(timeout_ms, bool) or not isinstance(
+                timeout_ms, (int, float)
+            ):
+                raise ProtocolError(
+                    f"'timeout_ms' must be a number, got {timeout_ms!r}"
+                )
+            if timeout_ms <= 0:
+                raise ProtocolError(
+                    f"'timeout_ms' must be > 0, got {timeout_ms!r}"
+                )
+            timeout_ms = float(timeout_ms)
         body_tid = payload.get("trace_id")
         if body_tid is not None:
             if not obs.valid_trace_id(body_tid):
@@ -527,7 +557,9 @@ class HttpGateway:
                 )
             outcomes = await asyncio.gather(
                 *(
-                    entry.service.explain(q, method=method, trace=t)
+                    entry.service.explain(
+                        q, method=method, trace=t, timeout_ms=timeout_ms
+                    )
                     for q, t in zip(queries, traces)
                 ),
                 return_exceptions=True,
@@ -556,7 +588,9 @@ class HttpGateway:
         query = query_from_spec(payload["query"], entry.service.table)
         trace = obs.Trace(name="request", trace_id=trace_id)
         trace.root.tag(op="explain", proto="http", model=entry.model_id)
-        report = await entry.service.explain(query, method=method, trace=trace)
+        report = await entry.service.explain(
+            query, method=method, trace=trace, timeout_ms=timeout_ms
+        )
         body, ctype = self._json_body(
             {**base, "report": report_to_dict(report)}
         )

@@ -43,6 +43,14 @@ _COUNTERS = (
     ("deduped", "Requests answered by another request's explain."),
     ("batches", "Micro-batch flushes executed."),
     ("slow_queries", "Requests over the slow-query latency threshold."),
+    ("timeouts", "Requests resolved with DeadlineExceededError."),
+    ("shed_expired", "Timeouts shed in queue before their flush ran."),
+)
+
+#: Fault-tolerance counters that live on the service (not ServerStats).
+_SERVICE_COUNTERS = (
+    ("worker_restarts", "Process-pool rebuilds forced by worker deaths."),
+    ("retries", "Shards/queries re-attempted after infrastructure failures."),
 )
 
 
@@ -170,6 +178,24 @@ def render_metrics(
                 {"model": entry.model_id},
                 getattr(entry.service.stats, counter),
             )
+
+    for counter, help_text in _SERVICE_COUNTERS:
+        name = f"{PREFIX}_{counter}_total"
+        builder.family(name, "counter", help_text)
+        for entry in entries:
+            builder.sample(
+                name,
+                {"model": entry.model_id},
+                getattr(entry.service, counter),
+            )
+
+    builder.family(
+        f"{PREFIX}_quarantined_models", "gauge",
+        "Models whose latest artifact is negative-cached as unloadable.",
+    )
+    builder.sample(
+        f"{PREFIX}_quarantined_models", {}, len(registry.quarantined_models())
+    )
 
     builder.family(
         f"{PREFIX}_queue_depth", "gauge", "Requests waiting for a flush."

@@ -16,7 +16,11 @@ Ops
     ``{"id": 7, "ok": true, "report": {...}}`` with the report in the
     stable :func:`repro.core.reporting.report_to_dict` schema.  The query
     spec is exactly the CLI ``batch-explain`` file entry shape (see
-    :func:`repro.data.query.query_from_spec`).
+    :func:`repro.data.query.query_from_spec`).  An optional
+    ``"timeout_ms"`` number sets the request's deadline — past it the
+    response is a typed ``DeadlineExceededError`` envelope (the service
+    default / cap still applies; see ``repro serve
+    --default-timeout-ms/--max-timeout-ms``).
 ``stats``
     ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}`` — the
     :class:`~repro.serve.service.ServerStats` snapshot.

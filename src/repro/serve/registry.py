@@ -30,6 +30,11 @@ Registry directory layout::
   requests to it, and drains the old one in the background: everything
   already admitted on the old service completes there.  A touched file
   with an unchanged fingerprint keeps the warm service and its caches.
+* **Quarantine** — a version that fails to load (parse error, unreadable
+  or corrupt file) is negative-cached instead of re-read per request: the
+  last healthy version keeps serving when one is live, otherwise lookups
+  refuse with a typed :class:`ArtifactQuarantinedError` (HTTP 503) until
+  the backoff expires or the artifact changes on disk.
 * **LRU bound** — at most ``max_models`` services are live; loading one
   more evicts (gracefully drains) the least-recently-used entry.  Each
   model has its own ``asyncio.Lock`` for load/reload, so traffic to
@@ -46,6 +51,7 @@ path and the existing tests run through the same routing code.
 from __future__ import annotations
 
 import asyncio
+import logging
 import re
 import time
 from dataclasses import dataclass, field
@@ -54,11 +60,18 @@ from typing import Any, Mapping
 
 from repro.core.model import XInsightModel
 from repro.data.table import Table
-from repro.errors import RegistryError
+from repro.errors import ArtifactQuarantinedError, ModelError, RegistryError
+from repro.serve import faults
 from repro.serve.service import ExplanationService
+
+LOG = logging.getLogger("repro.serve")
 
 #: Default LRU bound on concurrently loaded models.
 DEFAULT_MAX_MODELS = 8
+
+#: First quarantine backoff; doubles per consecutive failure, capped below.
+QUARANTINE_BASE_S = 1.0
+QUARANTINE_MAX_S = 60.0
 
 #: Model ids must be path-safe: no separators, no leading dot, nothing a
 #: URL or a registry scan could confuse with a traversal.
@@ -75,6 +88,30 @@ def _version_key(stem: str) -> tuple:
     if stem.isdigit():
         return (1, int(stem), "")
     return (0, 0, stem)
+
+
+@dataclass
+class _Quarantine:
+    """Negative cache for one model's failing artifact.
+
+    A version that failed to load (parse error, unreadable file, corrupt
+    fault) is not re-read per request: lookups within the backoff window
+    are answered from the last healthy entry when one exists, or refused
+    with a typed :class:`ArtifactQuarantinedError` otherwise.  The backoff
+    doubles per consecutive failure (capped at ``QUARANTINE_MAX_S``) and
+    the quarantine clears the moment the artifact changes on disk or a
+    re-attempt succeeds.
+    """
+
+    source: Path
+    version: str
+    mtime_ns: int
+    reason: str
+    failures: int
+    until: float  # monotonic instant past which a re-read is allowed
+
+    def retry_in_s(self, now: float) -> float:
+        return max(0.0, self.until - now)
 
 
 @dataclass
@@ -136,6 +173,7 @@ class ModelRegistry:
         self.service_kwargs = dict(service_kwargs or {})
         self.started_at = time.monotonic()
         self._entries: dict[str, _Entry] = {}
+        self._quarantines: dict[str, _Quarantine] = {}
         self._locks: dict[str, asyncio.Lock] = {}
         self._drain_tasks: set[asyncio.Task] = set()
         self._closed = False
@@ -311,12 +349,90 @@ class ModelRegistry:
             f"(expected {DATA_STORE_NAME}/ or {DATA_CSV_NAME})"
         )
 
+    @staticmethod
+    def _read_artifact(source: Path) -> XInsightModel:
+        """Parse one artifact file (worker thread; fault-injectable)."""
+        fault_state = faults.active()
+        if fault_state is not None and fault_state.should_corrupt_artifact():
+            raise ModelError(f"artifact {source} is corrupt (fault injection)")
+        return XInsightModel.load(source)
+
+    def _note_failure(
+        self, model_id: str, source: Path, version: str, mtime_ns: int,
+        exc: BaseException,
+    ) -> _Quarantine:
+        """Record one artifact-load failure: start or extend the model's
+        quarantine (exponential backoff, capped)."""
+        prior_q = self._quarantines.get(model_id)
+        failures = (
+            prior_q.failures + 1
+            if prior_q is not None and prior_q.source == source
+            else 1
+        )
+        backoff = min(QUARANTINE_BASE_S * 2 ** (failures - 1), QUARANTINE_MAX_S)
+        quarantine = _Quarantine(
+            source=source,
+            version=version,
+            mtime_ns=mtime_ns,
+            reason=f"{type(exc).__name__}: {exc}",
+            failures=failures,
+            until=time.monotonic() + backoff,
+        )
+        self._quarantines[model_id] = quarantine
+        LOG.warning(
+            "artifact quarantined: %s version %s (%s); retry in %.1fs",
+            model_id, version, quarantine.reason, backoff,
+            extra={
+                "event": "artifact_quarantined",
+                "model": model_id,
+                "version": version,
+                "failures": failures,
+                "backoff_s": backoff,
+            },
+        )
+        return quarantine
+
+    def _quarantine_error(
+        self, model_id: str, quarantine: _Quarantine
+    ) -> ArtifactQuarantinedError:
+        return ArtifactQuarantinedError(
+            f"model {model_id!r} version {quarantine.version!r} is "
+            f"quarantined ({quarantine.reason}); retry in "
+            f"{quarantine.retry_in_s(time.monotonic()):.1f}s or replace "
+            "the artifact"
+        )
+
     async def _load(self, model_id: str, prior: _Entry | None) -> _Entry:
         """Load (or hot-reload) one model behind its per-model lock."""
         source, version = self._latest_artifact(model_id)
         mtime_ns = source.stat().st_mtime_ns
+        quarantine = self._quarantines.get(model_id)
+        if quarantine is not None:
+            if quarantine.source != source or quarantine.mtime_ns != mtime_ns:
+                # The artifact moved or changed on disk: fresh chance.
+                del self._quarantines[model_id]
+            elif time.monotonic() < quarantine.until:
+                # Negative cache hit: answer without re-reading the file.
+                if prior is not None:
+                    return prior  # keep serving the last healthy version
+                raise self._quarantine_error(model_id, quarantine)
+            # else: backoff expired — re-attempt the read below.
         loop = asyncio.get_running_loop()
-        model = await loop.run_in_executor(None, XInsightModel.load, source)
+        try:
+            model = await loop.run_in_executor(
+                None, self._read_artifact, source
+            )
+        except Exception as exc:
+            # Any parse/read failure quarantines the version; a healthy
+            # prior entry keeps serving so a bad rollout never takes the
+            # model offline.
+            quarantine = self._note_failure(
+                model_id, source, version, mtime_ns, exc
+            )
+            if prior is not None:
+                return prior
+            raise self._quarantine_error(model_id, quarantine) from exc
+        self._quarantines.pop(model_id, None)
         fingerprint = model.fingerprint()
         if prior is not None and fingerprint == prior.fingerprint:
             # Touched but content-identical (e.g. re-saved artifact): keep
@@ -397,8 +513,21 @@ class ModelRegistry:
                     completed=entry.service.stats.completed,
                     queue_depth=entry.service.queue_depth,
                 )
+            quarantine = self._quarantines.get(model_id)
+            if quarantine is not None:
+                row["quarantined"] = {
+                    "version": quarantine.version,
+                    "reason": quarantine.reason,
+                    "failures": quarantine.failures,
+                    "retry_in_seconds": round(quarantine.retry_in_s(now), 3),
+                }
             rows.append(row)
         return rows
+
+    def quarantined_models(self) -> list[str]:
+        """Ids whose latest artifact is currently negative-cached (the
+        ``quarantined_models`` metrics gauge iterates this)."""
+        return sorted(self._quarantines)
 
     async def stats_for(self, model_id: str | None = None) -> dict[str, Any]:
         """One model's full stats snapshot (loads the model if needed).

@@ -29,6 +29,7 @@ from repro import obs
 from repro.core.reporting import report_to_dict
 from repro.data.query import query_from_spec
 from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve import faults
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     decode_request,
@@ -207,6 +208,11 @@ class ExplanationServer:
                     break
                 if not line.strip():
                     continue
+                fault_state = faults.active()
+                if fault_state is not None and fault_state.should_drop_connection():
+                    # Chaos: sever *before* dispatch — the request was
+                    # never admitted, so a client retry is provably safe.
+                    break
                 task = asyncio.get_running_loop().create_task(
                     self._handle_request(line, writer, write_lock)
                 )
@@ -263,6 +269,20 @@ class ExplanationServer:
         if model is not None and not isinstance(model, str):
             raise ProtocolError(f"'model' must be a string, got {model!r}")
         return model
+
+    @staticmethod
+    def _requested_timeout_ms(request: dict[str, Any]) -> float | None:
+        """The request's deadline budget (``timeout_ms``), validated."""
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is None:
+            return None
+        if isinstance(timeout_ms, bool) or not isinstance(timeout_ms, (int, float)):
+            raise ProtocolError(
+                f"'timeout_ms' must be a number, got {timeout_ms!r}"
+            )
+        if timeout_ms <= 0:
+            raise ProtocolError(f"'timeout_ms' must be > 0, got {timeout_ms!r}")
+        return float(timeout_ms)
 
     @staticmethod
     def _trace_id_of(request: dict[str, Any]) -> str:
@@ -322,9 +342,12 @@ class ExplanationServer:
         method = request.get("method", "auto")
         if not isinstance(method, str):
             raise ProtocolError(f"'method' must be a string, got {method!r}")
+        timeout_ms = self._requested_timeout_ms(request)
         trace = obs.Trace(name="request", trace_id=trace_id)
         trace.root.tag(op="explain", proto="tcp", model=entry.model_id)
-        report = await entry.service.explain(query, method=method, trace=trace)
+        report = await entry.service.explain(
+            query, method=method, trace=trace, timeout_ms=timeout_ms
+        )
         return ok_response(request_id, report=report_to_dict(report))
 
 

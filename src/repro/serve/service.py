@@ -49,8 +49,14 @@ from repro.core.session import ExplainSession, XInsightReport
 from repro.core.xplainer import XPlainerConfig
 from repro.data.query import WhyQuery
 from repro.data.table import Table
-from repro.errors import ServeError, ServiceClosedError, ServiceOverloadedError
+from repro.errors import (
+    DeadlineExceededError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from repro.parallel import default_workers, make_executor
+from repro.serve import faults
 
 LOG = logging.getLogger("repro.serve")
 
@@ -65,6 +71,13 @@ DEFAULT_TRACE_RING = 64
 LATENCY_WINDOW = 4096
 
 _STOP = object()  # queue sentinel: admission is closed, drain and exit
+
+
+def _swallow_result(task: "asyncio.Future") -> None:
+    """Consume an abandoned fan-out's outcome so asyncio never logs it as
+    an unretrieved exception (every waiter already got a deadline error)."""
+    if not task.cancelled():
+        task.exception()
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -107,6 +120,12 @@ class ServerStats:
     fingerprint: str | None = None
     #: Requests whose latency crossed the slow-query threshold.
     slow_queries: int = 0
+    #: Requests resolved with :class:`DeadlineExceededError` (shed in
+    #: queue + expired mid-flush).  Disjoint from completed/failed.
+    timeouts: int = 0
+    #: The subset of ``timeouts`` shed before their flush ever ran —
+    #: expired while queued, so no explain work was spent on them.
+    shed_expired: int = 0
     # One monotonic clock for *every* duration in the service: request
     # latency (``enqueued_at``), flush timing, and uptime all read
     # ``time.perf_counter`` so they are mutually comparable.
@@ -148,6 +167,8 @@ class ServerStats:
             },
             "latency_ms": self.latency_ms(),
             "slow_queries": self.slow_queries,
+            "timeouts": self.timeouts,
+            "shed_expired": self.shed_expired,
             "uptime_seconds": round(self.uptime_seconds, 3),
             "fingerprint": self.fingerprint,
         }
@@ -161,6 +182,13 @@ class _Pending:
     method: str
     future: asyncio.Future
     enqueued_at: float
+    #: perf_counter instant past which this request is worthless to its
+    #: caller (None = no deadline).  Enforced at flush pickup (shed) and
+    #: while the flush runs (see ``_await_with_deadlines``).
+    deadline: float | None = None
+    #: Set once the request was resolved with DeadlineExceededError —
+    #: its stats and trace are final; the fan-out loop must skip it.
+    expired: bool = False
     #: Request-scoped trace the front-end opened (None for untraced
     #: embedders).  ``queue_span`` covers admission→flush-pickup;
     #: ``flush_span`` covers the flush the request rode in.
@@ -191,6 +219,15 @@ class ExplanationService:
         defaults to the ``REPRO_WORKERS`` env; 1 means in-process serial.
         The per-worker sessions are private (session affinity), so only
         the primary session's ``cache_info`` appears in the stats.
+    default_timeout_ms, max_timeout_ms:
+        Deadline policy.  ``default_timeout_ms`` applies to requests that
+        name no ``timeout_ms`` of their own; ``max_timeout_ms`` caps what
+        a request may ask for (both ``None`` = unlimited).  A request
+        whose deadline passes resolves with a typed
+        :class:`DeadlineExceededError` — shed before its flush when it
+        expired in the queue (no explain work spent), or mid-flush when
+        the batch outran its remaining budget.  Counted in
+        ``ServerStats.timeouts`` / ``shed_expired``.
     slow_query_ms:
         When set, any request whose queue→answer latency crosses the
         threshold bumps ``ServerStats.slow_queries`` and emits one
@@ -215,6 +252,8 @@ class ExplanationService:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         workers: int | None = None,
         executor_kind: str | None = None,
+        default_timeout_ms: float | None = None,
+        max_timeout_ms: float | None = None,
         slow_query_ms: float | None = None,
         trace_ring: int = DEFAULT_TRACE_RING,
         trace_dir: str | Path | None = None,
@@ -225,6 +264,12 @@ class ExplanationService:
             raise ServeError(f"max_wait_ms must be ≥ 0, got {max_wait_ms}")
         if queue_limit < 1:
             raise ServeError(f"queue_limit must be ≥ 1, got {queue_limit}")
+        for name, value in (
+            ("default_timeout_ms", default_timeout_ms),
+            ("max_timeout_ms", max_timeout_ms),
+        ):
+            if value is not None and value <= 0:
+                raise ServeError(f"{name} must be > 0, got {value}")
         if slow_query_ms is not None and slow_query_ms < 0:
             raise ServeError(f"slow_query_ms must be ≥ 0, got {slow_query_ms}")
         self.session = ExplainSession(model, table, config=config)
@@ -235,7 +280,12 @@ class ExplanationService:
         self.queue_limit = queue_limit
         self.workers = default_workers() if workers is None else workers
         self.executor = make_executor(self.workers, executor_kind)
+        self.default_timeout_ms = default_timeout_ms
+        self.max_timeout_ms = max_timeout_ms
         self.stats = ServerStats(fingerprint=model.fingerprint())
+        #: Queries re-attempted by the in-process batch fallback after an
+        #: infrastructure-level explain failure (part of ``retries``).
+        self._fallback_retries = 0
         self.slow_query_ms = slow_query_ms
         self.traces = obs.TraceRing(trace_ring)
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
@@ -303,29 +353,50 @@ class ExplanationService:
     # Request surface
     # ------------------------------------------------------------------
 
+    def _resolve_timeout_ms(self, timeout_ms: float | None) -> float | None:
+        """Apply the deadline policy: default when unspecified, capped by
+        ``max_timeout_ms``.  A non-positive request value is a caller bug
+        and raises typed."""
+        if timeout_ms is None:
+            timeout_ms = self.default_timeout_ms
+        elif timeout_ms <= 0:
+            raise ServeError(f"timeout_ms must be > 0, got {timeout_ms}")
+        if timeout_ms is not None and self.max_timeout_ms is not None:
+            timeout_ms = min(timeout_ms, self.max_timeout_ms)
+        return timeout_ms
+
     def submit(
         self,
         query: WhyQuery,
         method: str = "auto",
         trace: obs.Trace | None = None,
+        timeout_ms: float | None = None,
     ) -> asyncio.Future:
         """Admit one request; returns the future its report resolves on.
 
         ``trace`` is the request-scoped trace the front-end opened (or
         ``None`` for untraced embedders — tracing is strictly opt-in, the
-        no-op path costs nothing).  Raises the typed admission errors
-        synchronously: :class:`ServiceClosedError` when draining/stopped,
+        no-op path costs nothing).  ``timeout_ms`` sets the request's
+        deadline (service default / cap applied; see the constructor) —
+        past it the future resolves with :class:`DeadlineExceededError`.
+        Raises the typed admission errors synchronously:
+        :class:`ServiceClosedError` when draining/stopped,
         :class:`ServiceOverloadedError` when the queue is full.
         """
         if self._flusher is None or self._queue is None:
             raise ServiceClosedError("service is not started")
         if self._closed:
             raise ServiceClosedError("service is draining; not accepting requests")
+        timeout_ms = self._resolve_timeout_ms(timeout_ms)
+        enqueued_at = time.perf_counter()
         pending = _Pending(
             query=query,
             method=method,
             future=asyncio.get_running_loop().create_future(),
-            enqueued_at=time.perf_counter(),
+            enqueued_at=enqueued_at,
+            deadline=(
+                enqueued_at + timeout_ms / 1e3 if timeout_ms is not None else None
+            ),
             trace=trace,
         )
         if trace is not None:
@@ -345,9 +416,24 @@ class ExplanationService:
         query: WhyQuery,
         method: str = "auto",
         trace: obs.Trace | None = None,
+        timeout_ms: float | None = None,
     ) -> XInsightReport:
         """Submit and await one request (the coroutine most callers want)."""
-        return await self.submit(query, method, trace=trace)
+        return await self.submit(query, method, trace=trace, timeout_ms=timeout_ms)
+
+    @property
+    def worker_restarts(self) -> int:
+        """Process-pool rebuilds forced by worker deaths (0 for
+        serial/thread executors) — the self-healing counter."""
+        return getattr(self.executor, "worker_restarts", 0)
+
+    @property
+    def retries(self) -> int:
+        """Work re-attempted after infrastructure failures: shards re-run
+        by the self-healing executor plus queries re-tried by the
+        in-process batch fallback.  Never includes application errors —
+        those fail exactly once."""
+        return getattr(self.executor, "shard_retries", 0) + self._fallback_retries
 
     def traces_snapshot(self) -> list[dict[str, Any]]:
         """Most-recent-first snapshots of recently served traced requests
@@ -367,6 +453,8 @@ class ExplanationService:
         """
         snap = self.stats.snapshot()
         snap["queue_depth"] = self.queue_depth
+        snap["worker_restarts"] = self.worker_restarts
+        snap["retries"] = self.retries
         snap["cache"] = (
             self.session.cache_info() if cache_info is None else cache_info
         )
@@ -376,6 +464,8 @@ class ExplanationService:
             "queue_limit": self.queue_limit,
             "workers": self.workers,
             "executor": self.executor.kind,
+            "default_timeout_ms": self.default_timeout_ms,
+            "max_timeout_ms": self.max_timeout_ms,
             "slow_query_ms": self.slow_query_ms,
             "trace_ring": self.traces.capacity,
         }
@@ -425,9 +515,94 @@ class ExplanationService:
                     await self._flush(backlog[i : i + self.max_batch])
                 return
 
+    def _expire(self, pending: _Pending, *, shed: bool) -> None:
+        """Resolve one request with :class:`DeadlineExceededError` and
+        finalize its stats/trace.  ``shed`` marks a request whose deadline
+        passed while still queued (no explain work was spent on it)."""
+        if pending.future.done() or pending.expired:
+            return
+        pending.expired = True
+        self.stats.timeouts += 1
+        if shed:
+            self.stats.shed_expired += 1
+        latency_s = time.perf_counter() - pending.enqueued_at
+        self.stats.observe_latency(latency_s)
+        budget_ms = (
+            round((pending.deadline - pending.enqueued_at) * 1e3, 3)
+            if pending.deadline is not None
+            else None
+        )
+        if pending.trace is not None:
+            pending.trace.root.tag(deadline_exceeded=True, shed=shed)
+        if pending.queue_span is not None:
+            pending.queue_span.finish()
+        self._finish_trace(pending, primary=None, failed=True, latency_s=latency_s)
+        pending.future.set_exception(
+            DeadlineExceededError(
+                f"deadline exceeded after {round(latency_s * 1e3, 3)} ms "
+                f"(timeout_ms={budget_ms}"
+                + ("; expired while queued)" if shed else ")")
+            )
+        )
+
+    async def _await_with_deadlines(
+        self, coro, waiters: list[_Pending]
+    ) -> Any:
+        """Await one fan-out while enforcing the waiters' deadlines.
+
+        As each deadline passes, that waiter's future resolves with
+        :class:`DeadlineExceededError` — the explain keeps running for the
+        waiters still inside their budget.  Returns the fan-out's result,
+        or ``None`` when every waiter is already resolved (expired or
+        cancelled): the in-flight work is abandoned — it finishes on the
+        flush thread, its results dropped — so one stuck batch cannot hold
+        its requesters past their deadlines.
+        """
+        task = asyncio.ensure_future(coro)
+        while True:
+            live = [p for p in waiters if not p.future.done()]
+            if not live:
+                # Nobody is waiting for the answer: detach (consume the
+                # eventual exception so it never logs as unretrieved).
+                task.add_done_callback(_swallow_result)
+                return None
+            deadlines = [p.deadline for p in live if p.deadline is not None]
+            if not deadlines:
+                return await task
+            budget = min(deadlines) - time.perf_counter()
+            if budget <= 0:
+                now = time.perf_counter()
+                for p in live:
+                    if p.deadline is not None and p.deadline <= now:
+                        self._expire(p, shed=False)
+                continue
+            try:
+                # shield: a deadline firing must not cancel the explain —
+                # other waiters (or none — then abandoned above) remain.
+                return await asyncio.wait_for(asyncio.shield(task), budget)
+            except asyncio.TimeoutError:
+                continue  # loop expires whoever is due, then re-budgets
+
     async def _flush(self, batch: list[_Pending]) -> None:
         """Serve one coalesced batch: dedup, one explain_batch, fan out."""
         loop = asyncio.get_running_loop()
+        fault_state = faults.active()
+        if fault_state is not None:
+            delay_s = fault_state.flush_delay_s()
+            if delay_s:
+                await asyncio.sleep(delay_s)
+        # Admission-side deadline enforcement: a request that expired while
+        # queued is shed *before* the flush spends any work on it.
+        now = time.perf_counter()
+        live: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and pending.deadline <= now:
+                self._expire(pending, shed=True)
+            else:
+                live.append(pending)
+        batch = live
+        if not batch:
+            return
         # Requests are deduplicated per (query, method); explanations are
         # pure per query, so every duplicate receives the identical report
         # the direct explain_batch call would have produced.
@@ -469,9 +644,17 @@ class ExplanationService:
                     traces.append(primary.trace)
                 else:
                     traces.append(None)
-            results.update(
-                await self._explain_unique(loop, queries, method, traces)
+            method_waiters = [
+                pending
+                for query in queries
+                for pending in groups[(query, method)]
+            ]
+            method_results = await self._await_with_deadlines(
+                self._explain_unique(loop, queries, method, traces),
+                method_waiters,
             )
+            if method_results is not None:
+                results.update(method_results)
             for query in queries:
                 primary = primaries[(query, method)]
                 if primary is not None and primary.trace is not None:
@@ -479,10 +662,16 @@ class ExplanationService:
 
         now = time.perf_counter()
         for key, waiters in groups.items():
+            if key not in results:
+                # The whole group's fan-out was abandoned: every waiter
+                # already holds its DeadlineExceededError.
+                continue
             outcome = results[key]
             failed = isinstance(outcome, BaseException)
             primary = primaries[key]
             for pending in waiters:
+                if pending.expired:
+                    continue  # already resolved + finalized by _expire
                 latency_s = now - pending.enqueued_at
                 self.stats.observe_latency(latency_s)
                 if failed:
@@ -594,6 +783,7 @@ class ExplanationService:
                 "batch explain failed; retrying query-at-a-time",
                 extra={"event": "batch_fallback", "queries": len(queries)},
             )
+            self._fallback_retries += len(queries)
             reports = await loop.run_in_executor(
                 self._flush_pool,
                 partial(

@@ -1,9 +1,10 @@
 """End-to-end server smoke probe: boot ``repro serve``, query it, drain it.
 
-The tier-1 CI job runs both modes after the test suite::
+The tier-1 CI job runs all three modes after the test suite::
 
     PYTHONPATH=src python -m repro.serve.smoke          # TCP, single model
     PYTHONPATH=src python -m repro.serve.smoke --http   # registry + HTTP
+    PYTHONPATH=src python -m repro.serve.smoke --chaos  # fault injection
 
 Each mode exercises the full deployment surface through real subprocesses —
 CLI ``fit`` writes the artifact, CLI ``serve`` boots the server, real
@@ -24,6 +25,18 @@ loudly unless the server exits cleanly (code 0, "drained" banner).
   count the explains just served).  The per-request Chrome trace files
   land in ``$REPRO_SMOKE_TRACE_DIR`` (default: the temp dir) and are
   shape-checked, so CI can upload them as a workflow artifact.
+* ``--chaos`` mode: the fault-injection drill.  A *clean* 2-process-worker
+  server first produces golden reports for a set of distinct queries;
+  then the same server boots with a :class:`~repro.serve.faults.FaultPlan`
+  armed (worker kills every 3rd shard run, 40 ms flush delays, every 7th
+  TCP request line dropped pre-dispatch) and the same bursts are replayed
+  through a reconnect-on-sever client.  The run fails unless every query
+  is answered **byte-identically** to the clean run (zero wrong answers
+  under recovery), a 1 ms-deadline request resolves as a typed
+  ``DeadlineExceededError``, the stats report ``worker_restarts`` /
+  ``retries`` / ``timeouts`` actually happened, and the drain still exits
+  cleanly.  A JSON-lines chaos log lands in ``$REPRO_SMOKE_CHAOS_LOG``
+  (default: the temp dir) for CI to upload as an artifact.
 
 Also reusable from the test suite (`tests/test_serve.py` calls
 :func:`main` in-process).
@@ -33,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import re
 import subprocess
 import sys
@@ -178,25 +192,58 @@ def _smoke_tcp(tmp: str) -> None:
             server.wait()
 
 
-def _http_request(host, port, method, path, payload=None, headers=None):
-    """One HTTP request against the gateway; (status, body, response headers)."""
+#: Jitter source for the HTTP retry backoff (seeded: smoke runs replay).
+_RETRY_RNG = random.Random(0)
+
+
+def _retry_delay_s(attempt: int) -> float:
+    """Jittered exponential backoff: 50 ms doubling, capped at 1 s."""
+    return min(0.05 * 2 ** attempt, 1.0) * (1.0 + 0.5 * _RETRY_RNG.random())
+
+
+def _http_request(
+    host, port, method, path, payload=None, headers=None, retries=4
+):
+    """One HTTP request against the gateway; (status, body, response headers).
+
+    Retries with jittered exponential backoff on connect failures /
+    severed connections and on 429/503 rejections (honouring a
+    ``Retry-After`` header when one is sent).  Safe here because every
+    probed route is pure/idempotent — explains are pure per query.
+    """
     import http.client
 
-    conn = http.client.HTTPConnection(host, port, timeout=60)
-    try:
-        body = json.dumps(payload).encode() if payload is not None else None
-        request_headers = dict(headers or {})
-        if body is not None:
-            request_headers.setdefault("Content-Type", "application/json")
-        conn.request(method, path, body=body, headers=request_headers)
-        response = conn.getresponse()
-        raw = response.read()
-        response_headers = dict(response.getheaders())
-        if response.getheader("Content-Type", "").startswith("application/json"):
+    for attempt in range(retries):
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            request_headers = dict(headers or {})
+            if body is not None:
+                request_headers.setdefault("Content-Type", "application/json")
+            conn.request(method, path, body=body, headers=request_headers)
+            response = conn.getresponse()
+            raw = response.read()
+            response_headers = dict(response.getheaders())
+        except OSError:
+            if attempt + 1 == retries:
+                raise
+            time.sleep(_retry_delay_s(attempt))
+            continue
+        finally:
+            conn.close()
+        if response.status in (429, 503) and attempt + 1 < retries:
+            try:
+                delay = float(response_headers.get("Retry-After", ""))
+            except ValueError:
+                delay = _retry_delay_s(attempt)
+            time.sleep(min(delay, 2.0))
+            continue
+        if response_headers.get("Content-Type", "").startswith(
+            "application/json"
+        ):
             return response.status, json.loads(raw), response_headers
         return response.status, raw.decode("utf-8"), response_headers
-    finally:
-        conn.close()
+    raise RuntimeError(f"{method} {path} still rejected after {retries} tries")
 
 
 def _http_json(host: str, port: int, method: str, path: str, payload=None):
@@ -299,9 +346,226 @@ def _smoke_http(tmp: str) -> None:
             server.wait()
 
 
-def main(http: bool = False) -> int:
+#: Distinct sibling-subspace queries for the chaos bursts — distinct so a
+#: burst fans out as real shards across the process workers (identical
+#: queries would dedup into a single explain and never exercise the pool).
+CHAOS_SPECS = [
+    {"s1": {"Location": "A"}, "s2": {"Location": "B"},
+     "measure": "LungCancer", "agg": "AVG"},
+    {"s1": {"Stress": "High"}, "s2": {"Stress": "Low"},
+     "measure": "LungCancer", "agg": "AVG"},
+    {"s1": {"Smoking": "Yes"}, "s2": {"Smoking": "No"},
+     "measure": "LungCancer", "agg": "AVG"},
+    {"s1": {"Surgery": "Yes"}, "s2": {"Surgery": "No"},
+     "measure": "LungCancer", "agg": "AVG"},
+    {"s1": {"Survival": "Yes"}, "s2": {"Survival": "No"},
+     "measure": "LungCancer", "agg": "AVG"},
+    {"s1": {"Stress": "Mid"}, "s2": {"Stress": "Low"},
+     "measure": "LungCancer", "agg": "AVG"},
+]
+
+#: Pipelined chaos bursts (each coalesces into roughly one flush).
+CHAOS_BURSTS = 10
+
+
+class _ChaosLog:
+    """JSON-lines event log of one chaos run (CI uploads it)."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+
+    def event(self, kind: str, **fields) -> None:
+        record = {"t": round(time.monotonic(), 3), "event": kind, **fields}
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def _resilient_pipeline(client, payloads, log, label, attempts=16):
+    """Pipeline a burst, reconnecting and resending when chaos severs the
+    connection.  Safe: the drop fault fires *before* dispatch (the request
+    never executed) and explains are pure/idempotent either way."""
+    from repro.errors import ServeError
+
+    for attempt in range(attempts):
+        try:
+            return client.pipeline(payloads)
+        except ServeError as exc:
+            log.event(
+                "connection_severed", label=label, attempt=attempt,
+                error=str(exc),
+            )
+            time.sleep(_retry_delay_s(attempt))
+            client.reconnect()
+    raise RuntimeError(
+        f"{label}: server never recovered within {attempts} attempts"
+    )
+
+
+def _serve_command(csv_path: str, model_path: str) -> list:
+    """The chaos-mode server: 2 process workers so worker kills are real."""
+    return [
+        sys.executable, "-m", "repro", "serve", csv_path,
+        "--model", model_path, "--port", "0",
+        "--workers", "2", "--executor", "process",
+        "--max-wait-ms", "25", "--allow-shutdown",
+    ]
+
+
+def _collect_reports(client, log, label) -> dict:
+    """One pipelined burst of every chaos spec; {spec index: report}."""
+    payloads = [
+        {"op": "explain", "query": spec, "id": f"{label}-{i}"}
+        for i, spec in enumerate(CHAOS_SPECS)
+    ]
+    responses = _resilient_pipeline(client, payloads, log, label)
+    reports = {}
+    for i, response in enumerate(responses):
+        assert response.get("ok"), (label, i, response)
+        reports[i] = response["report"]
+    return reports
+
+
+def _smoke_chaos(tmp: str) -> None:
+    from repro.data.io import write_csv
+    from repro.datasets import generate_lungcancer
+    from repro.serve.client import ServeClient
+    from repro.serve.faults import FAULTS_ENV, FaultPlan
+
+    log = _ChaosLog(
+        Path(os.environ.get("REPRO_SMOKE_CHAOS_LOG")
+             or (Path(tmp) / "chaos-log.jsonl"))
+    )
+    csv_path = str(Path(tmp) / "data.csv")
+    model_path = str(Path(tmp) / "model.json")
+    write_csv(generate_lungcancer(n_rows=800, seed=0), csv_path)
+    _run_cli("fit", csv_path, "--out", model_path, "--bins", "3")
+
+    clean_env = {k: v for k, v in os.environ.items() if k != FAULTS_ENV}
+
+    # ---- Golden run: the same server shape, zero faults. ----------------
+    log.event("clean_run_start")
+    server = subprocess.Popen(
+        _serve_command(csv_path, model_path),
+        stderr=subprocess.PIPE, text=True, env=clean_env,
+    )
+    try:
+        ((host, port),) = _await_banners(server, [BANNER])
+        with ServeClient(host, port, timeout=60) as client:
+            golden = _collect_reports(client, log, "golden")
+            assert client.shutdown(), "clean shutdown not acknowledged"
+        _finish(server)
+    finally:
+        if server.poll() is None:  # pragma: no cover - failure path
+            server.kill()
+            server.wait()
+    log.event("clean_run_done", queries=len(golden))
+
+    # ---- Chaos run: kills + delays + drops armed via the env. -----------
+    plan = FaultPlan(
+        seed=7,
+        kill_worker_every=3,
+        flush_delay_ms=40.0,
+        drop_connection_every=7,
+    )
+    log.event("chaos_run_start", plan=json.loads(plan.to_env()))
+    server = subprocess.Popen(
+        _serve_command(csv_path, model_path),
+        stderr=subprocess.PIPE, text=True,
+        env={**clean_env, FAULTS_ENV: plan.to_env()},
+    )
+    try:
+        ((host, port),) = _await_banners(server, [BANNER])
+        client = ServeClient(host, port, timeout=60)
+        try:
+            wrong = 0
+            for burst in range(CHAOS_BURSTS):
+                reports = _collect_reports(client, log, f"burst{burst}")
+                mismatched = [
+                    i for i, report in reports.items()
+                    if json.dumps(report, sort_keys=True)
+                    != json.dumps(golden[i], sort_keys=True)
+                ]
+                wrong += len(mismatched)
+                log.event(
+                    "burst_done", burst=burst, answered=len(reports),
+                    mismatched=mismatched,
+                )
+            assert wrong == 0, f"{wrong} answer(s) diverged from the clean run"
+
+            # Deadline drill: a 1 ms budget can never survive the armed
+            # 40 ms flush delay — the typed 504-equivalent must come back.
+            def _deadline_probe():
+                responses = _resilient_pipeline(
+                    client,
+                    [{"op": "explain", "query": CHAOS_SPECS[0],
+                      "timeout_ms": 1, "id": "deadline-probe"}],
+                    log, "deadline",
+                )
+                return responses[0]
+            expired = _deadline_probe()
+            assert not expired.get("ok"), expired
+            assert expired["error"]["type"] == "DeadlineExceededError", expired
+            log.event("deadline_probe_ok")
+
+            stats = None
+            for attempt in range(16):
+                try:
+                    stats = client.stats()
+                    break
+                except Exception as exc:
+                    log.event("stats_retry", attempt=attempt, error=str(exc))
+                    time.sleep(_retry_delay_s(attempt))
+                    client.reconnect()
+            assert stats is not None, "stats never answered under chaos"
+            log.event(
+                "chaos_stats",
+                worker_restarts=stats["worker_restarts"],
+                retries=stats["retries"],
+                timeouts=stats["timeouts"],
+                shed_expired=stats["shed_expired"],
+                completed=stats["completed"],
+            )
+            assert stats["worker_restarts"] >= 1, (
+                f"no pool self-healing observed: {stats}"
+            )
+            assert stats["retries"] >= 1, f"no shard re-runs observed: {stats}"
+            assert stats["timeouts"] >= 1, f"deadline never enforced: {stats}"
+            assert stats["completed"] >= CHAOS_BURSTS * len(CHAOS_SPECS), stats
+
+            for attempt in range(16):
+                try:
+                    assert client.shutdown(), "shutdown not acknowledged"
+                    break
+                except Exception as exc:
+                    log.event("shutdown_retry", attempt=attempt, error=str(exc))
+                    time.sleep(_retry_delay_s(attempt))
+                    client.reconnect()
+        finally:
+            client.close()
+        _finish(server)
+        log.event("chaos_run_done")
+    finally:
+        log.close()
+        if server.poll() is None:  # pragma: no cover - failure path
+            server.kill()
+            server.wait()
+
+
+def main(http: bool = False, chaos: bool = False) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
-        if http:
+        if chaos:
+            _smoke_chaos(tmp)
+            print(
+                "serve smoke ok (chaos): worker kills healed, deadlines "
+                "enforced, dropped connections survived, zero wrong answers, "
+                "clean drain"
+            )
+        elif http:
             _smoke_http(tmp)
             print(
                 "serve smoke ok (http): boot, healthz, traced explain, batch, "
@@ -318,4 +582,6 @@ def main(http: bool = False) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(http="--http" in sys.argv[1:]))
+    raise SystemExit(
+        main(http="--http" in sys.argv[1:], chaos="--chaos" in sys.argv[1:])
+    )

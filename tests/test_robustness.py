@@ -2,17 +2,63 @@
 
 Real data and real CI tests misbehave; the library must degrade gracefully
 rather than crash or return malformed structures.
+
+The second half of this module pins the serving stack's fault tolerance:
+process-pool self-healing, request deadlines, artifact quarantine, the
+client's provably-safe retries, and the deterministic fault-injection
+switchboard (:mod:`repro.serve.faults`) that drives the chaos smoke.
 """
+
+import asyncio
+import inspect
+import json
+import os
+import random
+import socket
+import threading
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import XInsight, explain_attribute, xlearner
-from repro.data import Aggregate, AttributeProfile, Subspace, Table, WhyQuery
+from repro.core import XInsight, explain_attribute, fit_model, xlearner
+from repro.data import (
+    Aggregate,
+    AttributeProfile,
+    Subspace,
+    Table,
+    WhyQuery,
+    write_csv,
+)
+from repro.datasets import generate_lungcancer
 from repro.discovery import fci, learn_skeleton, pc
-from repro.errors import ReproError
+from repro.errors import (
+    ArtifactQuarantinedError,
+    DeadlineExceededError,
+    ModelError,
+    ProtocolError,
+    ReproError,
+    ServeError,
+    ServiceOverloadedError,
+)
 from repro.graph import dag_from_parents, is_valid_pag_edge
 from repro.independence import CITest, CITestResult, OracleCITest
+from repro.parallel import ProcessExecutor, ShardTask
+from repro.serve import (
+    ExplanationService,
+    FaultPlan,
+    ModelRegistry,
+    RetryPolicy,
+    ServeClient,
+    ServeResponseError,
+    metric_value,
+    parse_prometheus_text,
+    render_metrics,
+)
+from repro.serve import faults
 
 
 class UnreliableCITest(CITest):
@@ -153,5 +199,687 @@ class TestErrorHierarchy:
             "DiscoveryError",
             "ExplanationError",
             "FDError",
+            "DeadlineExceededError",
+            "ArtifactQuarantinedError",
         ):
             assert issubclass(getattr(errors, name), ReproError)
+
+
+# ======================================================================
+# Serving fault tolerance
+# ======================================================================
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def serve_table():
+    return generate_lungcancer(n_rows=600, seed=0)
+
+
+@pytest.fixture(scope="module")
+def serve_model(serve_table):
+    return fit_model(serve_table, measure_bins=3)
+
+
+@pytest.fixture(scope="module")
+def serve_queries():
+    s1, s2 = Subspace.of(Location="A"), Subspace.of(Location="B")
+    return [
+        WhyQuery.create(s1, s2, "LungCancer", agg)
+        for agg in (Aggregate.AVG, Aggregate.SUM, Aggregate.COUNT)
+    ]
+
+
+@pytest.fixture()
+def clean_faults():
+    """Guarantee no fault plan stays armed past a test."""
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+# ----------------------------------------------------------------------
+# Fault-injection switchboard
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ServeError, match="kill_worker_every"):
+            FaultPlan(kill_worker_every=-1)
+        with pytest.raises(ServeError, match="kill_worker_prob"):
+            FaultPlan(kill_worker_prob=1.5)
+        with pytest.raises(ServeError, match="flush_delay_ms"):
+            FaultPlan(flush_delay_ms=-0.1)
+
+    def test_from_spec_rejects_unknown_fields(self):
+        with pytest.raises(ServeError, match="unknown fault field"):
+            FaultPlan.from_spec({"kill_wroker_every": 3})
+
+    def test_armed(self):
+        assert not FaultPlan().armed
+        assert FaultPlan(flush_delay_ms=1.0).armed
+        assert FaultPlan(kill_worker_every=2).armed
+
+    def test_env_round_trip(self, clean_faults):
+        plan = FaultPlan(seed=7, kill_worker_every=3, flush_delay_ms=40.0)
+        faults.arm(plan)
+        assert os.environ[faults.FAULTS_ENV] == plan.to_env()
+        assert FaultPlan.from_env() == plan
+        assert faults.active() is not None
+        faults.disarm()
+        assert faults.FAULTS_ENV not in os.environ
+        assert FaultPlan.from_env() is None
+        assert faults.active() is None
+
+    def test_malformed_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "{nope")
+        with pytest.raises(ServeError, match="not valid JSON"):
+            FaultPlan.from_env()
+        monkeypatch.setenv(faults.FAULTS_ENV, "[1]")
+        with pytest.raises(ServeError, match="JSON object"):
+            FaultPlan.from_env()
+
+    def test_env_var_name_matches_executor_hook(self):
+        """The executor's hot-path gate hard-codes the env var name (to
+        avoid importing repro.serve into discovery workers); pin the two
+        spellings together so neither can drift alone."""
+        from repro.parallel import executor as executor_mod
+
+        assert faults.FAULTS_ENV == "REPRO_FAULTS"
+        source = inspect.getsource(executor_mod._process_run)
+        assert 'os.environ.get("REPRO_FAULTS")' in source
+
+    def test_counter_faults_are_deterministic(self):
+        state = faults.FaultState(
+            FaultPlan(corrupt_artifact_every=2, drop_connection_every=3)
+        )
+        assert [state.should_corrupt_artifact() for _ in range(4)] == [
+            False, True, False, True,
+        ]
+        assert [state.should_drop_connection() for _ in range(6)] == [
+            False, False, True, False, False, True,
+        ]
+
+
+# ----------------------------------------------------------------------
+# ProcessExecutor self-healing
+# ----------------------------------------------------------------------
+
+
+class _KillOnceTask(ShardTask):
+    """Dies (as a segfaulting worker would) the first time it sees the
+    poison payload; a flag file makes the re-run survive."""
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def run(self, state, payload):
+        if payload == "die" and not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w"):
+                pass
+            os._exit(faults.KILLED_WORKER_EXIT)
+        return ("ok", payload)
+
+
+class _KillInWorkerTask(ShardTask):
+    """Always dies on the poison payload — but only inside a pool worker,
+    so the in-process serial degrade path completes."""
+
+    def __init__(self):
+        self.parent_pid = os.getpid()
+
+    def run(self, state, payload):
+        if payload == "die" and os.getpid() != self.parent_pid:
+            os._exit(faults.KILLED_WORKER_EXIT)
+        return ("ok", payload)
+
+
+class TestProcessExecutorSelfHealing:
+    def test_max_restarts_validated(self):
+        with pytest.raises(ReproError, match="max_restarts"):
+            ProcessExecutor(2, max_restarts=-1)
+
+    def test_worker_death_heals_and_reruns_only_lost_shards(self, tmp_path):
+        task = _KillOnceTask(tmp_path / "died-once")
+        payloads = ["a", "die", "b", "c"]
+        with ProcessExecutor(2) as ex:
+            assert ex.map(task, payloads) == [("ok", p) for p in payloads]
+            assert ex.worker_restarts == 1
+            assert 1 <= ex.shard_retries <= len(payloads)
+            assert ex.serial_degrades == 0
+            # The healed pool keeps serving.
+            assert ex.map(task, ["d"]) == [("ok", "d")]
+
+    def test_degrades_to_serial_after_max_restarts(self):
+        task = _KillInWorkerTask()
+        with ProcessExecutor(2, max_restarts=1) as ex:
+            out = ex.map(task, ["a", "die", "b"])
+            assert out == [("ok", "a"), ("ok", "die"), ("ok", "b")]
+            assert ex.worker_restarts == 1
+            assert ex.serial_degrades == 1
+
+    def test_zero_restarts_means_immediate_degrade(self):
+        task = _KillInWorkerTask()
+        ex = ProcessExecutor(2, max_restarts=0)
+        try:
+            assert ex.map(task, ["die"]) == [("ok", "die")]
+            assert ex.worker_restarts == 0
+            assert ex.serial_degrades == 1
+        finally:
+            ex.close()
+
+    def test_close_never_raises_on_broken_pool(self):
+        task = _KillInWorkerTask()
+        ex = ProcessExecutor(2)
+        assert ex.map(task, ["a"]) == [("ok", "a")]
+        # Break the pool behind the executor's back, then close it.
+        future = ex._pool.submit(os._exit, 1)
+        with pytest.raises(Exception):
+            future.result()
+        ex.close()
+        ex.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Request deadlines
+# ----------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_constructor_validation(self, serve_model, serve_table):
+        for kwargs in (
+            {"default_timeout_ms": 0},
+            {"max_timeout_ms": -5},
+        ):
+            with pytest.raises(ServeError, match="timeout_ms"):
+                ExplanationService(serve_model, serve_table, **kwargs)
+
+    def test_resolve_timeout_policy(self, serve_model, serve_table):
+        service = ExplanationService(
+            serve_model, serve_table,
+            default_timeout_ms=100.0, max_timeout_ms=250.0,
+        )
+        assert service._resolve_timeout_ms(None) == 100.0
+        assert service._resolve_timeout_ms(50.0) == 50.0
+        assert service._resolve_timeout_ms(10_000.0) == 250.0  # capped
+        with pytest.raises(ServeError, match="timeout_ms"):
+            service._resolve_timeout_ms(0)
+
+    def test_no_policy_means_no_deadline(self, serve_model, serve_table):
+        service = ExplanationService(serve_model, serve_table)
+        assert service._resolve_timeout_ms(None) is None
+
+    def test_queue_expired_request_is_shed(
+        self, serve_model, serve_table, serve_queries
+    ):
+        async def scenario():
+            async with ExplanationService(
+                serve_model, serve_table, max_wait_ms=60
+            ) as service:
+                with pytest.raises(
+                    DeadlineExceededError, match="expired while queued"
+                ):
+                    await service.explain(serve_queries[0], timeout_ms=1)
+                return service.stats
+
+        stats = run(scenario())
+        assert stats.timeouts == 1
+        assert stats.shed_expired == 1
+        assert stats.completed == 0
+        # Shed requests still appear in the latency accounting.
+        assert stats.latency_observations == 1
+
+    def test_mid_flush_deadline_spares_other_waiters(
+        self, serve_model, serve_table, serve_queries
+    ):
+        """One waiter's deadline firing must not cancel the shared explain
+        the remaining waiters need."""
+        from repro.serve.service import _Pending
+
+        service = ExplanationService(serve_model, serve_table)
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+
+            async def slow_work():
+                await asyncio.sleep(0.05)
+                return {"answer": 42}
+
+            now = time.perf_counter()
+            expiring = _Pending(
+                query=serve_queries[0], method="auto",
+                future=loop.create_future(), enqueued_at=now,
+                deadline=now + 0.005,
+            )
+            patient = _Pending(
+                query=serve_queries[0], method="auto",
+                future=loop.create_future(), enqueued_at=now,
+            )
+            result = await service._await_with_deadlines(
+                slow_work(), [expiring, patient]
+            )
+            assert result == {"answer": 42}  # the work survived
+            assert expiring.expired
+            with pytest.raises(DeadlineExceededError):
+                expiring.future.result()
+            # The patient waiter is resolved by the fan-out loop, not here.
+            assert not patient.future.done()
+
+        run(scenario())
+        assert service.stats.timeouts == 1
+        assert service.stats.shed_expired == 0
+
+    def test_all_waiters_expired_abandons_the_fanout(
+        self, serve_model, serve_table, serve_queries
+    ):
+        from repro.serve.service import _Pending
+
+        service = ExplanationService(serve_model, serve_table)
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+
+            async def slow_work():
+                await asyncio.sleep(0.03)
+                return "too late"
+
+            now = time.perf_counter()
+            waiters = [
+                _Pending(
+                    query=serve_queries[0], method="auto",
+                    future=loop.create_future(), enqueued_at=now,
+                    deadline=now + 0.002,
+                )
+                for _ in range(2)
+            ]
+            result = await service._await_with_deadlines(slow_work(), waiters)
+            assert result is None  # nobody left to receive it
+            for pending in waiters:
+                assert pending.expired
+                with pytest.raises(DeadlineExceededError):
+                    pending.future.result()
+            # Let the abandoned task finish; its result is swallowed.
+            await asyncio.sleep(0.05)
+
+        run(scenario())
+        assert service.stats.timeouts == 2
+
+
+class TestDeadlineWireMapping:
+    def test_tcp_timeout_field_validation(self):
+        from repro.serve.server import ExplanationServer
+
+        validate = ExplanationServer._requested_timeout_ms
+        assert validate({"op": "explain"}) is None
+        assert validate({"timeout_ms": 250}) == 250.0
+        for bad in (True, "soon", 0, -3, [5]):
+            with pytest.raises(ProtocolError, match="timeout_ms"):
+                validate({"timeout_ms": bad})
+
+    def test_http_status_mapping(self):
+        from repro.serve import http as serve_http
+
+        assert serve_http._status_for(DeadlineExceededError("late")) == 504
+        assert serve_http._status_for(ArtifactQuarantinedError("bad")) == 503
+        assert serve_http._REASONS[504] == "Gateway Timeout"
+        assert serve_http.RETRY_AFTER_S >= 1
+
+
+# ----------------------------------------------------------------------
+# Artifact quarantine
+# ----------------------------------------------------------------------
+
+
+class TestArtifactQuarantine:
+    def test_corrupt_rollout_keeps_prior_serving_then_clears(
+        self, tmp_path, serve_table, serve_model, serve_queries
+    ):
+        root = tmp_path / "registry"
+        model_dir = root / "demo"
+        model_dir.mkdir(parents=True)
+        write_csv(serve_table, model_dir / "data.csv")
+        serve_model.save(model_dir / "1.json")
+
+        async def scenario():
+            async with ModelRegistry(root) as registry:
+                entry = await registry.entry_for("demo")
+                assert entry.version == "1"
+                # A corrupt higher version lands: the rollout must not
+                # take the model offline.
+                bad = model_dir / "2.json"
+                bad.write_text("{this is not an artifact")
+                survivor = await registry.entry_for("demo")
+                assert survivor is entry  # prior keeps serving
+                assert registry.quarantined_models() == ["demo"]
+                (row,) = [
+                    r for r in registry.models_payload() if r["id"] == "demo"
+                ]
+                assert row["quarantined"]["version"] == "2"
+                assert row["quarantined"]["failures"] == 1
+                assert row["quarantined"]["retry_in_seconds"] > 0
+                report = await survivor.service.explain(serve_queries[0])
+                assert report.query is not None
+                # Replacing the artifact clears the quarantine immediately.
+                serve_model.save(bad)
+                healed = await registry.entry_for("demo")
+                assert healed.version == "2"
+                assert registry.quarantined_models() == []
+
+        run(scenario())
+
+    def test_no_healthy_prior_refuses_typed_without_rereading(
+        self, tmp_path, serve_table, monkeypatch
+    ):
+        root = tmp_path / "registry"
+        model_dir = root / "solo"
+        model_dir.mkdir(parents=True)
+        write_csv(serve_table, model_dir / "data.csv")
+        (model_dir / "1.json").write_text("{corrupt")
+
+        reads = []
+        original = ModelRegistry._read_artifact
+
+        def counting_read(source):
+            reads.append(source)
+            return original(source)
+
+        monkeypatch.setattr(
+            ModelRegistry, "_read_artifact", staticmethod(counting_read)
+        )
+
+        async def scenario():
+            async with ModelRegistry(root) as registry:
+                with pytest.raises(ArtifactQuarantinedError, match="quarantined"):
+                    await registry.entry_for("solo")
+                # Negative cache: the second lookup refuses from memory.
+                with pytest.raises(ArtifactQuarantinedError):
+                    await registry.entry_for("solo")
+                assert registry.quarantined_models() == ["solo"]
+
+        run(scenario())
+        assert len(reads) == 1
+
+    def test_backoff_doubles_and_caps(self):
+        from repro.serve.registry import QUARANTINE_MAX_S
+
+        registry = ModelRegistry(None)
+        source = Path("/artifacts/2.json")
+        first = registry._note_failure("m", source, "2", 1, ValueError("bad"))
+        second = registry._note_failure("m", source, "2", 1, ValueError("bad"))
+        assert (first.failures, second.failures) == (1, 2)
+        assert second.until > first.until
+        for _ in range(10):
+            last = registry._note_failure("m", source, "2", 1, ValueError("bad"))
+        assert last.failures == 12
+        assert last.retry_in_s(time.monotonic()) <= QUARANTINE_MAX_S + 1e-3
+        # A different artifact is a fresh chance, not failure #13.
+        fresh = registry._note_failure(
+            "m", Path("/artifacts/3.json"), "3", 1, ValueError("bad")
+        )
+        assert fresh.failures == 1
+
+    def test_fault_injected_corrupt_read(
+        self, clean_faults, tmp_path, serve_model
+    ):
+        artifact = tmp_path / "1.json"
+        serve_model.save(artifact)
+        faults.arm(FaultPlan(corrupt_artifact_every=1))
+        with pytest.raises(ModelError, match="corrupt"):
+            ModelRegistry._read_artifact(artifact)
+        faults.disarm()
+        loaded = ModelRegistry._read_artifact(artifact)
+        assert loaded.fingerprint() == serve_model.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Client resilience
+# ----------------------------------------------------------------------
+
+
+class _ScriptedServer:
+    """Line server whose per-request behaviour follows a script:
+    ``ok`` answers, ``overload`` sends a typed overload envelope,
+    ``silent`` never answers (the client must time out)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                reader = conn.makefile("rb")
+                for line in reader:
+                    request = json.loads(line)
+                    action = self.script.pop(0) if self.script else "ok"
+                    if action == "silent":
+                        continue
+                    if action == "overload":
+                        payload = {
+                            "id": request.get("id"),
+                            "ok": False,
+                            "error": {
+                                "type": "ServiceOverloadedError",
+                                "message": "queue full",
+                            },
+                        }
+                    else:
+                        payload = {
+                            "id": request.get("id"), "ok": True, "pong": True,
+                        }
+                    try:
+                        conn.sendall((json.dumps(payload) + "\n").encode())
+                    except OSError:
+                        break
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def scripted_server():
+    servers = []
+
+    def start(script):
+        server = _ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestServeClientResilience:
+    def test_retry_policy_validation(self):
+        with pytest.raises(ServeError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ServeError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ServeError, match="delays"):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay_s=0.1, max_delay_s=0.4, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_s(n, rng) for n in range(4)]
+        assert delays == [0.1, 0.2, 0.4, 0.4]
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=0)
+        rng = random.Random(policy.seed)
+        for n in range(20):
+            delay = policy.delay_s(0, rng)
+            assert 0.05 <= delay <= 0.15
+
+    def test_connect_failure_is_retried_then_typed(self):
+        # Grab a port that nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServeError, match="after 3 attempt"):
+            ServeClient(
+                "127.0.0.1", port,
+                retry=RetryPolicy(attempts=3, base_delay_s=0.001, jitter=0.0),
+            )
+
+    def test_overload_envelope_is_retried(self, scripted_server):
+        server = scripted_server(["overload", "ok"])
+        client = ServeClient(
+            "127.0.0.1", server.port,
+            retry=RetryPolicy(attempts=3, base_delay_s=0.001, jitter=0.0),
+        )
+        try:
+            assert client.ping() is True
+            assert client.retries == 1
+        finally:
+            client.close()
+
+    def test_overload_surfaces_without_policy(self, scripted_server):
+        server = scripted_server(["overload"])
+        client = ServeClient("127.0.0.1", server.port)
+        try:
+            with pytest.raises(ServeResponseError) as excinfo:
+                client.ping()
+            assert excinfo.value.type == "ServiceOverloadedError"
+            assert client.retries == 0
+        finally:
+            client.close()
+
+    def test_recv_timeout_marks_connection_unusable(self, scripted_server):
+        server = scripted_server(["silent", "ok"])
+        client = ServeClient("127.0.0.1", server.port, timeout=0.2)
+        try:
+            with pytest.raises(ServeError, match="stream position is unknown"):
+                client.request({"op": "ping"})
+            # Every later call fails fast instead of desyncing silently.
+            with pytest.raises(ServeError, match="unusable"):
+                client.request({"op": "ping"})
+            client.reconnect()
+            assert client.ping() is True
+        finally:
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance metrics
+# ----------------------------------------------------------------------
+
+
+class TestFaultMetrics:
+    def test_fault_counters_exported(
+        self, serve_model, serve_table, serve_queries
+    ):
+        async def scenario():
+            async with ExplanationService(
+                serve_model, serve_table, max_wait_ms=40
+            ) as service:
+                with pytest.raises(DeadlineExceededError):
+                    await service.explain(serve_queries[0], timeout_ms=1)
+                await service.explain(serve_queries[0])
+                registry = ModelRegistry.for_service(service, model_id="demo")
+                return render_metrics(registry)
+
+        samples = parse_prometheus_text(run(scenario()))
+        assert metric_value(samples, "repro_serve_timeouts_total", model="demo") == 1
+        assert (
+            metric_value(samples, "repro_serve_shed_expired_total", model="demo")
+            == 1
+        )
+        assert (
+            metric_value(
+                samples, "repro_serve_worker_restarts_total", model="demo"
+            )
+            == 0
+        )
+        assert metric_value(samples, "repro_serve_retries_total", model="demo") == 0
+        assert metric_value(samples, "repro_serve_quarantined_models") == 0
+        assert metric_value(samples, "repro_serve_completed_total", model="demo") == 1
+
+
+# ----------------------------------------------------------------------
+# The terminal-outcome property
+# ----------------------------------------------------------------------
+
+
+class TestFaultToleranceProperty:
+    """Under any armed :class:`FaultPlan` (flush delays) and any mix of
+    per-request deadlines and queue pressure, every admitted request gets
+    exactly one terminal outcome — a report or a typed
+    :class:`DeadlineExceededError` — and the stats counters balance."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        flush_delay_ms=st.sampled_from([0.0, 5.0, 25.0]),
+        timeouts=st.lists(
+            st.sampled_from([None, 1, 40, 5000]), min_size=1, max_size=6
+        ),
+        queue_limit=st.sampled_from([1, 2, 64]),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_exactly_one_terminal_outcome_per_admitted_request(
+        self,
+        serve_model,
+        serve_table,
+        serve_queries,
+        flush_delay_ms,
+        timeouts,
+        queue_limit,
+        seed,
+    ):
+        plan = FaultPlan(seed=seed, flush_delay_ms=flush_delay_ms)
+
+        async def scenario():
+            async with ExplanationService(
+                serve_model, serve_table, max_wait_ms=5, queue_limit=queue_limit
+            ) as service:
+                futures, rejected = [], 0
+                for i, timeout_ms in enumerate(timeouts):
+                    query = serve_queries[i % len(serve_queries)]
+                    try:
+                        futures.append(
+                            service.submit(query, timeout_ms=timeout_ms)
+                        )
+                    except ServiceOverloadedError:
+                        rejected += 1
+                outcomes = await asyncio.gather(
+                    *futures, return_exceptions=True
+                )
+                return service.stats, outcomes, rejected
+
+        try:
+            faults.arm(plan)
+            stats, outcomes, rejected = run(scenario())
+        finally:
+            faults.disarm()
+
+        # Exactly one terminal outcome per admitted request.
+        assert len(outcomes) == stats.submitted
+        failures = [o for o in outcomes if isinstance(o, BaseException)]
+        assert all(isinstance(o, DeadlineExceededError) for o in failures)
+        # Counters balance: admitted = completed + failed + timed out,
+        # rejections tracked separately, sheds are a subset of timeouts.
+        assert stats.submitted == stats.completed + stats.failed + stats.timeouts
+        assert stats.rejected == rejected
+        assert stats.shed_expired <= stats.timeouts
+        assert stats.failed == 0
+        assert len(failures) == stats.timeouts
