@@ -1,0 +1,155 @@
+"""Whole-view summary speed: one ``explain_view`` vs per-pair sessions.
+
+The ISSUE 10 workload — a 4×3 faceted view (12 groups, 42 sibling
+comparisons under ``orientation="both"``) over a 6k-row synthetic table —
+explained two ways:
+
+* one :meth:`~repro.core.session.ExplainSession.explain_view` call, where
+  every pair shares the session's workspace/translation/homogeneity
+  caches (the vs-rest tail re-hits the pairwise queries); and
+* the naive dashboard loop: a **fresh** session per pair issuing one
+  ``explain`` each, which is what a client hammering the explain endpoint
+  per bar-pair costs.
+
+Parity is the gate: every per-pair report inside the view summary must be
+byte-identical to its individually produced twin.  The amortization is
+the trajectory number (plus the summarize overhead, which must stay
+negligible).
+
+Every run appends to ``benchmarks/BENCH_view.json`` via the shared
+:func:`repro.bench.append_trajectory` helper.
+
+Opt-in (tier-1 excludes ``slow``):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_view_speed.py -m slow -q -s
+
+or render the markdown table directly::
+
+    PYTHONPATH=src python benchmarks/test_view_speed.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable, append_trajectory, fmt_seconds, time_call
+from repro.core import ExplainSession, enumerate_view_queries, fit_model
+from repro.core.reporting import report_to_dict
+from repro.data import Table, group_by
+
+pytestmark = pytest.mark.slow
+
+N_ROWS = 6_000
+SEED = 7
+TARGET_SPEEDUP = 1.2
+TRAJECTORY = Path(__file__).parent / "BENCH_view.json"
+
+
+def make_workload(n_rows: int = N_ROWS, seed: int = SEED):
+    """A 12-group faceted view with a planted causal driver."""
+    rng = np.random.default_rng(seed)
+    facet = rng.choice(list("ABCD"), size=n_rows)
+    band = rng.choice(["low", "mid", "high"], size=n_rows)
+    smoke = rng.choice(["yes", "no"], size=n_rows)
+    measure = (
+        rng.normal(0.0, 1.0, size=n_rows)
+        + 2.0 * (smoke == "yes")
+        + 1.0 * (band == "high")
+    )
+    table = Table.from_columns(
+        {
+            "Facet": facet.tolist(),
+            "Band": band.tolist(),
+            "Smoke": smoke.tolist(),
+            "M": measure,
+        }
+    )
+    model = fit_model(table, measure_bins=3)
+    return model, table
+
+
+def measure() -> dict:
+    model, table = make_workload()
+    view = group_by(table, ("Facet", "Band"), "M")
+    specs = enumerate_view_queries(view, orientation="both")
+
+    shared = ExplainSession(model, table)
+    summary, t_view = time_call(
+        lambda: shared.explain_view(view, orientation="both")
+    )
+
+    def naive_loop():
+        return [
+            report_to_dict(ExplainSession(model, table).explain(spec.query))
+            for spec in specs
+        ]
+
+    individual, t_individual = time_call(naive_loop)
+
+    # The summary re-sorts pairs into canonical (oriented) order, so align
+    # by pair identity, not by enumeration index.  Identical identities
+    # (two vs-rest rows over the same oriented pair) carry the same query,
+    # hence the same report.
+    by_identity = {
+        (spec.kind, spec.s1.key, spec.s2.key): report
+        for spec, report in zip(specs, individual)
+    }
+    parity = all(
+        p.report == by_identity[(p.kind, p.s1_key, p.s2_key)]
+        for p in summary.pairs
+    )
+    info = shared.cache_info()
+    return {
+        "groups": len(view.groups),
+        "pairs": len(summary.pairs),
+        "n_rows": table.n_rows,
+        "t_view": t_view,
+        "t_individual": t_individual,
+        "speedup": t_individual / t_view,
+        "parity": parity,
+        "workspace_hits": info["workspace_hits"],
+        "translation_hits": info["translation_hits"],
+    }
+
+
+def run_experiment() -> BenchTable:
+    table_out = BenchTable(
+        "explain_view — shared-session view summary vs per-pair sessions",
+        ["Workload", "View", "Per-pair", "Speedup", "Parity"],
+    )
+    m = measure()
+    table_out.add_row(
+        f"{m['groups']} groups / {m['pairs']} pairs × {m['n_rows']} rows",
+        fmt_seconds(m["t_view"]),
+        fmt_seconds(m["t_individual"]),
+        f"{m['speedup']:.1f}×",
+        "identical" if m["parity"] else "MISMATCH",
+    )
+    table_out.note(
+        "per-pair = fresh ExplainSession per sibling comparison (the naive "
+        "dashboard loop); view = one explain_view sharing workspace and "
+        "translation caches across all pairs."
+    )
+    return table_out
+
+
+class TestViewSpeed:
+    def test_view_summary_amortizes_with_parity(self):
+        m = measure()
+        print(
+            f"\nexplain_view {m['groups']}g/{m['pairs']}p/{m['n_rows']}r: "
+            f"view={m['t_view']:.2f}s per-pair={m['t_individual']:.2f}s "
+            f"speedup={m['speedup']:.2f}x "
+            f"(workspace hits={m['workspace_hits']})"
+        )
+        assert m["parity"], "view summary reports diverged from individual explains"
+        assert m["workspace_hits"] > 0, "vs-rest tail never hit the warm cache"
+        append_trajectory(TRAJECTORY, {"bench": "explain_view", **m})
+        assert m["speedup"] >= TARGET_SPEEDUP, (
+            f"expected ≥{TARGET_SPEEDUP}× amortization, got {m['speedup']:.2f}×"
+        )
+
+
+if __name__ == "__main__":
+    run_experiment().show()

@@ -430,6 +430,32 @@ def cmd_batch_explain(args: argparse.Namespace) -> int:
     return 0 if answered == len(reports) else 1
 
 
+def cmd_explain_view(args: argparse.Namespace) -> int:
+    """Summarize a whole group-by view: one ranked, deduplicated report
+    covering every sibling comparison the chart affords."""
+    from repro.core.view import view_from_spec, view_summary_to_markdown
+
+    table = _table_for(args)
+    view = view_from_spec(
+        {"by": args.by, "measure": args.measure, "agg": args.agg}, table
+    )
+    with _executor_scope(args) as ex:
+        session = _session_for(args, table, executor=ex)
+        summary = session.explain_view(
+            view, orientation=args.orientation, executor=ex
+        )
+    print(view_summary_to_markdown(summary, top=args.top))
+    info = session.cache_info()
+    ok = sum(1 for pair in summary.pairs if pair.error is None)
+    print(
+        f"explained {ok}/{len(summary.pairs)} pair(s) "
+        f"(workspace cache: {info['workspace_hits']} hits / "
+        f"{info['workspace_misses']} misses)",
+        file=sys.stderr,
+    )
+    return 0 if ok == len(summary.pairs) else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the explanation serving stack: TCP always, HTTP when asked.
 
@@ -610,6 +636,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fit_flags(p_batch)
     _add_parallel_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch_explain)
+
+    p_view = sub.add_parser(
+        "explain-view",
+        help="summarize a whole group-by view (every sibling comparison, "
+        "one ranked deduplicated report)",
+    )
+    p_view.add_argument("file", nargs="?", default=None)
+    _add_store_flags(p_view)
+    p_view.add_argument(
+        "--by", action="append", required=True, metavar="DIM",
+        help="grouping dimension (repeat for faceted views)",
+    )
+    p_view.add_argument("--measure", required=True)
+    p_view.add_argument("--agg", default="AVG")
+    p_view.add_argument(
+        "--orientation", choices=("pairwise", "vs_rest", "both"),
+        default="both",
+        help="which sibling comparisons to enumerate (default: both)",
+    )
+    p_view.add_argument("--top", type=int, default=5)
+    p_view.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="serve against a saved model instead of fitting in-process",
+    )
+    _add_fit_flags(p_view)
+    _add_parallel_flags(p_view)
+    p_view.set_defaults(func=cmd_explain_view)
 
     p_srv = sub.add_parser(
         "serve",

@@ -15,6 +15,16 @@ from repro.core.model import (
 )
 from repro.core.pipeline import XInsight, XInsightReport
 from repro.core.session import ExplainSession, SessionStats
+from repro.core.view import (
+    ViewExplanation,
+    ViewPair,
+    ViewQuerySpec,
+    ViewSummary,
+    enumerate_view_queries,
+    summarize_view,
+    view_from_spec,
+    view_summary_to_markdown,
+)
 from repro.core.reporting import (
     explanation_to_dict,
     report_to_dict,
@@ -49,6 +59,14 @@ __all__ = [
     "ExplainSession",
     "SCHEMA_VERSION",
     "SessionStats",
+    "ViewExplanation",
+    "ViewPair",
+    "ViewQuerySpec",
+    "ViewSummary",
+    "enumerate_view_queries",
+    "summarize_view",
+    "view_from_spec",
+    "view_summary_to_markdown",
     "XInsightModel",
     "fit_model",
     "fit_offline",

@@ -28,6 +28,7 @@ from repro.core.xplainer import XPlainerConfig, explain_attribute
 from repro.core.xtranslator import Translation, XDASemantics, translate
 from repro.data.query import QueryWorkspace, WhyQuery, candidate_attributes
 from repro.data.table import Table
+from repro.errors import QueryError
 from repro.graph.mixed_graph import MixedGraph
 from repro.graph.separation import m_separated
 
@@ -504,6 +505,63 @@ class ExplainSession:
         with self._lock:
             self.stats.queries += len(queries)
         return flat
+
+    def explain_view(
+        self,
+        view,
+        orientation: str = "both",
+        method: str = "auto",
+        config: XPlainerConfig | None = None,
+        workers: int | None = None,
+        executor=None,
+        on_error: str = "return",
+    ):
+        """Summarize a whole aggregate view with one ranked report.
+
+        ``view`` is a :class:`~repro.data.groupby.GroupByResult` or an
+        untrusted ``{"by": ..., "measure": ..., "agg": ...}`` spec
+        evaluated here against the session's table (the shape the wire
+        fronts forward).  Every sibling Why Query of the view (see
+        :func:`repro.core.view.enumerate_view_queries` for the
+        ``orientation`` choices) runs through one :meth:`explain_batch`
+        call, in the memoization-friendly order — pairwise comparisons
+        first, then the vs-rest repeats that hit the still-warm
+        :class:`~repro.data.query.QueryWorkspace` cache — and the per-pair
+        reports merge into one
+        :class:`~repro.core.view.ViewSummary` (deduplicated, ranked,
+        per-pair provenance retained).
+
+        ``on_error="return"`` (default) isolates poison pairs: a failing
+        pair becomes one errored row of the summary, the rest of the view
+        still answers.  ``"raise"`` propagates the first failure instead.
+        ``workers``/``executor`` select :meth:`explain_batch`'s sharded
+        mode; reports are per-query pure, so the summary is identical to
+        serial.
+        """
+        from repro.core.view import (
+            enumerate_view_queries,
+            summarize_view,
+            view_from_spec,
+        )
+        from repro.data.groupby import GroupByResult
+
+        if not isinstance(view, GroupByResult):
+            view = view_from_spec(view, self.table)
+        specs = enumerate_view_queries(view, orientation=orientation)
+        if not specs:
+            raise QueryError(
+                f"view over {view.dimensions!r} has no sibling group pairs "
+                "to explain"
+            )
+        reports = self.explain_batch(
+            [spec.query for spec in specs],
+            method=method,
+            config=config,
+            workers=workers,
+            executor=executor,
+            on_error=on_error,
+        )
+        return summarize_view(view, specs, reports)
 
     def _shard_task_for(
         self, config: XPlainerConfig, method: str

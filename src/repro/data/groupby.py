@@ -5,6 +5,18 @@ the bars, spots a difference, and raises a Why Query.  This module provides
 that front half of the workflow: grouped aggregates, the top differences
 between sibling groups, and a helper that turns the largest difference into
 a ready-made :class:`~repro.data.query.WhyQuery`.
+
+Group order is the chart order: groups come back sorted by category-code
+order per dimension (the order of first appearance in the data, which is
+what :meth:`Table.categories` records) — *not* by ``repr`` of the key, so
+integer categories sort ``2 < 10`` and mixed-case strings keep their
+column order.
+
+Multi-dimension group-bys are first-class: a *sibling pair* is two groups
+whose keys differ in exactly one dimension (their subspaces are siblings in
+the paper's sense), which is what :meth:`GroupByResult.sibling_pairs`,
+:meth:`GroupByResult.top_differences` and the ``explain_view`` machinery
+enumerate for faceted charts.
 """
 
 from __future__ import annotations
@@ -20,6 +32,13 @@ from repro.data.query import WhyQuery
 from repro.data.table import Table
 from repro.errors import QueryError
 
+#: Above this many flat group-configuration slots the dense
+#: ``np.bincount(..., minlength=total)`` cross product (8 bytes per slot,
+#: twice) is replaced by the sparse compact-id path.  1M slots ≈ 16 MB of
+#: scratch — cheap enough to keep the branch-free dense kernel below it,
+#: far below the ~GB a pair of 10k-category dimensions would demand.
+DENSE_GROUP_SLOTS = 1 << 20
+
 
 @dataclass(frozen=True)
 class GroupedValue:
@@ -32,31 +51,60 @@ class GroupedValue:
 
 @dataclass(frozen=True)
 class GroupByResult:
-    """Grouped aggregate values, ordered by key."""
+    """Grouped aggregate values, ordered by per-dimension category-code."""
 
     dimensions: tuple[str, ...]
     measure: str
     agg: Aggregate
     groups: tuple[GroupedValue, ...]
 
+    def _index(self) -> dict[tuple[Hashable, ...], GroupedValue]:
+        cached = getattr(self, "_key_index", None)
+        if cached is None:
+            cached = {group.key: group for group in self.groups}
+            object.__setattr__(self, "_key_index", cached)
+        return cached
+
+    def group_of(self, *key: Hashable) -> GroupedValue:
+        """The group for ``key`` (O(1) dict lookup)."""
+        group = self._index().get(tuple(key))
+        if group is None:
+            raise QueryError(f"no group {key!r}")
+        return group
+
     def value_of(self, *key: Hashable) -> float:
-        for group in self.groups:
-            if group.key == key:
-                return group.value
-        raise QueryError(f"no group {key!r}")
+        return self.group_of(*key).value
 
-    def top_differences(self, k: int = 5) -> list[tuple[GroupedValue, GroupedValue, float]]:
-        """Largest pairwise |difference| between single-dimension groups.
+    def sibling_pairs(self) -> list[tuple[GroupedValue, GroupedValue]]:
+        """Every pair of groups whose keys differ in exactly one dimension.
 
-        Only meaningful for one grouping dimension (sibling subspaces);
-        multi-dimension group-bys raise.
+        These are exactly the pairs whose subspaces are siblings, i.e. the
+        comparisons a viewer of the chart can raise a Why Query about.  For
+        a single grouping dimension that is every pair of bars; for
+        faceted (multi-dimension) charts it is the within-facet pairs.
+        Order is deterministic: ``(i, j)`` with ``i < j`` over the group
+        (chart) order.
         """
-        if len(self.dimensions) != 1:
-            raise QueryError("top_differences needs a single grouping dimension")
-        out = []
+        pairs: list[tuple[GroupedValue, GroupedValue]] = []
         for i, a in enumerate(self.groups):
             for b in self.groups[i + 1 :]:
-                out.append((a, b, abs(a.value - b.value)))
+                differing = sum(1 for x, y in zip(a.key, b.key) if x != y)
+                if differing == 1:
+                    pairs.append((a, b))
+        return pairs
+
+    def top_differences(
+        self, k: int = 5
+    ) -> list[tuple[GroupedValue, GroupedValue, float]]:
+        """Largest pairwise |difference| between sibling groups.
+
+        Sibling = keys differ in exactly one dimension, so multi-dimension
+        group-bys compare within facets instead of across unrelated cells.
+        Ties keep the chart's ``(i, j)`` enumeration order (stable sort).
+        """
+        out = [
+            (a, b, abs(a.value - b.value)) for a, b in self.sibling_pairs()
+        ]
         out.sort(key=lambda t: -t[2])
         return out[:k]
 
@@ -66,8 +114,20 @@ def group_by(
     dimensions: Sequence[str] | str,
     measure: str,
     agg: Aggregate | str = Aggregate.AVG,
+    *,
+    sparse: bool | None = None,
 ) -> GroupByResult:
-    """Aggregate ``measure`` per configuration of ``dimensions``."""
+    """Aggregate ``measure`` per configuration of ``dimensions``.
+
+    ``sparse`` selects the aggregation kernel: ``None`` (default) picks
+    automatically — dense ``bincount`` over the full cross product while it
+    stays under :data:`DENSE_GROUP_SLOTS` slots, else the sparse path
+    (``np.unique(config, return_inverse=True)`` + bincount over compact
+    ids) whose memory is O(observed groups), not O(cross product).  Both
+    kernels produce byte-identical results: each visits the same rows in
+    the same order per group and emits occupied configurations in the same
+    ascending flat order.
+    """
     if isinstance(dimensions, str):
         dimensions = (dimensions,)
     dimensions = tuple(dimensions)
@@ -85,12 +145,24 @@ def group_by(
     for dim, card in zip(dimensions, strides):
         config = config * card + table.codes(dim)
 
-    counts = np.bincount(config, minlength=total)
-    sums = np.bincount(config, weights=values, minlength=total)
+    if sparse is None:
+        sparse = total > DENSE_GROUP_SLOTS
+    if sparse:
+        occupied, inverse = np.unique(config, return_inverse=True)
+        group_counts = np.bincount(inverse, minlength=len(occupied))
+        group_sums = np.bincount(
+            inverse, weights=values, minlength=len(occupied)
+        )
+    else:
+        counts = np.bincount(config, minlength=total)
+        sums = np.bincount(config, weights=values, minlength=total)
+        occupied = np.flatnonzero(counts)
+        group_counts = counts[occupied]
+        group_sums = sums[occupied]
 
     groups: list[GroupedValue] = []
     categories = [table.categories(d) for d in dimensions]
-    for flat in np.flatnonzero(counts):
+    for flat, count, total_sum in zip(occupied, group_counts, group_sums):
         key: list[Hashable] = []
         remainder = int(flat)
         for card, cats in zip(reversed(strides), reversed(categories)):
@@ -100,30 +172,46 @@ def group_by(
         groups.append(
             GroupedValue(
                 key=tuple(key),
-                value=agg.from_sums(float(sums[flat]), float(counts[flat])),
-                count=int(counts[flat]),
+                value=agg.from_sums(float(total_sum), float(count)),
+                count=int(count),
             )
         )
-    groups.sort(key=lambda g: tuple(repr(k) for k in g.key))
+    # Ascending flat configuration = lexicographic per-dimension category
+    # codes (first dimension most significant), i.e. the order categories
+    # appear in the data — the chart order.  No repr() sort: that ordered
+    # integer keys as strings (10 before 2) and mixed-case text unstably.
     return GroupByResult(dimensions, measure, agg, tuple(groups))
 
 
 def why_query_from_top_difference(
     table: Table,
-    dimension: str,
+    dimensions: Sequence[str] | str,
     measure: str,
     agg: Aggregate | str = Aggregate.AVG,
 ) -> WhyQuery:
-    """Spot the largest single-dimension difference and raise the Why Query
-    for it (the EDA → XDA hand-off of Fig. 1(a)–(b))."""
-    result = group_by(table, dimension, measure, agg)
+    """Spot the largest sibling-group difference and raise the Why Query
+    for it (the EDA → XDA hand-off of Fig. 1(a)–(b)).
+
+    ``dimensions`` may name one grouping dimension or several: with
+    several, the compared groups are the pair of facet cells whose keys
+    differ in exactly one dimension with the largest |Δ|, and each side's
+    subspace fixes *all* grouping dimensions.
+    """
+    result = group_by(table, dimensions, measure, agg)
     if len(result.groups) < 2:
-        raise QueryError(f"dimension {dimension!r} has fewer than two groups")
-    a, b, _ = result.top_differences(1)[0]
+        raise QueryError(
+            f"dimensions {result.dimensions!r} have fewer than two groups"
+        )
+    top = result.top_differences(1)
+    if not top:
+        raise QueryError(
+            f"dimensions {result.dimensions!r} have no sibling group pairs"
+        )
+    a, b, _ = top[0]
     high, low = (a, b) if a.value >= b.value else (b, a)
     return WhyQuery.create(
-        Subspace.of(**{dimension: high.key[0]}),
-        Subspace.of(**{dimension: low.key[0]}),
+        Subspace.of(**dict(zip(result.dimensions, high.key))),
+        Subspace.of(**dict(zip(result.dimensions, low.key))),
         measure,
         agg,
     )

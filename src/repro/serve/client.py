@@ -299,6 +299,31 @@ class ServeClient:
         response = self.request(self._with_model(payload, model))
         return dict(raise_for_error(response)["report"])
 
+    def explain_view(
+        self,
+        view_spec: Mapping[str, Any],
+        orientation: str = "both",
+        method: str = "auto",
+        model: str | None = None,
+        trace_id: str | None = None,
+    ) -> dict[str, Any]:
+        """Summarize a whole group-by view; returns the summary dict.
+
+        ``view_spec`` is the ``{"by": ..., "measure": ..., "agg": ...}``
+        shape of :func:`repro.core.view.view_from_spec`; the response is
+        the :meth:`repro.core.view.ViewSummary.to_dict` payload.
+        """
+        payload = {
+            "op": "explain_view",
+            "view": dict(view_spec),
+            "orientation": orientation,
+            "method": method,
+        }
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        response = self.request(self._with_model(payload, model))
+        return dict(raise_for_error(response)["summary"])
+
     def explain_many(
         self,
         query_specs: Sequence[Mapping[str, Any]],

@@ -19,6 +19,13 @@ Routes
     of ``{"ok": true, "report": ...}`` / typed-error envelopes, in request
     order.  The query spec is exactly the TCP / ``batch-explain`` shape
     (:func:`repro.data.query.query_from_spec`).
+``POST /v1/models/{id}/explain_view``
+    Body ``{"view": {"by": ["Location"], "measure": "LungCancer",
+    "agg": "AVG"}, "orientation": "both"}`` → ``{"ok": true, ...,
+    "summary": {...}}`` — one ranked, deduplicated causal summary of the
+    whole group-by view (:meth:`repro.core.view.ViewSummary.to_dict`).
+    Each enumerated pair runs as its own request with a derived
+    ``<trace_id>.<pair>`` child trace; ``timeout_ms`` applies per pair.
 ``GET /v1/models``
     ``{"ok": true, "models": [...]}`` — ids, artifact versions, and — for
     loaded models — live version, fingerprint, age, idleness, counters.
@@ -105,7 +112,9 @@ _REASONS = {
 #: whose cause — a full queue, an active quarantine — is transient).
 RETRY_AFTER_S = 1
 
-_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(explain|stats|traces)$")
+_MODEL_ROUTE = re.compile(
+    r"^/v1/models/([^/]+)/(explain_view|explain|stats|traces)$"
+)
 
 #: Header carrying the request-scoped trace id, inbound and outbound.
 TRACE_HEADER = "X-Repro-Trace-Id"
@@ -463,9 +472,11 @@ class HttpGateway:
                 {"ok": True, "model": model_id, "traces": traces}
             )
             return 200, body, ctype
-        # action == "explain"
+        # action == "explain" | "explain_view"
         if method != "POST":
             raise _MethodNotAllowed("POST")
+        if action == "explain_view":
+            return await self._explain_view(model_id, request)
         return await self._explain(model_id, request)
 
     async def _metrics_body(self) -> bytes:
@@ -489,9 +500,15 @@ class HttpGateway:
         )
         return text.encode("utf-8")
 
-    async def _explain(
-        self, model_id: str, request: _Request
-    ) -> tuple[int, bytes, str]:
+    def _parse_json_body(
+        self, request: _Request, expects: str
+    ) -> tuple[dict[str, Any], str, float | None, str]:
+        """Decode and validate the common POST body fields.
+
+        Returns ``(payload, method, timeout_ms, trace_id)``; shared by the
+        ``explain`` and ``explain_view`` actions, which validate their
+        op-specific fields on top.
+        """
         raw = request.body
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else None
@@ -499,7 +516,7 @@ class HttpGateway:
             raise ProtocolError(f"body is not valid JSON: {exc}") from exc
         if not isinstance(payload, dict):
             raise ProtocolError(
-                "explain body must be a JSON object with 'query' or 'queries'"
+                f"body must be a JSON object with {expects}"
             )
         method = payload.get("method", "auto")
         if not isinstance(method, str):
@@ -526,7 +543,42 @@ class HttpGateway:
                 )
             if request.trace_id is None:  # the header, when sent, wins
                 request.trace_id = body_tid
-        trace_id = self._ensure_trace_id(request)
+        return payload, method, timeout_ms, self._ensure_trace_id(request)
+
+    async def _explain_view(
+        self, model_id: str, request: _Request
+    ) -> tuple[int, bytes, str]:
+        payload, method, timeout_ms, trace_id = self._parse_json_body(
+            request, "'view'"
+        )
+        if "view" not in payload:
+            raise ProtocolError("explain_view body missing 'view'")
+        orientation = payload.get("orientation", "both")
+        if not isinstance(orientation, str):
+            raise ProtocolError(
+                f"'orientation' must be a string, got {orientation!r}"
+            )
+        entry = await self.registry.entry_for(model_id)
+        base = {"ok": True, "model": entry.model_id, "version": entry.version,
+                "fingerprint": entry.fingerprint, "trace_id": trace_id}
+        trace = obs.Trace(name="request", trace_id=trace_id)
+        trace.root.tag(op="explain_view", proto="http", model=entry.model_id)
+        summary = await entry.service.explain_view(
+            payload["view"],
+            orientation=orientation,
+            method=method,
+            trace=trace,
+            timeout_ms=timeout_ms,
+        )
+        body, ctype = self._json_body({**base, "summary": summary.to_dict()})
+        return 200, body, ctype
+
+    async def _explain(
+        self, model_id: str, request: _Request
+    ) -> tuple[int, bytes, str]:
+        payload, method, timeout_ms, trace_id = self._parse_json_body(
+            request, "'query' or 'queries'"
+        )
         entry = await self.registry.entry_for(model_id)
         base = {"ok": True, "model": entry.model_id, "version": entry.version,
                 "fingerprint": entry.fingerprint, "trace_id": trace_id}

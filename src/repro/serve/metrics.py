@@ -43,6 +43,7 @@ _COUNTERS = (
     ("deduped", "Requests answered by another request's explain."),
     ("batches", "Micro-batch flushes executed."),
     ("slow_queries", "Requests over the slow-query latency threshold."),
+    ("views", "Whole-view summaries served (explain_view)."),
     ("timeouts", "Requests resolved with DeadlineExceededError."),
     ("shed_expired", "Timeouts shed in queue before their flush ran."),
 )

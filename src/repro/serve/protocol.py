@@ -21,11 +21,21 @@ Ops
     response is a typed ``DeadlineExceededError`` envelope (the service
     default / cap still applies; see ``repro serve
     --default-timeout-ms/--max-timeout-ms``).
+``explain_view``
+    ``{"op": "explain_view", "id": 8, "view": {"by": ["Location"],
+    "measure": "LungCancer", "agg": "AVG"}, "orientation": "both",
+    "method": "auto"}`` → ``{"id": 8, "ok": true, "summary": {...}}`` —
+    one ranked, deduplicated causal summary of the whole group-by view
+    (the :meth:`repro.core.view.ViewSummary.to_dict` schema; see
+    :func:`repro.core.view.view_from_spec` for the ``view`` spec shape).
+    ``orientation`` is ``pairwise`` / ``vs_rest`` / ``both`` (default);
+    an optional ``"timeout_ms"`` applies per enumerated pair.
 ``stats``
     ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}`` — the
     :class:`~repro.serve.service.ServerStats` snapshot.
 
-``explain`` and ``stats`` accept an optional ``"model": "<id>"`` field
+``explain``, ``explain_view`` and ``stats`` accept an optional
+``"model": "<id>"`` field
 naming which model in the server's :class:`~repro.serve.registry.
 ModelRegistry` should answer.  Omitting it routes to the registry's
 default model (the only model, for a single-model server); an unknown id
@@ -66,7 +76,7 @@ from typing import Any, Mapping
 from repro.errors import ProtocolError, ReproError
 
 #: Ops a server understands; anything else is a ProtocolError.
-OPS = ("explain", "stats", "traces", "ping", "shutdown")
+OPS = ("explain", "explain_view", "stats", "traces", "ping", "shutdown")
 
 #: Upper bound on one request line (bytes). Also passed to the asyncio
 #: stream reader as its buffer limit, so an unframed flood cannot balloon

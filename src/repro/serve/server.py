@@ -7,7 +7,8 @@ coalesces in the service's micro-batcher; responses carry the request's
 echoed ``id`` for matching (they may complete out of order).
 
 Requests route through a :class:`~repro.serve.registry.ModelRegistry`: an
-optional ``model`` field on ``explain`` / ``stats`` picks the model, and
+optional ``model`` field on ``explain`` / ``explain_view`` / ``stats``
+picks the model, and
 omitting it serves the registry's default.  The historical single-service
 constructor still works — it wraps the service in a pinned single-entry
 registry (:meth:`ModelRegistry.for_service`), so both shapes run the exact
@@ -334,6 +335,29 @@ class ExplanationServer:
                 )
             self.request_shutdown()
             return ok_response(request_id, draining=True)
+        if op == "explain_view":
+            if "view" not in request:
+                raise ProtocolError("explain_view request missing 'view'")
+            entry = await self.registry.entry_for(self._requested_model(request))
+            method = request.get("method", "auto")
+            if not isinstance(method, str):
+                raise ProtocolError(f"'method' must be a string, got {method!r}")
+            orientation = request.get("orientation", "both")
+            if not isinstance(orientation, str):
+                raise ProtocolError(
+                    f"'orientation' must be a string, got {orientation!r}"
+                )
+            timeout_ms = self._requested_timeout_ms(request)
+            trace = obs.Trace(name="request", trace_id=trace_id)
+            trace.root.tag(op="explain_view", proto="tcp", model=entry.model_id)
+            summary = await entry.service.explain_view(
+                request["view"],
+                orientation=orientation,
+                method=method,
+                trace=trace,
+                timeout_ms=timeout_ms,
+            )
+            return ok_response(request_id, summary=summary.to_dict())
         # op == "explain" (decode_request already validated the op set)
         if "query" not in request:
             raise ProtocolError("explain request missing 'query'")

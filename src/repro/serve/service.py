@@ -51,6 +51,7 @@ from repro.data.query import WhyQuery
 from repro.data.table import Table
 from repro.errors import (
     DeadlineExceededError,
+    QueryError,
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -120,6 +121,10 @@ class ServerStats:
     fingerprint: str | None = None
     #: Requests whose latency crossed the slow-query threshold.
     slow_queries: int = 0
+    #: Whole-view summaries served (``explain_view``).  Each one fans out
+    #: into per-pair requests that count under submitted/completed as
+    #: usual; this tracks the views themselves.
+    views: int = 0
     #: Requests resolved with :class:`DeadlineExceededError` (shed in
     #: queue + expired mid-flush).  Disjoint from completed/failed.
     timeouts: int = 0
@@ -167,6 +172,7 @@ class ServerStats:
             },
             "latency_ms": self.latency_ms(),
             "slow_queries": self.slow_queries,
+            "views": self.views,
             "timeouts": self.timeouts,
             "shed_expired": self.shed_expired,
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -420,6 +426,86 @@ class ExplanationService:
     ) -> XInsightReport:
         """Submit and await one request (the coroutine most callers want)."""
         return await self.submit(query, method, trace=trace, timeout_ms=timeout_ms)
+
+    async def explain_view(
+        self,
+        view,
+        orientation: str = "both",
+        method: str = "auto",
+        trace: obs.Trace | None = None,
+        timeout_ms: float | None = None,
+    ):
+        """Summarize a whole aggregate view through the micro-batcher.
+
+        ``view`` is a ``{"by": ..., "measure": ..., "agg": ...}`` spec (or
+        a pre-computed :class:`~repro.data.groupby.GroupByResult`).  Every
+        sibling pair of the view is submitted as its own request, so the
+        fan-out rides the existing flush/dedup machinery: the pairs land
+        in one flush up to ``max_batch``, and the vs-rest repeats of
+        pairwise queries dedup onto a single explain.  A failing pair
+        resolves as one errored row of the summary, never the whole view.
+
+        ``trace`` is the view-scoped trace; each pair gets a derived child
+        trace ``<trace_id>.<pair>`` recorded in the ring like any other
+        request.  ``timeout_ms`` applies per pair (service default / cap
+        as usual).
+        """
+        from repro.core.view import (
+            enumerate_view_queries,
+            summarize_view,
+            view_from_spec,
+        )
+        from repro.data.groupby import GroupByResult
+
+        if not isinstance(view, GroupByResult):
+            view = view_from_spec(view, self.table)
+        specs = enumerate_view_queries(view, orientation=orientation)
+        if not specs:
+            raise QueryError(
+                f"view over {view.dimensions!r} has no sibling group pairs "
+                "to explain"
+            )
+        futures: list = []
+        admission_errors = 0
+        first_rejection: Exception | None = None
+        for index, spec in enumerate(specs):
+            child = (
+                obs.Trace(name="request", trace_id=f"{trace.trace_id}.{index}")
+                if trace is not None
+                else None
+            )
+            if child is not None:
+                child.root.tag(
+                    op="explain_view_pair",
+                    kind=spec.kind,
+                    pair=index,
+                    view_trace=trace.trace_id,
+                )
+            try:
+                futures.append(
+                    self.submit(
+                        spec.query, method, trace=child, timeout_ms=timeout_ms
+                    )
+                )
+            except (ServiceOverloadedError, ServiceClosedError) as exc:
+                # Poison-pair isolation extends to admission: a rejected
+                # pair degrades one row, and only an entirely rejected
+                # view surfaces the typed admission error itself.
+                admission_errors += 1
+                first_rejection = first_rejection or exc
+                futures.append(exc)
+        if admission_errors == len(specs):
+            raise first_rejection
+        reports = await asyncio.gather(
+            *(f for f in futures if isinstance(f, asyncio.Future)),
+            return_exceptions=True,
+        )
+        results: list = []
+        landed = iter(reports)
+        for entry in futures:
+            results.append(entry if isinstance(entry, Exception) else next(landed))
+        self.stats.views += 1
+        return summarize_view(view, specs, results)
 
     @property
     def worker_restarts(self) -> int:

@@ -61,6 +61,9 @@ QUERY_SPEC = {
     "agg": "AVG",
 }
 
+#: The whole-view twin of QUERY_SPEC (the chart the query came from).
+VIEW_SPEC = {"by": "Location", "measure": "LungCancer", "agg": "AVG"}
+
 BANNER = re.compile(r"serving on ([\w.\-]+):(\d+)")
 HTTP_BANNER = re.compile(r"http on ([\w.\-]+):(\d+)")
 
@@ -180,10 +183,15 @@ def _smoke_tcp(tmp: str) -> None:
             assert "explanations" in report, f"bad report: {report!r}"
             burst = client.explain_many([QUERY_SPEC] * 8)
             assert burst == [report] * 8, "pipelined burst diverged"
+            summary = client.explain_view(VIEW_SPEC)
+            assert summary["view"]["dimensions"] == ["Location"], summary
+            assert summary["pairs"], "view enumerated no sibling pairs"
+            assert all(p["error"] is None for p in summary["pairs"]), summary
             _check_trace(client.traces(), trace_id)
             stats = client.stats()
             assert stats["completed"] >= 9, stats
             assert stats["deduped"] >= 1, "burst never coalesced"
+            assert stats["views"] >= 1, "view summary not counted"
             assert client.shutdown(), "shutdown not acknowledged"
         _finish(server)
     finally:
@@ -307,6 +315,15 @@ def _smoke_http(tmp: str) -> None:
             "batch diverged from the single explain"
         )
 
+        status, view_answer = _http_json(
+            host, port, "POST", "/v1/models/demo/explain_view",
+            {"view": VIEW_SPEC},
+        )
+        assert status == 200 and view_answer["ok"], (status, view_answer)
+        view_pairs = view_answer["summary"]["pairs"]
+        assert view_pairs, "view enumerated no sibling pairs"
+        assert all(p["error"] is None for p in view_pairs), view_answer
+
         status, models = _http_json(host, port, "GET", "/v1/models")
         assert status == 200, (status, models)
         rows = {row["id"]: row for row in models["models"]}
@@ -330,6 +347,8 @@ def _smoke_http(tmp: str) -> None:
             samples, "repro_serve_completed_total", model="demo"
         )
         assert completed >= 5, f"metrics lost the served explains: {completed}"
+        views = metric_value(samples, "repro_serve_views_total", model="demo")
+        assert views >= 1, f"metrics lost the view summary: {views}"
 
         # The TCP front-end shares the registry: route by model field, then
         # drain the whole stack over the wire.
@@ -569,14 +588,14 @@ def main(http: bool = False, chaos: bool = False) -> int:
             _smoke_http(tmp)
             print(
                 "serve smoke ok (http): boot, healthz, traced explain, batch, "
-                "models, stats, traces, metrics, chrome export, tcp routing, "
-                "clean drain"
+                "view summary, models, stats, traces, metrics, chrome export, "
+                "tcp routing, clean drain"
             )
         else:
             _smoke_tcp(tmp)
             print(
-                "serve smoke ok: boot, ping, traced explain, burst, traces, "
-                "stats, clean drain"
+                "serve smoke ok: boot, ping, traced explain, burst, view "
+                "summary, traces, stats, clean drain"
             )
     return 0
 

@@ -61,6 +61,45 @@ class TestGroupbyCommand:
         assert "A" in out and "B" in out
 
 
+class TestExplainViewCommand:
+    def test_end_to_end(self, lungcancer_csv, capsys):
+        code = main(
+            [
+                "explain-view",
+                lungcancer_csv,
+                "--by",
+                "Location",
+                "--measure",
+                "LungCancer",
+                "--bins",
+                "3",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "AVG(LungCancer) GROUP BY Location" in captured.out
+        assert "| Type | Attribute |" in captured.out
+        assert "Smoking" in captured.out
+        assert "workspace cache" in captured.err
+        assert "explained 3/3" in captured.err
+
+    def test_unknown_dimension_is_reported(self, lungcancer_csv, capsys):
+        code = main(
+            [
+                "explain-view",
+                lungcancer_csv,
+                "--by",
+                "Nope",
+                "--measure",
+                "LungCancer",
+                "--bins",
+                "3",
+            ]
+        )
+        assert code == 2
+        assert "unknown column 'Nope'" in capsys.readouterr().err
+
+
 class TestExplainCommand:
     def test_end_to_end(self, lungcancer_csv, capsys):
         code = main(

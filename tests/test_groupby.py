@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.data import Aggregate, Table, group_by, why_query_from_top_difference
+from repro.data import (
+    Aggregate,
+    Role,
+    Table,
+    group_by,
+    why_query_from_top_difference,
+)
 from repro.errors import QueryError
 
 
@@ -64,10 +70,99 @@ class TestGroupBy:
         assert diffs[0][2] >= diffs[1][2]
         assert diffs[0][2] == pytest.approx(9.0)  # C vs B
 
-    def test_top_differences_needs_single_dimension(self):
+    def test_top_differences_multi_dimension_sibling_pairs_only(self):
+        # Multi-dim group-bys compare within facets: keys must differ in
+        # exactly one dimension ((A,x) vs (A,y) yes, (A,x) vs (B,y) no).
         result = group_by(sample(), ["loc", "seg"], "m")
+        diffs = result.top_differences(k=100)
+        assert diffs, "multi-dim top_differences must not raise"
+        for a, b, gap in diffs:
+            differing = sum(1 for x, y in zip(a.key, b.key) if x != y)
+            assert differing == 1
+            assert gap == pytest.approx(abs(a.value - b.value))
+        assert diffs[0][2] >= diffs[-1][2]
+
+    def test_sibling_pairs_single_dimension_is_all_pairs(self):
+        result = group_by(sample(), "loc", "m")
+        keys = {tuple(sorted((a.key, b.key))) for a, b in result.sibling_pairs()}
+        assert len(keys) == 3  # C(3, 2) bars
+
+    def test_group_of_returns_count(self):
+        result = group_by(sample(), "loc", "m")
+        group = result.group_of("A")
+        assert group.count == 2 and group.value == pytest.approx(3.0)
+
+
+class TestGroupOrder:
+    def test_integer_keys_sorted_by_category_order_not_repr(self):
+        # repr-sorting ordered 10 before 2; category-code order (first
+        # appearance, which here is ascending) must win.
+        t = Table.from_columns(
+            {
+                "bucket": [2, 5, 10, 2, 5, 10, 10],
+                "m": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            },
+            roles={"bucket": Role.DIMENSION, "m": Role.MEASURE},
+        )
+        result = group_by(t, "bucket", "m")
+        assert [g.key for g in result.groups] == [(2,), (5,), (10,)]
+
+    def test_string_keys_follow_category_order(self):
+        # Category order is first appearance in the data, not lexical
+        # (repr-sorting put "Zebra" before "apple").
+        t = Table.from_columns(
+            {
+                "name": ["Zebra", "apple", "Zebra", "Mid", "apple"],
+                "m": [1.0, 2.0, 3.0, 4.0, 5.0],
+            }
+        )
+        result = group_by(t, "name", "m")
+        assert [g.key for g in result.groups] == [("Zebra",), ("apple",), ("Mid",)]
+
+    def test_multi_dim_order_is_per_dimension_code_order(self):
+        result = group_by(sample(), ["loc", "seg"], "m")
+        keys = [g.key for g in result.groups]
+        assert keys == sorted(
+            keys, key=lambda k: (["A", "B", "C"].index(k[0]), ["x", "y"].index(k[1]))
+        )
+
+
+class TestSparsePath:
+    def test_sparse_matches_dense_exactly(self):
+        for dims in ("loc", ["loc", "seg"]):
+            for agg in (Aggregate.AVG, Aggregate.SUM, Aggregate.COUNT):
+                dense = group_by(sample(), dims, "m", agg, sparse=False)
+                sparse = group_by(sample(), dims, "m", agg, sparse=True)
+                assert dense == sparse  # byte-identical dataclasses
+
+    def test_high_cardinality_cross_product_stays_sparse(self):
+        # Two 10k-category dimensions: the dense cross product would be
+        # 1e8 slots (~800 MB per bincount array, twice).  The auto path
+        # must pick sparse and agree with a plain dict aggregation.
+        n = 20_000
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 10_000, size=n)
+        b = rng.integers(0, 10_000, size=n)
+        m = rng.normal(size=n)
+        t = Table.from_columns(
+            {"a": a.tolist(), "b": b.tolist(), "m": m.tolist()},
+            roles={"a": Role.DIMENSION, "b": Role.DIMENSION, "m": Role.MEASURE},
+        )
+        assert t.cardinality("a") * t.cardinality("b") > 1 << 20
+        result = group_by(t, ["a", "b"], "m", Aggregate.SUM)
+
+        expected: dict[tuple, float] = {}
+        for ka, kb, vm in zip(a.tolist(), b.tolist(), m.tolist()):
+            expected[(ka, kb)] = expected.get((ka, kb), 0.0) + vm
+        assert len(result.groups) == len(expected)
+        for group in result.groups:
+            assert group.value == pytest.approx(expected[group.key])
+
+    def test_value_of_dict_lookup_on_multi_dim(self):
+        result = group_by(sample(), ["loc", "seg"], "m", Aggregate.SUM)
+        assert result.value_of("C", "x") == pytest.approx(10.0)
         with pytest.raises(QueryError):
-            result.top_differences()
+            result.value_of("C", "y")
 
 
 class TestWhyQueryFromTopDifference:
@@ -89,3 +184,15 @@ class TestWhyQueryFromTopDifference:
         result = group_by(t, "loc", "m")
         expected = result.value_of("C") - result.value_of("B")
         assert query.delta(t) == pytest.approx(expected)
+
+    def test_multi_dimension_subspaces_fix_every_dimension(self):
+        t = sample()
+        query = why_query_from_top_difference(t, ["loc", "seg"], "m")
+        assert set(query.s1.dimensions) == {"loc", "seg"}
+        assert query.s1.is_sibling_of(query.s2)
+        # The sides are the top sibling facet pair, higher bar first.
+        result = group_by(t, ["loc", "seg"], "m")
+        a, b, gap = result.top_differences(1)[0]
+        high = a if a.value >= b.value else b
+        assert query.s1.value_of("loc") == high.key[0]
+        assert query.delta(t) == pytest.approx(gap)

@@ -656,3 +656,66 @@ class TestTcpModelRouting:
                 return result["type"]
 
         assert run(scenario()) == "ProtocolError"
+
+
+VIEW_SPEC = {"by": "Location", "measure": "LungCancer", "agg": "AVG"}
+
+
+class TestHttpExplainView:
+    def test_round_trip_matches_session_and_counts_views(
+        self, http_stack, model_alpha, registry_sources
+    ):
+        alpha_table, _ = registry_sources
+        direct = ExplainSession(model_alpha, alpha_table).explain_view(
+            VIEW_SPEC
+        )
+
+        def client_work(host, port, registry):
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain_view",
+                payload={"view": VIEW_SPEC, "trace_id": "view-http-1"},
+            )
+            assert status == 200, body
+            status, _, text = _http_request(host, port, "GET", "/metrics")
+            assert status == 200
+            return body, text
+
+        body, text = http_stack(client_work)
+        assert body["ok"] and body["model"] == "alpha"
+        assert body["version"] == "1" and len(body["fingerprint"]) == 64
+        assert body["trace_id"] == "view-http-1"
+        assert body["summary"] == direct.to_dict()
+        samples = parse_prometheus_text(text)
+        assert metric_value(
+            samples, "repro_serve_views_total", model="alpha"
+        ) == 1
+
+    def test_error_statuses(self, http_stack):
+        def client_work(host, port, registry):
+            outcomes = {}
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain_view",
+                payload={"orientation": "both"},
+            )
+            outcomes["missing_view"] = (status, body["error"]["type"])
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain_view",
+                payload={"view": VIEW_SPEC, "orientation": "sideways"},
+            )
+            outcomes["bad_orientation"] = (status, body["error"]["type"])
+            status, _, body = _http_request(
+                host, port, "POST", "/v1/models/alpha/explain_view",
+                payload={"view": dict(VIEW_SPEC, agg="MEDIAN")},
+            )
+            outcomes["bad_agg"] = (status, body["error"]["type"])
+            status, _, body = _http_request(
+                host, port, "GET", "/v1/models/alpha/explain_view"
+            )
+            outcomes["wrong_method"] = (status, body["error"]["type"])
+            return outcomes
+
+        outcomes = http_stack(client_work)
+        assert outcomes["missing_view"] == (400, "ProtocolError")
+        assert outcomes["bad_orientation"] == (400, "QueryError")
+        assert outcomes["bad_agg"] == (400, "QueryError")
+        assert outcomes["wrong_method"] == (405, "ProtocolError")

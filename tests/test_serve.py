@@ -579,3 +579,69 @@ class TestServeCLI:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+VIEW_SPEC = {"by": "Location", "measure": "LungCancer", "agg": "AVG"}
+
+
+class TestExplainViewServing:
+    def test_service_view_matches_session_and_counts(self, model, table):
+        direct = ExplainSession(model, table).explain_view(VIEW_SPEC)
+
+        async def scenario():
+            async with ExplanationService(model, table) as service:
+                summary = await service.explain_view(VIEW_SPEC)
+                return summary, service.stats.views, service.stats.completed
+
+        summary, views, completed = run(scenario())
+        assert summary.to_dict() == direct.to_dict()
+        assert views == 1
+        assert completed >= 1  # dedup may fold repeated pair queries
+
+    def test_service_view_rejects_malformed_spec(self, model, table):
+        from repro.errors import QueryError
+
+        async def scenario(view, **kwargs):
+            async with ExplanationService(model, table) as service:
+                await service.explain_view(view, **kwargs)
+
+        with pytest.raises(QueryError, match="view spec"):
+            run(scenario({"measure": "LungCancer"}))
+        with pytest.raises(QueryError, match="orientation"):
+            run(scenario(VIEW_SPEC, orientation="sideways"))
+
+    def test_wire_explain_view_round_trip(
+        self, running_server, model, table
+    ):
+        direct = ExplainSession(model, table).explain_view(VIEW_SPEC)
+
+        def client_work(host, port):
+            with ServeClient(host, port) as client:
+                summary = client.explain_view(VIEW_SPEC, trace_id="view-1")
+                traces = client.traces()
+                stats = client.stats()
+                missing = client.request({"op": "explain_view"})
+                bad_orientation = client.request(
+                    {
+                        "op": "explain_view",
+                        "view": VIEW_SPEC,
+                        "orientation": "sideways",
+                    }
+                )
+                client.shutdown()
+                return summary, traces, stats, missing, bad_orientation
+
+        (summary, traces, stats, missing, bad_orientation), _, service = run(
+            running_server(client_work)
+        )
+        assert summary == direct.to_dict()
+        assert all(pair["error"] is None for pair in summary["pairs"])
+        assert stats["views"] == 1
+        assert service.stats.views == 1
+        # Each pair ran as its own traced request under the view's trace id.
+        child_ids = {e["trace_id"] for e in traces}
+        expected = {f"view-1.{i}" for i in range(len(summary["pairs"]))}
+        assert expected <= child_ids
+        assert missing["error"]["type"] == "ProtocolError"
+        assert "missing 'view'" in missing["error"]["message"]
+        assert bad_orientation["error"]["type"] == "QueryError"

@@ -1,0 +1,611 @@
+"""Whole-view causal summaries (``explain_view``).
+
+Covers the full stack introduced by the view subsystem:
+
+* :func:`view_from_spec` — the untrusted-spec validation boundary;
+* :func:`enumerate_view_queries` — deterministic, Δ-oriented sibling
+  enumeration in both orientations (pairwise / vs-rest proxy);
+* :func:`summarize_view` — dedup by (predicate, attribute, type),
+  max-responsibility retention, coverage, poison-pair isolation, and
+  invariance under permutation of the (spec, report) inputs;
+* :class:`ViewSummary` serialization round-trips and markdown rendering;
+* hypothesis properties over random synthetic views and reports;
+* model-backed end-to-end: per-pair reports byte-identical to individual
+  ``explain`` calls, warm workspace cache, serial ≡ sharded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExplainSession,
+    ViewSummary,
+    enumerate_view_queries,
+    fit_model,
+    summarize_view,
+    view_from_spec,
+    view_summary_to_markdown,
+)
+from repro.core.explanation import Explanation, ExplanationType
+from repro.core.reporting import report_to_dict
+from repro.core.session import XInsightReport
+from repro.core.xtranslator import CausalRole
+from repro.data import Aggregate, Subspace, Table, group_by
+from repro.data.filters import Predicate
+from repro.data.groupby import GroupByResult, GroupedValue
+from repro.datasets import generate_lungcancer
+from repro.errors import QueryError
+
+VIEW_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_view(values, counts=None, agg=Aggregate.AVG, dims=("d",)):
+    """A single-dimension GroupByResult built directly from bar values."""
+    counts = counts or [1] * len(values)
+    groups = tuple(
+        GroupedValue(key=(f"g{i}",), value=float(v), count=int(c))
+        for i, (v, c) in enumerate(zip(values, counts))
+    )
+    return GroupByResult(tuple(dims), "m", agg, groups)
+
+
+def make_report(spec, explanations):
+    """A synthetic XInsightReport answering one enumerated spec."""
+    return XInsightReport(
+        query=spec.query,
+        delta=spec.s1.value - spec.s2.value,
+        explanations=list(explanations),
+        translations={},
+    )
+
+
+def make_explanation(
+    attribute="Smoke",
+    value="yes",
+    responsibility=0.8,
+    etype=ExplanationType.CAUSAL,
+    role=CausalRole.PARENT,
+    score=0.5,
+):
+    return Explanation(
+        type=etype,
+        predicate=Predicate.of(attribute, (value,)),
+        responsibility=responsibility,
+        attribute=attribute,
+        role=role,
+        score=score,
+    )
+
+
+# ----------------------------------------------------------------------
+# view_from_spec — the validation boundary
+# ----------------------------------------------------------------------
+
+
+class TestViewFromSpec:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_lungcancer(n_rows=400, seed=0)
+
+    def test_by_string_matches_group_by(self, table):
+        view = view_from_spec(
+            {"by": "Location", "measure": "LungCancer"}, table
+        )
+        assert view == group_by(table, ("Location",), "LungCancer")
+
+    def test_dimensions_list_alias_and_agg(self, table):
+        view = view_from_spec(
+            {
+                "dimensions": ["Location", "Smoking"],
+                "measure": "LungCancer",
+                "agg": "SUM",
+            },
+            table,
+        )
+        assert view.dimensions == ("Location", "Smoking")
+        assert view.agg is Aggregate.SUM
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "not-an-object",
+            {"by": "Location", "measure": "LungCancer", "bogus": 1},
+            {"by": "Location", "dimensions": ["Location"], "measure": "LungCancer"},
+            {"measure": "LungCancer"},
+            {"by": [], "measure": "LungCancer"},
+            {"by": ["Location", 3], "measure": "LungCancer"},
+            {"by": "Location"},
+            {"by": "Location", "measure": 7},
+            {"by": "Location", "measure": "LungCancer", "agg": "MEDIAN"},
+        ],
+        ids=[
+            "non-mapping",
+            "unknown-field",
+            "by-and-dimensions",
+            "missing-by",
+            "empty-by",
+            "non-string-dim",
+            "missing-measure",
+            "non-string-measure",
+            "bad-agg",
+        ],
+    )
+    def test_malformed_specs_raise_query_error(self, table, spec):
+        with pytest.raises(QueryError):
+            view_from_spec(spec, table)
+
+
+# ----------------------------------------------------------------------
+# enumerate_view_queries
+# ----------------------------------------------------------------------
+
+
+class TestEnumerateViewQueries:
+    def test_invalid_orientation_raises(self):
+        with pytest.raises(QueryError):
+            enumerate_view_queries(make_view([1.0, 2.0]), orientation="sideways")
+
+    def test_pairwise_delta_oriented_chart_order(self):
+        view = make_view([1.0, 5.0, 3.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        assert [(s.s1.key, s.s2.key) for s in specs] == [
+            (("g1",), ("g0",)),  # 5 vs 1
+            (("g2",), ("g0",)),  # 3 vs 1
+            (("g1",), ("g2",)),  # 5 vs 3
+        ]
+        assert all(s.s1.value >= s.s2.value for s in specs)
+        assert all(s.kind == "pairwise" for s in specs)
+
+    def test_query_subspaces_fix_every_dimension(self):
+        view = GroupByResult(
+            ("a", "b"),
+            "m",
+            Aggregate.AVG,
+            (
+                GroupedValue(("x", "p"), 1.0, 1),
+                GroupedValue(("x", "q"), 2.0, 1),
+            ),
+        )
+        (spec,) = enumerate_view_queries(view, orientation="pairwise")
+        assert spec.query.s1 == Subspace.of(a="x", b="q")
+        assert spec.query.s2 == Subspace.of(a="x", b="p")
+        assert spec.query.measure == "m"
+
+    def test_multi_dimension_enumerates_sibling_pairs_only(self):
+        # 2×2 facet grid: 4 sibling pairs, not the 6 of all-vs-all.
+        view = GroupByResult(
+            ("a", "b"),
+            "m",
+            Aggregate.AVG,
+            tuple(
+                GroupedValue((x, y), float(i), 1)
+                for i, (x, y) in enumerate(
+                    [("x", "p"), ("x", "q"), ("y", "p"), ("y", "q")]
+                )
+            ),
+        )
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        assert len(specs) == 4
+        for spec in specs:
+            differing = sum(
+                1 for u, v in zip(spec.s1.key, spec.s2.key) if u != v
+            )
+            assert differing == 1
+
+    def test_vs_rest_picks_sibling_nearest_pooled_rest(self):
+        # AVG rest of g0 pools g1, g2: (4·1 + 1·1) / 2 = 2.5 — g1 and g2
+        # are equidistant, chart order breaks the tie toward g1.
+        view = make_view([10.0, 4.0, 1.0], counts=[2, 1, 1])
+        specs = enumerate_view_queries(view, orientation="vs_rest")
+        assert [(s.s1.key, s.s2.key) for s in specs] == [
+            (("g0",), ("g1",)),
+            (("g0",), ("g1",)),  # rest of g1 = (20+1)/3 = 7 → g0 nearest
+            (("g0",), ("g2",)),  # rest of g2 = (20+4)/3 = 8 → g0 nearest
+        ]
+        assert all(s.kind == "vs_rest" for s in specs)
+
+    def test_both_emits_pairwise_before_vs_rest(self):
+        view = make_view([3.0, 1.0, 2.0])
+        specs = enumerate_view_queries(view, orientation="both")
+        kinds = [s.kind for s in specs]
+        assert kinds == ["pairwise"] * 3 + ["vs_rest"] * 3
+        assert specs == enumerate_view_queries(view, orientation="both")
+
+    def test_sum_and_count_rest_aggregates(self):
+        # SUM rest of g0 = 4 + 1 = 5 → g1 (|4-5|=1) beats g2 (|1-5|=4).
+        view = make_view([10.0, 4.0, 1.0], agg=Aggregate.SUM)
+        specs = enumerate_view_queries(view, orientation="vs_rest")
+        assert (specs[0].s1.key, specs[0].s2.key) == (("g0",), ("g1",))
+        # COUNT rest of g0 = 3 + 9 = 12 → g2 (|9-12|=3) beats g1 (|3-12|=9).
+        view = make_view([5.0, 3.0, 9.0], counts=[5, 3, 9], agg=Aggregate.COUNT)
+        specs = enumerate_view_queries(view, orientation="vs_rest")
+        assert (specs[0].s1.key, specs[0].s2.key) == (("g2",), ("g0",))
+
+    def test_single_group_has_no_queries(self):
+        assert enumerate_view_queries(make_view([1.0])) == []
+
+    def test_unfaceted_groups_skipped_in_vs_rest(self):
+        # Two groups with no shared facet edge: no siblings at all.
+        view = GroupByResult(
+            ("a", "b"),
+            "m",
+            Aggregate.AVG,
+            (
+                GroupedValue(("x", "p"), 1.0, 1),
+                GroupedValue(("y", "q"), 2.0, 1),
+            ),
+        )
+        assert enumerate_view_queries(view, orientation="both") == []
+
+
+# ----------------------------------------------------------------------
+# summarize_view + ViewSummary serialization
+# ----------------------------------------------------------------------
+
+
+class TestSummarizeView:
+    def test_length_mismatch_raises(self):
+        view = make_view([1.0, 2.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        with pytest.raises(QueryError):
+            summarize_view(view, specs, [])
+
+    def test_dedup_keeps_max_responsibility_and_sums_view_score(self):
+        view = make_view([5.0, 3.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        shared_low = make_explanation(responsibility=0.5, role=CausalRole.ANCESTOR)
+        shared_high = make_explanation(responsibility=0.8, role=CausalRole.PARENT)
+        lone = make_explanation(
+            attribute="Gender", value="f", responsibility=0.9
+        )
+        reports = [
+            make_report(specs[0], [shared_low, lone]),
+            make_report(specs[1], [shared_high]),
+            make_report(specs[2], []),
+        ]
+        summary = summarize_view(view, specs, reports)
+
+        assert len(summary.explanations) == 2
+        shared = next(
+            e for e in summary.explanations if e.attribute == "Smoke"
+        )
+        assert shared.responsibility == 0.8  # max instance wins...
+        assert shared.causal_role == CausalRole.PARENT.value  # ...verdict too
+        assert shared.view_score == pytest.approx(1.3)
+        assert shared.coverage == pytest.approx(2 / 3)
+        assert shared.pairs == (0, 1)
+        # Summed view score ranks the 2-pair explanation over the 0.9 lone.
+        assert summary.explanations[0] is shared
+        assert summary.top(1) == (shared,)
+
+    def test_same_predicate_different_type_not_merged(self):
+        view = make_view([2.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        causal = make_explanation(etype=ExplanationType.CAUSAL)
+        relevant = make_explanation(
+            etype=ExplanationType.NON_CAUSAL, role=CausalRole.NONE
+        )
+        summary = summarize_view(
+            view, specs, [make_report(specs[0], [causal, relevant])]
+        )
+        assert len(summary.explanations) == 2
+        assert {e.type for e in summary.explanations} == {
+            "causal",
+            "non-causal",
+        }
+
+    def test_poison_pair_degrades_one_row(self):
+        view = make_view([5.0, 3.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        reports = [
+            make_report(specs[0], [make_explanation()]),
+            ValueError("boom"),
+            make_report(specs[2], []),
+        ]
+        summary = summarize_view(view, specs, reports)
+        assert [p.error for p in summary.pairs] == [
+            None,
+            "ValueError: boom",
+            None,
+        ]
+        assert summary.pairs[1].report is None
+        assert summary.failed_pairs == (summary.pairs[1],)
+        assert summary.pairs[0].report == report_to_dict(reports[0])
+        # Coverage denominators still count the failed pair.
+        assert summary.explanations[0].coverage == pytest.approx(1 / 3)
+
+    def test_summary_invariant_under_input_permutation(self):
+        view = make_view([5.0, 3.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="both")
+        reports = [
+            make_report(spec, [make_explanation(responsibility=0.1 * i)])
+            for i, spec in enumerate(specs)
+        ]
+        baseline = summarize_view(view, specs, reports).to_dict()
+        order = list(reversed(range(len(specs))))
+        shuffled = summarize_view(
+            view, [specs[i] for i in order], [reports[i] for i in order]
+        )
+        assert shuffled.to_dict() == baseline
+
+    def test_round_trip_through_dict(self):
+        view = make_view([5.0, 3.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="both")
+        reports = [
+            make_report(specs[0], [make_explanation()]),
+            RuntimeError("worker died"),
+        ] + [make_report(s, []) for s in specs[2:]]
+        summary = summarize_view(view, specs, reports)
+        payload = summary.to_dict()
+        assert ViewSummary.from_dict(payload).to_dict() == payload
+
+    def test_markdown_rendering(self):
+        view = make_view([5.0, 3.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        reports = [
+            make_report(specs[0], [make_explanation()]),
+            KeyError("gone"),
+            make_report(specs[2], []),
+        ]
+        text = view_summary_to_markdown(summarize_view(view, specs, reports))
+        assert "AVG(m) GROUP BY d" in text
+        assert "2/3 pair(s)" in text
+        assert "| causal | Smoke | Smoke ∈ {yes} |" in text
+        assert "pair 1 (" in text and "KeyError" in text
+
+    def test_markdown_without_explanations(self):
+        view = make_view([2.0, 1.0])
+        specs = enumerate_view_queries(view, orientation="pairwise")
+        text = view_summary_to_markdown(
+            summarize_view(view, specs, [make_report(specs[0], [])])
+        )
+        assert "(no explanation found)" in text
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties (random synthetic views and reports)
+# ----------------------------------------------------------------------
+
+
+bar_values = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def synthetic_views(draw) -> GroupByResult:
+    n = draw(st.integers(2, 5))
+    values = draw(st.lists(bar_values, min_size=n, max_size=n))
+    counts = draw(st.lists(st.integers(1, 40), min_size=n, max_size=n))
+    agg = draw(st.sampled_from(list(Aggregate)))
+    return make_view(values, counts=counts, agg=agg)
+
+
+@st.composite
+def summarize_inputs(draw):
+    """A view plus one synthetic report (or exception) per enumerated pair."""
+    view = draw(synthetic_views())
+    specs = enumerate_view_queries(view, orientation="both")
+    pool = [
+        ("Smoke", "yes"),
+        ("Smoke", "no"),
+        ("Gender", "f"),
+    ]
+    reports = []
+    for spec in specs:
+        if draw(st.integers(0, 9)) == 0:  # occasional poison pair
+            reports.append(RuntimeError("chaos"))
+            continue
+        explanations = [
+            make_explanation(
+                attribute=attr,
+                value=value,
+                responsibility=draw(st.floats(0.0, 1.0, allow_nan=False)),
+                etype=draw(st.sampled_from(list(ExplanationType))),
+            )
+            for attr, value in draw(
+                st.lists(st.sampled_from(pool), max_size=3)
+            )
+        ]
+        reports.append(make_report(spec, explanations))
+    return view, specs, reports
+
+
+@VIEW_SETTINGS
+@given(view=synthetic_views(), orientation=st.sampled_from(["pairwise", "vs_rest", "both"]))
+def test_property_every_pair_is_delta_oriented(view, orientation):
+    for spec in enumerate_view_queries(view, orientation=orientation):
+        assert spec.s1.value >= spec.s2.value
+        assert spec.query.s1 == Subspace.of(
+            **dict(zip(view.dimensions, spec.s1.key))
+        )
+
+
+@VIEW_SETTINGS
+@given(view=synthetic_views())
+def test_property_vs_rest_queries_repeat_pairwise_pairs(view):
+    """Every vs-rest comparison is some pairwise pair (possibly swapped —
+    ties in Δ-orientation can flip the sides), so ``both`` order makes the
+    vs-rest tail pure cache hits."""
+    pairwise = {
+        (s.s1.key, s.s2.key)
+        for s in enumerate_view_queries(view, orientation="pairwise")
+    }
+    for spec in enumerate_view_queries(view, orientation="vs_rest"):
+        pair = (spec.s1.key, spec.s2.key)
+        assert pair in pairwise or pair[::-1] in pairwise
+
+
+@VIEW_SETTINGS
+@given(data=summarize_inputs(), seed=st.integers(0, 2**16))
+def test_property_summary_is_permutation_invariant(data, seed):
+    view, specs, reports = data
+    baseline = summarize_view(view, specs, reports).to_dict()
+    order = list(range(len(specs)))
+    np.random.default_rng(seed).shuffle(order)
+    shuffled = summarize_view(
+        view, [specs[i] for i in order], [reports[i] for i in order]
+    ).to_dict()
+    assert shuffled == baseline
+    restored = ViewSummary.from_dict(baseline).to_dict()
+    assert restored == baseline
+
+
+@VIEW_SETTINGS
+@given(data=summarize_inputs())
+def test_property_dedup_keeps_max_responsibility(data):
+    view, specs, reports = data
+    summary = summarize_view(view, specs, reports)
+    best: dict = {}
+    for report in reports:
+        if isinstance(report, BaseException):
+            continue
+        for e in report.explanations:
+            key = (e.predicate, e.attribute, e.type.value)
+            best[key] = max(best.get(key, 0.0), e.responsibility)
+    assert len(summary.explanations) == len(best)
+    for e in summary.explanations:
+        key = (
+            Predicate.of(e.predicate_dimension, e.predicate_values),
+            e.attribute,
+            e.type,
+        )
+        assert e.responsibility == round(best[key], 6)
+        assert 0.0 < e.coverage <= 1.0
+        assert e.view_score >= e.responsibility - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Model-backed end-to-end (the tentpole acceptance mechanics)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_lungcancer(n_rows=800, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(table):
+    return fit_model(table, measure_bins=3)
+
+
+@pytest.fixture(scope="module")
+def view_table():
+    """A 4×3 faceted view (12 groups) with a planted causal driver."""
+    rng = np.random.default_rng(7)
+    n = 720
+    facet = rng.choice(list("ABCD"), size=n)
+    band = rng.choice(["low", "mid", "high"], size=n)
+    smoke = rng.choice(["yes", "no"], size=n)
+    measure = (
+        rng.normal(0.0, 1.0, size=n)
+        + 2.0 * (smoke == "yes")
+        + 1.0 * (band == "high")
+    )
+    return Table.from_columns(
+        {
+            "Facet": facet.tolist(),
+            "Band": band.tolist(),
+            "Smoke": smoke.tolist(),
+            "M": measure,
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def view_model(view_table):
+    return fit_model(view_table, measure_bins=3)
+
+
+class TestExplainViewEndToEnd:
+    def test_spec_view_warm_cache_and_round_trip(self, model, table):
+        session = ExplainSession(model, table)
+        summary = session.explain_view(
+            {"by": "Location", "measure": "LungCancer", "agg": "AVG"}
+        )
+        assert summary.dimensions == ("Location",)
+        assert all(p.error is None for p in summary.pairs)
+        kinds = [p.kind for p in summary.pairs]
+        assert kinds == sorted(kinds)  # pairwise block, then vs_rest
+        # The vs-rest tail repeats pairwise queries → warm workspace cache.
+        assert session.cache_info()["workspace_hits"] > 0
+        payload = summary.to_dict()
+        assert ViewSummary.from_dict(payload).to_dict() == payload
+
+    def test_twelve_group_view_matches_individual_explains(
+        self, view_model, view_table
+    ):
+        view = group_by(view_table, ("Facet", "Band"), "M")
+        assert len(view.groups) == 12
+
+        session = ExplainSession(view_model, view_table)
+        summary = session.explain_view(view, orientation="vs_rest")
+        assert len(summary.pairs) == 12
+        assert all(p.error is None for p in summary.pairs)
+
+        # Canonical pair order == enumeration order, so specs align by index.
+        specs = enumerate_view_queries(view, orientation="vs_rest")
+        fresh = ExplainSession(view_model, view_table)
+        for pair, spec in zip(summary.pairs, specs):
+            assert pair.report == report_to_dict(fresh.explain(spec.query))
+
+    def test_sharded_explain_view_matches_serial(self, view_model, view_table):
+        view = group_by(view_table, ("Facet", "Band"), "M")
+        serial = ExplainSession(view_model, view_table).explain_view(
+            view, orientation="vs_rest"
+        )
+        sharded = ExplainSession(view_model, view_table).explain_view(
+            view, orientation="vs_rest", workers=2
+        )
+        assert sharded.to_dict() == serial.to_dict()
+
+    def test_poison_pair_isolated_at_session_level(
+        self, view_model, view_table, monkeypatch
+    ):
+        session = ExplainSession(view_model, view_table)
+        view = group_by(view_table, ("Facet", "Band"), "M")
+        specs = enumerate_view_queries(view, orientation="vs_rest")
+        poison = specs[0].query
+        real_explain = ExplainSession.explain
+
+        def explode(self, query, **kwargs):
+            if query == poison:
+                raise RuntimeError("injected fault")
+            return real_explain(self, query, **kwargs)
+
+        monkeypatch.setattr(ExplainSession, "explain", explode)
+        summary = session.explain_view(view, orientation="vs_rest")
+        failed = summary.failed_pairs
+        assert len(failed) >= 1
+        assert all("RuntimeError: injected fault" == p.error for p in failed)
+        assert any(p.error is None and p.report for p in summary.pairs)
+
+    def test_on_error_raise_propagates(self, model, table, monkeypatch):
+        session = ExplainSession(model, table)
+
+        def explode(self, query, **kwargs):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(ExplainSession, "explain", explode)
+        with pytest.raises(RuntimeError, match="injected fault"):
+            session.explain_view(
+                {"by": "Location", "measure": "LungCancer"}, on_error="raise"
+            )
+
+    def test_view_without_sibling_pairs_raises(self, model, table):
+        session = ExplainSession(model, table)
+        lone = GroupByResult(
+            ("Location",),
+            "LungCancer",
+            Aggregate.AVG,
+            (GroupedValue(("A",), 1.0, 10),),
+        )
+        with pytest.raises(QueryError, match="no sibling group pairs"):
+            session.explain_view(lone)
